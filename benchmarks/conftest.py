@@ -1,0 +1,78 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints it (measured next to the paper's value where the paper states
+one).  Scale knobs:
+
+* ``REPRO_BENCH_EPOCH_SCALE`` — instructions per benchmark for the
+  temporal analyses and performance models (default 20 M; the paper
+  used 500 M-instruction windows).
+* ``REPRO_BENCH_TRACE_WINDOW`` — memory-access window for the cache
+  simulations (default 150 K instructions).
+
+Rendered tables are also written to ``benchmarks/out/`` so they survive
+pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.workloads import WorkloadGenerator, all_profiles
+
+EPOCH_SCALE = int(os.environ.get("REPRO_BENCH_EPOCH_SCALE", 20_000_000))
+TRACE_WINDOW = int(os.environ.get("REPRO_BENCH_TRACE_WINDOW", 150_000))
+
+_OUT_DIR = pathlib.Path(__file__).resolve().parent / "out"
+
+_GENERATORS = {}
+_EPOCH_STREAMS = {}
+_ACCESS_TRACES = {}
+
+
+def generator_for(name: str) -> WorkloadGenerator:
+    """Session-cached workload generator."""
+    if name not in _GENERATORS:
+        from repro.workloads import get_profile
+
+        _GENERATORS[name] = WorkloadGenerator(get_profile(name))
+    return _GENERATORS[name]
+
+
+def epoch_stream_for(name: str):
+    """Session-cached full-scale epoch stream."""
+    if name not in _EPOCH_STREAMS:
+        _EPOCH_STREAMS[name] = generator_for(name).epoch_stream(EPOCH_SCALE)
+    return _EPOCH_STREAMS[name]
+
+
+def access_trace_for(name: str):
+    """Session-cached access-trace window."""
+    if name not in _ACCESS_TRACES:
+        _ACCESS_TRACES[name] = generator_for(name).access_trace(TRACE_WINDOW)
+    return _ACCESS_TRACES[name]
+
+
+def spec_names():
+    return [p.name for p in all_profiles() if p.kind == "spec"]
+
+
+def network_names():
+    return [p.name for p in all_profiles() if p.kind == "network"]
+
+
+def emit(artifact_name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/out/."""
+    print()
+    print(text)
+    _OUT_DIR.mkdir(exist_ok=True)
+    (_OUT_DIR / f"{artifact_name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def bench_scales():
+    """Expose the active scales to benchmarks (and their reports)."""
+    return {"epoch_scale": EPOCH_SCALE, "trace_window": TRACE_WINDOW}

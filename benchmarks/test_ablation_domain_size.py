@@ -1,0 +1,58 @@
+"""Ablation: taint-domain size vs filtering quality (H-LATCH).
+
+Sweeps the CTC taint-domain granularity and measures the trade-off the
+paper describes in Section 3.3.2: smaller domains reduce false
+positives (fewer accesses escalate to the precise cache) but each CTC
+line then maps less memory, raising CTC miss rates.
+"""
+
+import pytest
+
+from conftest import access_trace_for, emit
+from repro.core.latch import LatchConfig
+from repro.hlatch import run_hlatch
+from repro.report import format_table
+
+DOMAIN_SIZES = [8, 16, 32, 64, 128]
+WORKLOADS = ["astar", "gcc", "sphinx", "apache"]
+
+
+def regenerate_domain_sweep():
+    results = {}
+    for name in WORKLOADS:
+        trace = access_trace_for(name)
+        for size in DOMAIN_SIZES:
+            config = LatchConfig(domain_size=size)
+            results[(name, size)] = run_hlatch(trace, latch_config=config)
+    return results
+
+
+def test_ablation_domain_size(benchmark):
+    results = benchmark.pedantic(regenerate_domain_sweep, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            size,
+            report.ctc_miss_percent,
+            100 * report.resolution_split()["precise"],
+            report.combined_miss_percent,
+        ]
+        for (name, size), report in results.items()
+    ]
+    emit(
+        "ablation_domain_size",
+        format_table(
+            ["benchmark", "domain B", "CTC miss %", "to precise %",
+             "combined miss %"],
+            rows,
+            title="Ablation: taint-domain size (H-LATCH filtering quality)",
+            precision=3,
+        ),
+    )
+    for name in WORKLOADS:
+        escalation = [
+            results[(name, size)].resolution_split()["precise"]
+            for size in DOMAIN_SIZES
+        ]
+        # Coarser domains can only escalate more accesses (within noise).
+        assert escalation[-1] >= escalation[0] - 0.01, name

@@ -1,0 +1,67 @@
+"""Ablation: the S-LATCH return-to-hardware timeout policy.
+
+Section 5.1.3: returning to hardware immediately after taint handling
+causes repeated switching; S-LATCH settles on a 1000-instruction
+timeout.  This sweep regenerates that trade-off curve: short timeouts
+pay control-transfer costs, long timeouts pay unnecessary software
+instrumentation.
+"""
+
+import dataclasses
+
+from conftest import access_trace_for, emit, epoch_stream_for
+from repro.report import format_table
+from repro.slatch import SLatchCostModel, measure_hw_rates, simulate_slatch
+from repro.workloads import get_profile
+
+TIMEOUTS = [10, 100, 500, 1_000, 5_000, 50_000, 500_000]
+WORKLOADS = ["gcc", "gromacs", "apache", "perlbench"]
+
+
+def regenerate_timeout_sweep():
+    results = {}
+    for name in WORKLOADS:
+        profile = get_profile(name)
+        stream = epoch_stream_for(name)
+        rates = measure_hw_rates(access_trace_for(name))
+        for timeout in TIMEOUTS:
+            costs = dataclasses.replace(
+                SLatchCostModel(), timeout_instructions=timeout
+            )
+            results[(name, timeout)] = simulate_slatch(
+                profile, stream, rates, costs
+            )
+    return results
+
+
+def test_ablation_timeout(benchmark):
+    results = benchmark.pedantic(regenerate_timeout_sweep, rounds=1, iterations=1)
+    rows = [
+        [name, timeout, report.overhead, report.traps,
+         100 * report.sw_fraction]
+        for (name, timeout), report in results.items()
+    ]
+    emit(
+        "ablation_timeout",
+        format_table(
+            ["benchmark", "timeout", "overhead", "traps", "sw %"],
+            rows,
+            title="Ablation: S-LATCH return-to-hardware timeout",
+            precision=3,
+        ),
+    )
+    for name in WORKLOADS:
+        overheads = {t: results[(name, t)].overhead for t in TIMEOUTS}
+        traps = {t: results[(name, t)].traps for t in TIMEOUTS}
+        # Longer timeouts strictly reduce mode switches...
+        trap_values = [traps[t] for t in TIMEOUTS]
+        for early, late in zip(trap_values, trap_values[1:]):
+            assert late <= early, name
+        # ...while software residency grows.
+        sw = [results[(name, t)].sw_fraction for t in TIMEOUTS]
+        for early, late in zip(sw, sw[1:]):
+            assert late >= early - 1e-12, name
+        # The paper's 1000-instruction default is near the sweet spot:
+        # within 2x of the best timeout in the sweep.
+        best = min(overheads.values())
+        assert overheads[1_000] <= max(2.0 * best, best + 0.02), name

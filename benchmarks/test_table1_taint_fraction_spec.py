@@ -1,0 +1,37 @@
+"""Table 1: percentage of instructions touching tainted data (SPEC).
+
+Regenerates each SPEC benchmark's epoch stream and measures the tainted
+instruction fraction, printed against the paper's Table 1 values.
+"""
+
+from conftest import emit, epoch_stream_for, spec_names
+from repro.analysis import tainted_instruction_fraction
+from repro.report import format_comparison_table
+from repro.report.paper_data import TABLE1_TAINT_PERCENT
+
+
+def regenerate_table1():
+    return {
+        name: 100.0 * tainted_instruction_fraction(epoch_stream_for(name))
+        for name in spec_names()
+    }
+
+
+def test_table1_taint_fraction_spec(benchmark):
+    measured = benchmark.pedantic(regenerate_table1, rounds=1, iterations=1)
+    emit(
+        "table1",
+        format_comparison_table(
+            spec_names(),
+            measured,
+            TABLE1_TAINT_PERCENT,
+            value_label="taint insn %",
+            title="Table 1: % instructions touching tainted data (SPEC 2006)",
+            precision=3,
+        ),
+    )
+    # Shape assertions: the right benchmarks dominate, within 2x of paper.
+    assert measured["astar"] > 15
+    assert measured["sphinx"] > 8
+    for name, paper_value in TABLE1_TAINT_PERCENT.items():
+        assert measured[name] <= max(2.5 * paper_value, 0.05), name

@@ -1,0 +1,35 @@
+"""Table 2: percentage of instructions touching tainted data (network)."""
+
+from conftest import emit, epoch_stream_for, network_names
+from repro.analysis import tainted_instruction_fraction
+from repro.report import format_comparison_table
+from repro.report.paper_data import TABLE2_TAINT_PERCENT
+
+
+def regenerate_table2():
+    return {
+        name: 100.0 * tainted_instruction_fraction(epoch_stream_for(name))
+        for name in network_names()
+    }
+
+
+def test_table2_taint_fraction_network(benchmark):
+    measured = benchmark.pedantic(regenerate_table2, rounds=1, iterations=1)
+    emit(
+        "table2",
+        format_comparison_table(
+            network_names(),
+            measured,
+            TABLE2_TAINT_PERCENT,
+            value_label="taint insn %",
+            title="Table 2: % instructions touching tainted data (network)",
+            precision=3,
+        ),
+    )
+    # The linear decline with trusted connections (paper Section 3.2.1).
+    apache_series = [
+        measured["apache"], measured["apache-25"],
+        measured["apache-50"], measured["apache-75"],
+    ]
+    assert apache_series == sorted(apache_series, reverse=True)
+    assert all(value < 2.5 for value in measured.values())

@@ -1,0 +1,44 @@
+"""Table 3: distribution of taint at page granularity (SPEC)."""
+
+from conftest import emit, generator_for, spec_names
+from repro.analysis import page_taint_distribution
+from repro.report import format_table
+from repro.report.paper_data import TABLE3_PAGES
+
+
+def regenerate_table3():
+    rows = {}
+    for name in spec_names():
+        stats = page_taint_distribution(generator_for(name).layout())
+        rows[name] = (stats.pages_accessed, stats.pages_tainted,
+                      stats.tainted_percent)
+    return rows
+
+
+def test_table3_page_taint_spec(benchmark):
+    measured = benchmark.pedantic(regenerate_table3, rounds=1, iterations=1)
+    rows = [
+        [name, *measured[name], *TABLE3_PAGES[name]]
+        for name in spec_names()
+    ]
+    emit(
+        "table3",
+        format_table(
+            ["benchmark", "pages", "tainted", "tainted %",
+             "paper pages", "paper tainted", "paper %"],
+            rows,
+            title="Table 3: page-granularity taint distribution (SPEC 2006)",
+            precision=2,
+        ),
+    )
+    # "For 17 out of 20 benchmarks, more than 90% of the accessed pages
+    # were completely free of taint."  (perlbench sits right on the
+    # boundary at 10.84% in the paper's own table, so the threshold is
+    # 11% here.)
+    mostly_clean = sum(
+        1 for name in spec_names() if measured[name][2] < 11.0
+    )
+    assert mostly_clean >= 17
+    for name in spec_names():
+        assert measured[name][0] == TABLE3_PAGES[name][0], name
+        assert measured[name][1] == TABLE3_PAGES[name][1], name

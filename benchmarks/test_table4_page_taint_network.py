@@ -1,0 +1,40 @@
+"""Table 4: distribution of taint at page granularity (network)."""
+
+from conftest import emit, generator_for, network_names
+from repro.analysis import page_taint_distribution
+from repro.report import format_table
+from repro.report.paper_data import TABLE4_PAGES
+
+
+def regenerate_table4():
+    rows = {}
+    for name in network_names():
+        stats = page_taint_distribution(generator_for(name).layout())
+        rows[name] = (stats.pages_accessed, stats.pages_tainted,
+                      stats.tainted_percent)
+    return rows
+
+
+def test_table4_page_taint_network(benchmark):
+    measured = benchmark.pedantic(regenerate_table4, rounds=1, iterations=1)
+    rows = [
+        [name, *measured[name], *TABLE4_PAGES[name]]
+        for name in network_names()
+    ]
+    emit(
+        "table4",
+        format_table(
+            ["benchmark", "pages", "tainted", "tainted %",
+             "paper pages", "paper tainted", "paper %"],
+            rows,
+            title="Table 4: page-granularity taint distribution (network)",
+            precision=2,
+        ),
+    )
+    # Tainted pages occupy a minority of memory in all cases; apache the
+    # highest, and roughly constant across trust policies (Section 3.3.1).
+    for name in network_names():
+        assert measured[name][2] < 50.0, name
+    apache_percents = [measured[f"apache-{p}"][2] for p in (25, 50, 75)]
+    for value in apache_percents:
+        assert abs(value - measured["apache"][2]) < 3.0

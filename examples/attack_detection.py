@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Attack detection: buffer-overflow hijack and data-leak scenarios.
+
+Runs each attack (and its benign twin) under plain software DIFT and
+under S-LATCH, showing that LATCH gating loses no detections and adds
+no false alarms — the paper's accuracy claim.
+
+Run:  python examples/attack_detection.py
+"""
+
+from repro import DIFTEngine, SLatchSystem
+from repro.dift.policy import leak_detection_policy
+from repro.workloads.attacks import buffer_overflow, data_leak
+
+
+def run_plain(scenario, policy=None):
+    cpu = scenario.make_cpu()
+    engine = DIFTEngine(policy)
+    cpu.attach(engine)
+    try:
+        cpu.run(200_000)
+    except Exception:
+        pass  # hijacked control flow may run off the text section
+    return [alert.kind.value for alert in engine.alerts]
+
+
+def run_slatch(scenario, policy=None):
+    cpu = scenario.make_cpu()
+    system = SLatchSystem(cpu, policy=policy)
+    try:
+        cpu.run(200_000)
+    except Exception:
+        pass
+    return [alert.kind.value for alert in system.alerts], system.counters
+
+
+def main() -> None:
+    print("== control-flow hijack (unchecked copy over a function pointer) ==")
+    for hijack in (False, True):
+        scenario = buffer_overflow(hijack=hijack)
+        plain = run_plain(scenario)
+        gated, counters = run_slatch(buffer_overflow(hijack=hijack))
+        label = "malicious" if hijack else "benign   "
+        print(
+            f"  {label}: plain DIFT alerts={plain or ['-']}, "
+            f"S-LATCH alerts={gated or ['-']} "
+            f"(hw {counters.hw_instructions} / sw {counters.sw_instructions} insns)"
+        )
+
+    print("\n== data exfiltration (secret file sent to a socket) ==")
+    for leak in (False, True):
+        scenario = data_leak(leak=leak)
+        plain = run_plain(scenario, leak_detection_policy())
+        gated, _ = run_slatch(data_leak(leak=leak), leak_detection_policy())
+        label = "leaking  " if leak else "benign   "
+        print(
+            f"  {label}: plain DIFT alerts={plain or ['-']}, "
+            f"S-LATCH alerts={gated or ['-']}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""The Section 3 locality survey over the full workload suite.
+
+Regenerates the paper's characterisation (Tables 1–4, Figures 5 and 6)
+from the calibrated workload profiles: temporal taint fractions,
+taint-free epoch durations, page-granularity taint distribution, and
+coarse-granularity false-positive multipliers.
+
+Run:  python examples/locality_survey.py  [--scale N]
+"""
+
+import argparse
+
+from repro.analysis import (
+    FIG5_THRESHOLDS,
+    FIG6_DOMAIN_SIZES,
+    epoch_duration_profile,
+    false_positive_sweep,
+    page_taint_distribution,
+)
+from repro.report import format_series, format_table
+from repro.workloads import WorkloadGenerator, all_profiles
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=20_000_000,
+        help="instructions per benchmark for the temporal analysis",
+    )
+    args = parser.parse_args()
+
+    rows = []
+    fig5 = {}
+    fig6 = {}
+    for profile in all_profiles():
+        generator = WorkloadGenerator(profile)
+        stream = generator.epoch_stream(total_instructions=args.scale)
+        trace = generator.access_trace(200_000)
+        pages = page_taint_distribution(generator.layout())
+        rows.append(
+            [
+                profile.name,
+                profile.kind,
+                100 * stream.tainted_fraction,
+                pages.pages_accessed,
+                pages.pages_tainted,
+                pages.tainted_percent,
+            ]
+        )
+        fig5[profile.name] = {
+            f">={t}": v for t, v in epoch_duration_profile(stream).items()
+        }
+        sweep = false_positive_sweep(trace)
+        fig6[profile.name] = {
+            f"{size}B": value
+            for size, value in sweep.items()
+            if value == value  # drop NaN (no tainted elements observed)
+        }
+
+    print(
+        format_table(
+            ["benchmark", "suite", "taint insn %", "pages", "tainted", "tainted %"],
+            rows,
+            title="Tables 1-4: taint fractions and page-granularity distribution",
+            precision=2,
+        )
+    )
+    print()
+    print(
+        format_series(
+            fig5,
+            x_label="epoch length",
+            title="Figure 5: % of instructions in taint-free epochs of at least L",
+            precision=1,
+        )
+    )
+    print()
+    print(
+        format_series(
+            fig6,
+            x_label="domain size",
+            title="Figure 6: coarse-taint false-positive multiplier vs domain size",
+            precision=2,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The Section 6 performance models side by side, with ASCII figures.
+
+For a set of benchmarks, runs:
+
+* always-on software DIFT (the per-benchmark libdft slowdown),
+* S-LATCH (Figure 13's model: mode switching + measured hardware rates),
+* P-LATCH over the simple and optimised LBA baselines (Figure 15),
+
+and renders the comparison as bar charts.
+
+Run:  python examples/performance_models.py [--benchmarks astar gcc curl]
+"""
+
+import argparse
+
+from repro.platch import LBA_OPTIMIZED, LBA_SIMPLE, analytic_platch
+from repro.report import format_bar_chart, format_grouped_bars
+from repro.slatch import measure_hw_rates, simulate_slatch
+from repro.workloads import WorkloadGenerator, get_profile
+
+DEFAULT_BENCHMARKS = ["astar", "gcc", "lbm", "sphinx", "apache", "curl", "mySQL"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmarks", nargs="+", default=DEFAULT_BENCHMARKS)
+    parser.add_argument("--scale", type=int, default=10_000_000)
+    args = parser.parse_args()
+
+    overheads = {}
+    platch_simple = {}
+    speedups = {}
+    for name in args.benchmarks:
+        profile = get_profile(name)
+        generator = WorkloadGenerator(profile)
+        stream = generator.epoch_stream(args.scale)
+        rates = measure_hw_rates(generator.access_trace(150_000))
+        slatch = simulate_slatch(profile, stream, rates)
+        platch = analytic_platch(stream, LBA_SIMPLE)
+        platch_opt = analytic_platch(stream, LBA_OPTIMIZED)
+        overheads[name] = {
+            "libdft (sw DIFT)": slatch.libdft_only_overhead,
+            "S-LATCH": slatch.overhead,
+            "LBA 2-core": LBA_SIMPLE.mean_overhead,
+            "P-LATCH simple": platch.overhead,
+            "P-LATCH optimized": platch_opt.overhead,
+        }
+        speedups[name] = slatch.speedup_vs_libdft
+        platch_simple[name] = platch.overhead
+
+    print(
+        format_grouped_bars(
+            overheads,
+            title="Execution overhead over native (x)",
+            unit="x",
+        )
+    )
+    print()
+    print(
+        format_bar_chart(
+            speedups,
+            title="S-LATCH speedup over always-on software DIFT (Figure 13)",
+            unit="x",
+        )
+    )
+    print()
+    print(
+        format_bar_chart(
+            platch_simple,
+            title="P-LATCH overhead, simple LBA baseline = 3.38x (Figure 15)",
+            unit="x",
+            max_value=3.38,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

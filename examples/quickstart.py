@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: run a program under byte-precise DIFT and under LATCH.
+
+Builds a tiny program that reads an untrusted file, transforms it, and
+writes it out; attaches the software DIFT engine; then repeats the run
+under the S-LATCH hardware/software gating and shows that the two see
+exactly the same taint while S-LATCH executes most instructions in
+hardware mode.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CPU, DIFTEngine, SLatchSystem
+from repro.workloads.programs import file_filter
+
+
+def main() -> None:
+    # ------------------------------------------------- plain software DIFT
+    scenario = file_filter(payload=b"attack at dawn! bring 42 snacks")
+    cpu = scenario.make_cpu()
+    engine = DIFTEngine()
+    cpu.attach(engine)
+    steps = cpu.run()
+
+    output = scenario.devices.lookup_file("output.dat").written
+    print("== plain software DIFT (libdft equivalent) ==")
+    print(f"program ran {steps} instructions, exit code {cpu.exit_code}")
+    print(f"output file: {bytes(output)!r}")
+    print(
+        f"instructions touching tainted data: "
+        f"{engine.stats.tainted_instructions} "
+        f"({engine.stats.tainted_fraction:.1%})"
+    )
+    print(f"tainted bytes live in shadow memory: {engine.shadow.tainted_byte_count}")
+
+    # ------------------------------------------------------ LATCH-gated run
+    scenario2 = file_filter(payload=b"attack at dawn! bring 42 snacks")
+    cpu2 = scenario2.make_cpu()
+    slatch = SLatchSystem(cpu2)
+    cpu2.run()
+
+    counters = slatch.counters
+    print("\n== S-LATCH (LATCH-gated software DIFT) ==")
+    print(
+        f"hardware-mode instructions: {counters.hw_instructions} "
+        f"({1 - counters.sw_fraction:.1%} of execution at native speed)"
+    )
+    print(f"software-mode instructions: {counters.sw_instructions}")
+    print(f"mode switches: {counters.traps} traps, {counters.returns} returns")
+    print(f"false positives screened: {counters.false_positives}")
+    same = (
+        slatch.engine.shadow.tainted_byte_count
+        == engine.shadow.tainted_byte_count
+    )
+    print(f"final taint state matches plain DIFT: {same}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Web-server trust policies: the apache-25/50/75 experiment, live.
+
+Runs the echo server under S-LATCH while varying the fraction of
+trusted client connections (the paper's nuanced tainting policies from
+Section 3.1).  Data from trusted connections is not tainted, so taint-
+free epochs lengthen and more of the execution stays in hardware mode.
+
+Run:  python examples/web_server_gating.py
+"""
+
+import dataclasses
+import random
+
+from repro import SLatchSystem
+from repro.slatch import SLatchCostModel
+from repro.workloads.programs import echo_server
+
+#: The toy server handles a request in ~250 instructions, so the
+#: return-to-hardware timeout is scaled down from the paper's 1000 to
+#: keep the same ratio between request work and timeout.
+COSTS = dataclasses.replace(SLatchCostModel(), timeout_instructions=150)
+
+
+def build_requests(count: int, trusted_percent: int, seed: int = 7):
+    rng = random.Random(seed)
+    requests = [
+        f"GET /page-{index}.html?q={rng.randrange(10_000)}".encode()
+        for index in range(count)
+    ]
+    trusted = [rng.randrange(100) < trusted_percent for index in range(count)]
+    return requests, trusted
+
+
+def main() -> None:
+    print(f"{'policy':12s} {'hw insns':>9s} {'sw insns':>9s} "
+          f"{'sw %':>7s} {'traps':>6s} {'tainted bytes':>14s}")
+    for trusted_percent in (0, 25, 50, 75, 100):
+        requests, trusted = build_requests(40, trusted_percent)
+        scenario = echo_server(requests=requests, trusted_flags=trusted)
+        cpu = scenario.make_cpu()
+        system = SLatchSystem(cpu, costs=COSTS)
+        cpu.run(2_000_000)
+        counters = system.counters
+        print(
+            f"apache-{trusted_percent:<5d} {counters.hw_instructions:9d} "
+            f"{counters.sw_instructions:9d} {100 * counters.sw_fraction:6.1f}% "
+            f"{counters.traps:6d} "
+            f"{system.engine.shadow.tainted_byte_count:14d}"
+        )
+    print(
+        "\nAs in the paper's apache-25/50/75 policies, raising the share of "
+        "trusted\nconnections shrinks the software-monitored fraction toward "
+        "zero while the\nuntrusted requests remain fully tracked."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Temporal locality analysis (Section 3.2).
+
+Two measurements over an :class:`~repro.workloads.trace.EpochStream`
+(or any execution that can be summarised as one):
+
+* :func:`tainted_instruction_fraction` — the percentage of instructions
+  touching tainted data (Tables 1 and 2);
+* :func:`epoch_duration_profile` — for each threshold L in
+  {100, 1K, 10K, 100K, 1M}, the percentage of *all* executed
+  instructions that fall inside taint-free epochs longer than L
+  (Figure 5; the sets are cumulative, so an epoch of 2M instructions
+  contributes to every category).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.workloads.trace import EpochStream
+
+#: Figure 5's epoch-length categories (instructions).
+FIG5_THRESHOLDS: Sequence[int] = (100, 1_000, 10_000, 100_000, 1_000_000)
+
+
+def tainted_instruction_fraction(stream: EpochStream) -> float:
+    """Fraction of instructions that touch tainted data (Table 1/2)."""
+    return stream.tainted_fraction
+
+
+def epoch_duration_profile(
+    stream: EpochStream,
+    thresholds: Sequence[int] = FIG5_THRESHOLDS,
+) -> Dict[int, float]:
+    """Percentage of instructions inside taint-free epochs ≥ threshold.
+
+    Returns ``{threshold: percent_of_all_instructions}`` — the Figure 5
+    series for one benchmark.
+    """
+    total = stream.total_instructions
+    if total == 0:
+        return {threshold: 0.0 for threshold in thresholds}
+    free_lengths = stream.taint_free_lengths()
+    return {
+        threshold: float(
+            free_lengths[free_lengths >= threshold].sum() / total * 100.0
+        )
+        for threshold in thresholds
+    }
+
+
+def mean_taint_free_epoch(stream: EpochStream) -> float:
+    """Average taint-free epoch length (supplementary statistic)."""
+    free_lengths = stream.taint_free_lengths()
+    if len(free_lengths) == 0:
+        return 0.0
+    return float(free_lengths.mean())
+
+
+def epoch_count_histogram(
+    stream: EpochStream,
+    thresholds: Sequence[int] = FIG5_THRESHOLDS,
+) -> Dict[int, int]:
+    """Number of taint-free epochs at least as long as each threshold."""
+    free_lengths = stream.taint_free_lengths()
+    return {
+        threshold: int((free_lengths >= threshold).sum())
+        for threshold in thresholds
+    }

@@ -1,0 +1,51 @@
+"""The LATCH module — the paper's primary contribution.
+
+LATCH maintains a *coarse taint state*: memory is divided into fixed-size
+multi-byte **taint domains**, and a single bit per domain records whether
+any byte inside it is tainted.  The coarse state is stored in an
+in-memory **Coarse Taint Table (CTT)**, cached by a tiny fully-associative
+**Coarse Taint Cache (CTC)**, and screened at kilobyte granularity by
+**TLB taint bits** (Figure 7 of the paper).
+
+The invariant the whole design rests on (Figure 1): the coarse state is a
+*superset* of the precise state — a clean domain guarantees clean bytes
+(no false negatives ever), while a tainted domain may contain clean bytes
+(false positives, dismissed by the precise layer).
+
+Public surface:
+
+* :class:`~repro.core.domains.DomainGeometry` — domain/word/page math.
+* :class:`~repro.core.ctt.CoarseTaintTable` — the in-memory coarse state.
+* :class:`~repro.core.ctc.CoarseTaintCache` — the CTC, with the
+  taint-clear bits of Section 5.1.4.
+* :class:`~repro.core.tlb_taint.TlbTaintBits` — page-level filtering.
+* :class:`~repro.core.latch.LatchModule` — the assembled checker.
+* :class:`~repro.core.latch.LatchConfig` — structural parameters.
+"""
+
+from repro.core.domains import DomainGeometry
+from repro.core.ctt import CoarseTaintTable
+from repro.core.ctc import CoarseTaintCache
+from repro.core.tlb_taint import TlbTaintBits
+from repro.core.latch import (
+    CheckLevel,
+    LatchCheckResult,
+    LatchConfig,
+    LatchModule,
+    LatchStats,
+)
+from repro.core.update_logic import UpdateChain, UpdateResult
+
+__all__ = [
+    "CheckLevel",
+    "CoarseTaintCache",
+    "CoarseTaintTable",
+    "DomainGeometry",
+    "LatchCheckResult",
+    "LatchConfig",
+    "LatchModule",
+    "LatchStats",
+    "TlbTaintBits",
+    "UpdateChain",
+    "UpdateResult",
+]

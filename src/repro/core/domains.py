@@ -1,0 +1,113 @@
+"""Taint-domain geometry.
+
+A *taint domain* is a fixed-size, aligned, multi-byte memory region whose
+taint status LATCH summarises with one bit.  Thirty-two consecutive
+domain bits form one 32-bit **CTT word**; one CTT word is also the unit
+of page-level filtering ("each page-level taint domain corresponds to a
+single word of CTT taint tags", Section 4.2).
+
+With the paper's default 64-byte domains:
+
+* one CTT word covers 32 × 64 B = 2 KiB of memory, and
+* a 4 KiB page holds two page-level taint domains (two TLB taint bits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+#: Domain bits per CTT word (the paper uses 32-bit CTT words).
+DOMAINS_PER_WORD = 32
+
+_MASK32 = 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class DomainGeometry:
+    """Address arithmetic for a given taint-domain size.
+
+    Args:
+        domain_size: bytes per taint domain (power of two, ≥ 1; the
+            paper's evaluation favours 64).
+        page_size: bytes per page (power of two; 4 KiB in the paper).
+    """
+
+    domain_size: int = 64
+    page_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.domain_size < 1 or self.domain_size & (self.domain_size - 1):
+            raise ValueError("domain_size must be a positive power of two")
+        if self.page_size & (self.page_size - 1):
+            raise ValueError("page_size must be a power of two")
+        if self.word_span > self.page_size:
+            raise ValueError(
+                "one CTT word must not span more than a page "
+                f"(domain_size {self.domain_size} gives word span "
+                f"{self.word_span} > page {self.page_size})"
+            )
+
+    # ----------------------------------------------------------- geometry
+
+    @property
+    def word_span(self) -> int:
+        """Bytes of memory covered by one CTT word."""
+        return self.domain_size * DOMAINS_PER_WORD
+
+    @property
+    def page_domains(self) -> int:
+        """Page-level taint domains (= CTT words = TLB bits) per page."""
+        return self.page_size // self.word_span
+
+    def domain_index(self, address: int) -> int:
+        """Global index of the domain containing ``address``."""
+        return (address & _MASK32) // self.domain_size
+
+    def domain_base(self, address: int) -> int:
+        """Base address of the domain containing ``address``."""
+        return (address & _MASK32) & ~(self.domain_size - 1)
+
+    def word_index(self, address: int) -> int:
+        """Index of the CTT word whose bits cover ``address``."""
+        return self.domain_index(address) // DOMAINS_PER_WORD
+
+    def word_base(self, address: int) -> int:
+        """Base address of the memory span covered by the CTT word."""
+        return (address & _MASK32) & ~(self.word_span - 1)
+
+    def bit_offset(self, address: int) -> int:
+        """Bit position of ``address``'s domain within its CTT word."""
+        return self.domain_index(address) % DOMAINS_PER_WORD
+
+    def page_number(self, address: int) -> int:
+        """Page number of ``address``."""
+        return (address & _MASK32) // self.page_size
+
+    def page_domain_index(self, address: int) -> int:
+        """Index of the page-level domain of ``address`` within its page."""
+        return ((address & _MASK32) % self.page_size) // self.word_span
+
+    # ---------------------------------------------------------- iteration
+
+    def domains_in_range(self, address: int, length: int) -> Iterator[int]:
+        """Yield the domain indices overlapped by [address, address+length)."""
+        if length <= 0:
+            return
+        first = self.domain_index(address)
+        last = self.domain_index(address + length - 1)
+        for index in range(first, last + 1):
+            yield index
+
+    def words_in_range(self, address: int, length: int) -> Iterator[int]:
+        """Yield the CTT word indices overlapped by the byte range."""
+        if length <= 0:
+            return
+        first = self.word_index(address)
+        last = self.word_index(address + length - 1)
+        for index in range(first, last + 1):
+            yield index
+
+    def domain_range(self, domain_index: int) -> Tuple[int, int]:
+        """(base_address, size) of the domain with global ``domain_index``."""
+        return domain_index * self.domain_size, self.domain_size

@@ -1,0 +1,286 @@
+"""The assembled LATCH hardware module (Figure 7).
+
+:class:`LatchModule` combines the operand-extraction surface (it consumes
+:class:`~repro.machine.events.StepEvent`), the taint register file, the
+TLB taint bits, the CTC, and the backing CTT into the coarse checker that
+all three integrations (S-LATCH, P-LATCH, H-LATCH) instantiate.
+
+The check path for a memory operand mirrors Section 4:
+
+1. **TLB taint bits** — if every page-level domain the access touches is
+   clean, the access is resolved with zero cost beyond the translation
+   that happens anyway.
+2. **CTC** — otherwise the domain bits are fetched (possibly missing to
+   the in-memory CTT) and consulted.
+3. A set domain bit is a *coarse positive*: the precise layer must be
+   invoked (it may still dismiss the event as a false positive).
+
+Register operands are checked against the TRF in parallel.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from repro.core.ctc import CoarseTaintCache, DomainCleanOracle
+from repro.core.ctt import CoarseTaintTable
+from repro.core.domains import DomainGeometry
+from repro.core.tlb_taint import TlbTaintBits
+from repro.dift.tags import TaintRegisterFile
+from repro.machine.events import MemoryAccess, StepEvent
+
+
+class CheckLevel(enum.Enum):
+    """The LATCH stack level at which a memory check was resolved."""
+
+    TLB = "tlb"        # page-level bits clean: screened before the CTC
+    CTC = "ctc"        # CTC consulted, domain clean
+    PRECISE = "precise"  # coarse positive: precise mechanism invoked
+
+
+@dataclass(frozen=True)
+class LatchCheckResult:
+    """Outcome of a coarse check of one memory access."""
+
+    address: int
+    size: int
+    coarse_tainted: bool
+    level: CheckLevel
+    ctc_hit: Optional[bool] = None  # None when the TLB screened the access
+
+
+@dataclass(frozen=True)
+class StepCheck:
+    """Outcome of checking one committed instruction."""
+
+    register_tainted: bool
+    memory_results: Tuple[LatchCheckResult, ...]
+
+    @property
+    def coarse_tainted(self) -> bool:
+        """True if the instruction must trap to the precise layer."""
+        return self.register_tainted or any(
+            result.coarse_tainted for result in self.memory_results
+        )
+
+
+@dataclass
+class LatchStats:
+    """Counters for the LATCH check path."""
+
+    steps_checked: int = 0
+    memory_checks: int = 0
+    register_positives: int = 0
+    coarse_positives: int = 0
+    resolved_by_tlb: int = 0
+    resolved_by_ctc: int = 0
+    sent_to_precise: int = 0
+
+    def level_fractions(self) -> dict:
+        """Fraction of memory checks resolved per level (Figure 16)."""
+        total = self.memory_checks
+        if total == 0:
+            return {"tlb": 0.0, "ctc": 0.0, "precise": 0.0}
+        return {
+            "tlb": self.resolved_by_tlb / total,
+            "ctc": self.resolved_by_ctc / total,
+            "precise": self.sent_to_precise / total,
+        }
+
+
+@dataclass(frozen=True)
+class LatchConfig:
+    """Structural parameters of a LATCH instance.
+
+    Defaults are the S-LATCH/P-LATCH configuration of Section 6.4: a
+    16-entry fully associative CTC over 64-byte domains, a 128-entry TLB
+    whose entries carry two page-level taint bits, and a 150-cycle CTC
+    miss penalty.
+    """
+
+    domain_size: int = 64
+    page_size: int = 4096
+    ctc_entries: int = 16
+    tlb_entries: int = 128
+    use_tlb_bits: bool = True
+    ctc_miss_penalty_cycles: int = 150
+
+    def geometry(self) -> DomainGeometry:
+        """Domain geometry implied by this configuration."""
+        return DomainGeometry(domain_size=self.domain_size, page_size=self.page_size)
+
+
+class LatchModule:
+    """The core LATCH logic: coarse state plus the check/update paths."""
+
+    def __init__(self, config: Optional[LatchConfig] = None) -> None:
+        self.config = config if config is not None else LatchConfig()
+        self.geometry = self.config.geometry()
+        self.ctt = CoarseTaintTable(self.geometry)
+        self.ctc = CoarseTaintCache(
+            self.geometry,
+            self.ctt,
+            entries=self.config.ctc_entries,
+            miss_penalty_cycles=self.config.ctc_miss_penalty_cycles,
+        )
+        self.tlb_bits: Optional[TlbTaintBits] = (
+            TlbTaintBits(self.geometry, self.ctt, self.config.tlb_entries)
+            if self.config.use_tlb_bits
+            else None
+        )
+        self.trf = TaintRegisterFile()
+        self.stats = LatchStats()
+        self.last_exception_address = 0
+
+    # ------------------------------------------------------------ checking
+
+    def check_memory(self, address: int, size: int = 1) -> LatchCheckResult:
+        """Coarse-check one memory access (all domains it overlaps)."""
+        self.stats.memory_checks += 1
+        size = max(size, 1)
+
+        if self.tlb_bits is not None:
+            page_hot = any(
+                self.tlb_bits.check(part)
+                for part in _page_domain_parts(self.geometry, address, size)
+            )
+            if not page_hot:
+                self.stats.resolved_by_tlb += 1
+                return LatchCheckResult(
+                    address=address,
+                    size=size,
+                    coarse_tainted=False,
+                    level=CheckLevel.TLB,
+                )
+
+        tainted = False
+        hit_all = True
+        last = address + size - 1
+        cursor = address
+        while cursor <= last:
+            hit, domain_tainted = self.ctc.check(cursor)
+            hit_all = hit_all and hit
+            tainted = tainted or domain_tainted
+            cursor = self.geometry.domain_base(cursor) + self.geometry.domain_size
+
+        if tainted:
+            self.stats.sent_to_precise += 1
+            self.last_exception_address = address
+            return LatchCheckResult(
+                address=address,
+                size=size,
+                coarse_tainted=True,
+                level=CheckLevel.PRECISE,
+                ctc_hit=hit_all,
+            )
+        self.stats.resolved_by_ctc += 1
+        return LatchCheckResult(
+            address=address,
+            size=size,
+            coarse_tainted=False,
+            level=CheckLevel.CTC,
+            ctc_hit=hit_all,
+        )
+
+    def check_step(self, event: StepEvent) -> StepCheck:
+        """Check one committed instruction (registers + memory operands)."""
+        self.stats.steps_checked += 1
+        register_tainted = bool(event.regs_read) and self.trf.any_tainted(
+            event.regs_read
+        )
+        if register_tainted:
+            self.stats.register_positives += 1
+        memory_results = tuple(
+            self.check_memory(access.address, access.size)
+            for access in event.memory_accesses
+        )
+        check = StepCheck(
+            register_tainted=register_tainted, memory_results=memory_results
+        )
+        if check.coarse_tainted:
+            self.stats.coarse_positives += 1
+        return check
+
+    # ------------------------------------------------------------- updates
+
+    def update_memory_tags(
+        self,
+        address: int,
+        tags: bytes,
+        defer_clear: bool = True,
+        clean_oracle: Optional[DomainCleanOracle] = None,
+    ) -> None:
+        """Synchronise the coarse state with a precise tag write.
+
+        This is the integration hook registered as a
+        :class:`repro.dift.engine.DIFTEngine` tag listener.  For each
+        domain the write overlaps: any non-zero tag sets the domain bit;
+        an all-zero slice triggers the clear path (deferred via clear
+        bits for S-LATCH, immediate via the Figure 12 logic when
+        ``defer_clear=False`` and a ``clean_oracle`` is supplied).
+        """
+        if not tags:
+            return
+        for domain_index in self.geometry.domains_in_range(address, len(tags)):
+            base, size = self.geometry.domain_range(domain_index)
+            lo = max(address, base)
+            hi = min(address + len(tags), base + size)
+            slice_tags = tags[lo - address : hi - address]
+            if any(slice_tags):
+                self.ctc.update_taint(lo, tainted=True)
+            else:
+                self.ctc.update_taint(
+                    lo,
+                    tainted=False,
+                    defer_clear=defer_clear,
+                    clean_oracle=clean_oracle,
+                )
+            if self.tlb_bits is not None:
+                self.tlb_bits.update(lo)
+
+    def reconcile_clears(self, clean_oracle: DomainCleanOracle) -> int:
+        """Resolve deferred clears (Section 5.1.4); returns domains cleared."""
+        cleared = self.ctc.reconcile_clears(clean_oracle)
+        if cleared and self.tlb_bits is not None:
+            # Page-level bits may now be stale; rebuild lazily.
+            self.tlb_bits.flush()
+        return cleared
+
+    def bulk_load_from_shadow(self, shadow) -> None:
+        """Initialise the coarse state from an existing precise state.
+
+        Used when LATCH is attached to an already-running monitored
+        process (tests and checkpoint restores).
+        """
+        scan_size = min(self.geometry.domain_size, self.geometry.page_size)
+        for base_address in shadow.iter_tainted_domains(scan_size):
+            self.ctt.set_domain(base_address)
+        self.ctc.flush()
+        if self.tlb_bits is not None:
+            self.tlb_bits.flush()
+
+    # ----------------------------------------------------------- TRF / ISA
+
+    def set_trf_mask(self, mask: int) -> None:
+        """``strf`` semantics: reload the TRF from a per-register mask."""
+        self.trf.load_register_mask(mask)
+
+    def reset_stats(self) -> None:
+        """Zero the module's counters (structures keep their contents)."""
+        self.stats = LatchStats()
+        self.ctc.stats.reset()
+        if self.tlb_bits is not None:
+            self.tlb_bits.stats.reset()
+
+
+def _page_domain_parts(
+    geometry: DomainGeometry, address: int, size: int
+) -> Iterable[int]:
+    """Representative addresses, one per page-level domain overlapped."""
+    span = geometry.word_span
+    first = address // span
+    last = (address + size - 1) // span
+    for index in range(first, last + 1):
+        yield max(address, index * span)

@@ -1,0 +1,96 @@
+"""TLB taint bits — page-level coarse filtering (Section 4.2).
+
+LATCH extends each TLB entry with a small number of page taint bits, one
+per *page-level taint domain* (one CTT word's span of memory; two 2 KiB
+domains per 4 KiB page at the default 64-byte domain size).  A clean
+page-level bit screens the access out *before* it reaches the CTC,
+exploiting the kilobyte-scale spatial locality observed in Tables 3/4.
+
+The bits live in TLB entry metadata; on a TLB miss they are (re)derived
+from the CTT, modelling the page-table walk that fetches them.  When
+taint is set or cleared while an entry is resident, the chained update
+logic of Figure 12 keeps the resident bits coherent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.ctt import CoarseTaintTable
+from repro.core.domains import DomainGeometry
+from repro.mem.cache import CacheStats
+from repro.mem.tlb import TLB
+
+
+class TlbTaintBits:
+    """Page-level taint filter backed by a TLB model.
+
+    Args:
+        geometry: shared domain geometry.
+        ctt: the coarse taint table the bits summarise.
+        tlb_entries: TLB capacity (128 in the paper's evaluation).
+    """
+
+    def __init__(
+        self,
+        geometry: DomainGeometry,
+        ctt: CoarseTaintTable,
+        tlb_entries: int = 128,
+    ) -> None:
+        self.geometry = geometry
+        self.ctt = ctt
+        self.tlb = TLB(
+            entries=tlb_entries,
+            page_size=geometry.page_size,
+            metadata_loader=self._load_bits,
+        )
+
+    def _load_bits(self, page_number: int) -> int:
+        return self.ctt.page_taint_bits(page_number)
+
+    @property
+    def stats(self) -> CacheStats:
+        """TLB hit/miss statistics."""
+        return self.tlb.stats
+
+    @property
+    def bits_per_page(self) -> int:
+        """Number of page-level taint bits per TLB entry."""
+        return self.geometry.page_domains
+
+    # ------------------------------------------------------------ checking
+
+    def check(self, address: int) -> bool:
+        """Page-level coarse check: may the page-domain contain taint?
+
+        Performs (and counts) a TLB access — in hardware the taint bits
+        ride along with the translation, so every memory access consults
+        them for free.  Returns True if the address's page-level domain
+        is possibly tainted (the access must proceed to the CTC).
+        """
+        entry = self.tlb.access(address)
+        bit = 1 << self.geometry.page_domain_index(address)
+        return bool(entry.metadata & bit)
+
+    # ------------------------------------------------------------ updates
+
+    def update(self, address: int) -> None:
+        """Recompute the resident page-taint bit covering ``address``.
+
+        Called after any CTT change (chained multi-granular update,
+        Figure 12); a non-resident page needs nothing — its bits are
+        rebuilt from the CTT on the next TLB fill.
+        """
+        entry = self.tlb.probe(address)
+        if entry is None:
+            return
+        bit = 1 << self.geometry.page_domain_index(address)
+        word = self.ctt.word(self.geometry.word_index(address))
+        if word:
+            entry.metadata |= bit
+        else:
+            entry.metadata &= ~bit
+
+    def flush(self) -> None:
+        """Invalidate all TLB entries (bits rebuilt on demand)."""
+        self.tlb.flush()

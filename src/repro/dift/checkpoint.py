@@ -1,0 +1,114 @@
+"""Checkpoint/restore of DIFT and LATCH state.
+
+Long-running monitored services need to snapshot their taint state —
+e.g. to migrate a monitored process, to attach a fresh LATCH module to
+an already-tracked address space (the paper's `bulk_load` scenario), or
+simply to persist expensive analysis sessions.
+
+The checkpoint captures the *semantic* state: shadow-memory tags, the
+taint register file, colour allocations, and alert history.  LATCH's
+coarse state is deliberately **not** serialised — it is derived state,
+rebuilt from the shadow memory on restore (which also guarantees the
+coarse ⊇ precise invariant holds by construction after a restore).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.dift.engine import DIFTEngine
+from repro.dift.events import AlertKind, SecurityAlert
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def engine_state(engine: DIFTEngine) -> dict:
+    """Capture an engine's taint state as a JSON-serialisable dict."""
+    extents = []
+    run_start: Optional[int] = None
+    run_tag: Optional[int] = None
+    previous: Optional[int] = None
+    for address in engine.shadow.iter_tainted_bytes():
+        tag = engine.shadow.get(address)
+        if run_start is None:
+            run_start, run_tag, previous = address, tag, address
+            continue
+        if address == previous + 1 and tag == run_tag:
+            previous = address
+            continue
+        extents.append([run_start, previous - run_start + 1, run_tag])
+        run_start, run_tag, previous = address, tag, address
+    if run_start is not None:
+        extents.append([run_start, previous - run_start + 1, run_tag])
+
+    return {
+        "format_version": _FORMAT_VERSION,
+        "shadow_extents": extents,
+        "trf": [list(engine.trf.get(r)) for r in range(16)],
+        "colors": {
+            name: engine.colors.tag_for(name)
+            for name in list(engine.colors._by_name)
+        },
+        "stats": {
+            "instructions": engine.stats.instructions,
+            "tainted_instructions": engine.stats.tainted_instructions,
+            "taint_source_bytes": engine.stats.taint_source_bytes,
+            "alert_count": engine.stats.alert_count,
+        },
+        "alerts": [
+            {
+                "kind": alert.kind.value,
+                "step_index": alert.step_index,
+                "pc": alert.pc,
+                "address": alert.address,
+                "detail": alert.detail,
+            }
+            for alert in engine.alerts
+        ],
+    }
+
+
+def restore_engine_state(engine: DIFTEngine, state: dict) -> None:
+    """Load a captured state into ``engine`` (replacing its state)."""
+    version = state.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint version {version!r}")
+    engine.shadow.clear_all()
+    for start, length, tag in state["shadow_extents"]:
+        engine.shadow.set_range(start, length, tag)
+        # Notify listeners so any attached LATCH rebuilds coarse bits.
+        engine._notify_tags(start, bytes([tag]) * length)
+    for register, tags in enumerate(state["trf"]):
+        engine.trf.set(register, bytes(tags))
+    for name in state.get("colors", {}):
+        engine.colors.tag_for(name)
+    stats = state["stats"]
+    engine.stats.instructions = stats["instructions"]
+    engine.stats.tainted_instructions = stats["tainted_instructions"]
+    engine.stats.taint_source_bytes = stats["taint_source_bytes"]
+    engine.stats.alert_count = stats["alert_count"]
+    engine.alerts.clear()
+    for alert in state["alerts"]:
+        engine.alerts.append(
+            SecurityAlert(
+                kind=AlertKind(alert["kind"]),
+                step_index=alert["step_index"],
+                pc=alert["pc"],
+                address=alert["address"],
+                detail=alert["detail"],
+            )
+        )
+
+
+def save_checkpoint(engine: DIFTEngine, path: PathLike) -> None:
+    """Write the engine's taint state to a JSON checkpoint file."""
+    Path(path).write_text(json.dumps(engine_state(engine)))
+
+
+def load_checkpoint(engine: DIFTEngine, path: PathLike) -> None:
+    """Restore the engine's taint state from a checkpoint file."""
+    restore_engine_state(engine, json.loads(Path(path).read_text()))

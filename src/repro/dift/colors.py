@@ -1,0 +1,79 @@
+"""Taint colours: per-source tag values for provenance attribution.
+
+The paper's initialisation scheme "assigns each byte read from such a
+source a taint tag indicating its origin".  With one tag byte per
+shadow byte, up to 255 distinct sources can be distinguished; a
+:class:`ColorAllocator` hands out tag values per source name, and
+:func:`colors_in_tags` / :meth:`ColorAllocator.names_for` map observed
+tags back to the inputs they came from — so a tainted-jump alert can
+say *which file or connection* supplied the bytes that reached the
+program counter.
+
+LATCH is agnostic to tag values (the coarse state is one bit per
+domain regardless), so colouring costs nothing at the coarse layer.
+
+Limitation (shared with any one-byte-tag scheme such as libdft's
+default): when two differently coloured bytes combine in an ALU
+operation, the byte-wise union keeps the numerically larger colour —
+provenance narrows to one of the contributing sources rather than the
+full set.  Taintedness itself is never lost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+#: Tag value used when the allocator runs out of distinct colours.
+OVERFLOW_COLOR = 0xFF
+
+
+class ColorAllocator:
+    """Stable source-name → tag-value assignment (1..254).
+
+    Tag 0 means untainted; :data:`OVERFLOW_COLOR` (255) pools any
+    sources beyond the 254 distinguishable ones.
+    """
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, int] = {}
+        self._by_tag: Dict[int, str] = {}
+        self._next = 1
+
+    def tag_for(self, source_name: str) -> int:
+        """The tag value for ``source_name`` (allocated on first use)."""
+        tag = self._by_name.get(source_name)
+        if tag is not None:
+            return tag
+        if self._next >= OVERFLOW_COLOR:
+            self._by_name[source_name] = OVERFLOW_COLOR
+            return OVERFLOW_COLOR
+        tag = self._next
+        self._next += 1
+        self._by_name[source_name] = tag
+        self._by_tag[tag] = source_name
+        return tag
+
+    def name_for(self, tag: int) -> str:
+        """The source name behind ``tag`` (or a placeholder)."""
+        if tag == 0:
+            return "<untainted>"
+        if tag == OVERFLOW_COLOR:
+            return "<multiple-sources>"
+        return self._by_tag.get(tag, f"<color-{tag}>")
+
+    def names_for(self, tags: Iterable[int]) -> List[str]:
+        """Distinct source names present in a tag sequence (sorted)."""
+        present: Set[str] = {
+            self.name_for(tag) for tag in tags if tag
+        }
+        return sorted(present)
+
+    @property
+    def allocated(self) -> int:
+        """Number of distinct colours handed out."""
+        return len(self._by_name)
+
+
+def colors_in_tags(tags: Iterable[int]) -> Set[int]:
+    """The distinct non-zero tag values in a tag sequence."""
+    return {tag for tag in tags if tag}

@@ -1,0 +1,49 @@
+"""Security alerts raised by DIFT validation checks."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class AlertKind(enum.Enum):
+    """The data-use violations the classical DTA policy detects."""
+
+    #: An indirect control transfer through a tainted target — the
+    #: canonical buffer-overflow / code-reuse (ROP/JOP) detection.
+    TAINTED_JUMP = "tainted-jump"
+    #: A tainted value used as a syscall argument the policy protects.
+    TAINTED_SYSCALL_ARG = "tainted-syscall-arg"
+    #: Tainted bytes leaving the process through a monitored sink
+    #: (data-leak detection).
+    TAINTED_OUTPUT = "tainted-output"
+    #: A tainted return address consumed by ``ret``/``jalr ra``.
+    TAINTED_RETURN = "tainted-return"
+
+
+@dataclass(frozen=True)
+class SecurityAlert:
+    """A policy violation detected by the DIFT engine.
+
+    Attributes:
+        kind: the violation class.
+        step_index: dynamic instruction index at which it fired.
+        pc: program counter of the offending instruction.
+        address: memory address involved, if any.
+        detail: human-readable description.
+    """
+
+    kind: AlertKind
+    step_index: int
+    pc: int
+    address: Optional[int] = None
+    detail: str = ""
+
+
+class SecurityException(Exception):
+    """Raised when the policy is configured to stop on violation."""
+
+    def __init__(self, alert: SecurityAlert):
+        super().__init__(f"{alert.kind.value} at pc={alert.pc:#x}: {alert.detail}")
+        self.alert = alert

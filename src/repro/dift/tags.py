@@ -1,0 +1,262 @@
+"""Taint tag storage: shadow memory and the taint register file.
+
+Shadow memory keeps one tag byte per program byte (0 = clean, non-zero =
+tainted; the tag value can carry a source colour).  Storage is sparse —
+pages of shadow tags are allocated only when a byte in the page is first
+tainted — so fully clean programs cost nothing, mirroring how libdft's
+tagmap behaves in practice.
+
+The taint register file (TRF) holds one tag per register byte (4 tags per
+32-bit register), matching the byte-level register taint the paper's TRF
+stores (Figure 7, component B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+_PAGE_SIZE = 4096
+_PAGE_SHIFT = 12
+_MASK32 = 0xFFFFFFFF
+
+
+class ShadowMemory:
+    """Sparse byte-granular taint tags for a 32-bit address space."""
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, bytearray] = {}
+        self._tainted_byte_count = 0
+
+    # ------------------------------------------------------------- queries
+
+    def get(self, address: int) -> int:
+        """Tag of the byte at ``address`` (0 if clean)."""
+        page = self._pages.get((address & _MASK32) >> _PAGE_SHIFT)
+        if page is None:
+            return 0
+        return page[address & (_PAGE_SIZE - 1)]
+
+    def get_range(self, address: int, length: int) -> bytes:
+        """Tags of ``length`` bytes starting at ``address``."""
+        return bytes(self.get((address + i) & _MASK32) for i in range(length))
+
+    def any_tainted(self, address: int, length: int) -> bool:
+        """True if any byte in [address, address+length) is tainted."""
+        for offset in range(length):
+            if self.get((address + offset) & _MASK32):
+                return True
+        return False
+
+    def all_tainted(self, address: int, length: int) -> bool:
+        """True if every byte in the range is tainted."""
+        for offset in range(length):
+            if not self.get((address + offset) & _MASK32):
+                return False
+        return True
+
+    @property
+    def tainted_byte_count(self) -> int:
+        """Number of currently tainted bytes."""
+        return self._tainted_byte_count
+
+    def tainted_pages(self) -> Set[int]:
+        """Page numbers containing at least one tainted byte."""
+        return {
+            number
+            for number, page in self._pages.items()
+            if any(page)
+        }
+
+    def iter_tainted_bytes(self) -> Iterator[int]:
+        """Yield the address of every tainted byte (ascending)."""
+        for number in sorted(self._pages):
+            page = self._pages[number]
+            base = number << _PAGE_SHIFT
+            for offset, tag in enumerate(page):
+                if tag:
+                    yield base + offset
+
+    def region_clean(self, address: int, length: int) -> bool:
+        """True if no byte in the region is tainted (alias for clarity)."""
+        return not self.any_tainted(address, length)
+
+    def iter_tainted_domains(self, domain_size: int) -> Iterator[int]:
+        """Yield the base address of every ``domain_size``-aligned region
+        containing at least one tainted byte (ascending; bulk scan)."""
+        if domain_size < 1 or _PAGE_SIZE % domain_size:
+            raise ValueError("domain_size must divide the page size")
+        for number in sorted(self._pages):
+            page = self._pages[number]
+            if not any(page):
+                continue
+            base = number << _PAGE_SHIFT
+            for offset in range(0, _PAGE_SIZE, domain_size):
+                if any(page[offset : offset + domain_size]):
+                    yield base + offset
+
+    # ------------------------------------------------------------ mutation
+
+    def set(self, address: int, tag: int) -> None:
+        """Set the tag of one byte; ``tag`` 0 clears."""
+        address &= _MASK32
+        number = address >> _PAGE_SHIFT
+        page = self._pages.get(number)
+        if page is None:
+            if tag == 0:
+                return
+            page = bytearray(_PAGE_SIZE)
+            self._pages[number] = page
+        offset = address & (_PAGE_SIZE - 1)
+        old = page[offset]
+        page[offset] = tag & 0xFF
+        if old == 0 and tag:
+            self._tainted_byte_count += 1
+        elif old and tag == 0:
+            self._tainted_byte_count -= 1
+
+    def set_range(self, address: int, length: int, tag: int) -> None:
+        """Set every byte in the range to ``tag`` (bulk, per-page)."""
+        if length <= 0:
+            return
+        tag &= 0xFF
+        address &= _MASK32
+        remaining = length
+        cursor = address
+        while remaining:
+            number = cursor >> _PAGE_SHIFT
+            offset = cursor & (_PAGE_SIZE - 1)
+            chunk = min(remaining, _PAGE_SIZE - offset)
+            page = self._pages.get(number)
+            if page is None:
+                if tag:
+                    page = bytearray(_PAGE_SIZE)
+                    self._pages[number] = page
+                    page[offset : offset + chunk] = bytes([tag]) * chunk
+                    self._tainted_byte_count += chunk
+            else:
+                old = page[offset : offset + chunk]
+                old_tainted = chunk - old.count(0)
+                page[offset : offset + chunk] = bytes([tag]) * chunk
+                new_tainted = chunk if tag else 0
+                self._tainted_byte_count += new_tainted - old_tainted
+            cursor = (cursor + chunk) & _MASK32
+            remaining -= chunk
+
+    def set_tags(self, address: int, tags: bytes) -> None:
+        """Copy a vector of tags starting at ``address``."""
+        for offset, tag in enumerate(tags):
+            self.set((address + offset) & _MASK32, tag)
+
+    def clear_range(self, address: int, length: int) -> None:
+        """Remove taint from the range."""
+        self.set_range(address, length, 0)
+
+    def clear_all(self) -> None:
+        """Remove all taint."""
+        self._pages.clear()
+        self._tainted_byte_count = 0
+
+
+class TaintRegisterFile:
+    """Byte-level taint for the 16 architectural registers.
+
+    Each register carries four tag bytes.  The aggregate per-register
+    bitmask view (:meth:`mask`, :meth:`load_mask`) supports the ``strf``
+    instruction, which reloads the hardware TRF from a register bitmask
+    after a software-DIFT epoch (Table 5 of the paper).
+    """
+
+    REGISTER_COUNT = 16
+    BYTES_PER_REGISTER = 4
+
+    def __init__(self) -> None:
+        self._tags: List[bytearray] = [
+            bytearray(self.BYTES_PER_REGISTER) for _ in range(self.REGISTER_COUNT)
+        ]
+
+    def get(self, register: int) -> bytes:
+        """The four tag bytes of ``register``."""
+        return bytes(self._tags[register])
+
+    def set(self, register: int, tags: bytes) -> None:
+        """Replace the tag bytes of ``register``."""
+        if register == 0:
+            return  # r0 is hard-wired zero and can never be tainted
+        padded = bytes(tags[: self.BYTES_PER_REGISTER]).ljust(
+            self.BYTES_PER_REGISTER, b"\x00"
+        )
+        self._tags[register][:] = padded
+
+    def taint(self, register: int, tag: int = 1) -> None:
+        """Taint every byte of ``register`` with ``tag``."""
+        self.set(register, bytes([tag]) * self.BYTES_PER_REGISTER)
+
+    def clear(self, register: int) -> None:
+        """Remove taint from ``register``."""
+        self._tags[register][:] = bytes(self.BYTES_PER_REGISTER)
+
+    def is_tainted(self, register: int) -> bool:
+        """True if any byte of ``register`` is tainted."""
+        return any(self._tags[register])
+
+    def any_tainted(self, registers) -> bool:
+        """True if any of ``registers`` carries taint."""
+        return any(self.is_tainted(register) for register in registers)
+
+    def union(self, *registers: int) -> bytes:
+        """Byte-wise union (max) of the tags of several registers."""
+        out = bytearray(self.BYTES_PER_REGISTER)
+        for register in registers:
+            for index, tag in enumerate(self._tags[register]):
+                out[index] = max(out[index], tag)
+        return bytes(out)
+
+    def mask(self) -> int:
+        """Pack the TRF into a bitmask: bit (4*reg + byte) = tainted."""
+        value = 0
+        for register in range(self.REGISTER_COUNT):
+            for byte_index in range(self.BYTES_PER_REGISTER):
+                if self._tags[register][byte_index]:
+                    value |= 1 << (register * self.BYTES_PER_REGISTER + byte_index)
+        return value
+
+    def load_mask(self, mask: int, tag: int = 1) -> None:
+        """Reload the TRF from a bitmask (the ``strf`` semantics)."""
+        for register in range(self.REGISTER_COUNT):
+            for byte_index in range(self.BYTES_PER_REGISTER):
+                bit = 1 << (register * self.BYTES_PER_REGISTER + byte_index)
+                self._tags[register][byte_index] = tag if (mask & bit) else 0
+        self._tags[0][:] = bytes(self.BYTES_PER_REGISTER)
+
+    def register_mask(self) -> int:
+        """Pack the TRF into a 16-bit mask: bit r = register r tainted.
+
+        This is the coarse view a 32-bit ``strf`` operand can carry; the
+        byte-precise :meth:`mask` needs 64 bits and is used internally.
+        """
+        value = 0
+        for register in range(self.REGISTER_COUNT):
+            if any(self._tags[register]):
+                value |= 1 << register
+        return value
+
+    def load_register_mask(self, mask: int, tag: int = 1) -> None:
+        """Reload the TRF from a per-register bitmask (``strf`` semantics)."""
+        for register in range(self.REGISTER_COUNT):
+            if mask & (1 << register):
+                self.set(register, bytes([tag]) * self.BYTES_PER_REGISTER)
+            else:
+                self.clear(register)
+
+    def clear_all(self) -> None:
+        """Remove taint from every register."""
+        for tags in self._tags:
+            tags[:] = bytes(self.BYTES_PER_REGISTER)
+
+    def tainted_registers(self) -> Tuple[int, ...]:
+        """Registers carrying any taint."""
+        return tuple(
+            register
+            for register in range(self.REGISTER_COUNT)
+            if any(self._tags[register])
+        )

@@ -1,0 +1,37 @@
+"""H-LATCH: LATCH-filtered hardware DIFT (Section 5.3).
+
+In hardware DIFT designs (FlexiTaint-style), the dominant complexity is
+the dedicated taint cache that checks the taint status of every memory
+operand.  H-LATCH screens accesses through the LATCH stack (TLB taint
+bits → CTC) so that only accesses to coarsely tainted domains reach the
+precise taint cache — which can then shrink from 4 KB to 128 B while
+*improving* its effective miss rate.
+
+Public surface:
+
+* :class:`~repro.hlatch.taint_cache.PreciseTaintCache` — the precise
+  taint cache model (both the tiny H-LATCH cache and the conventional
+  4 KB baseline).
+* :class:`~repro.hlatch.system.HLatchSystem` — the filtered stack.
+* :class:`~repro.hlatch.baseline.ConventionalTaintCache` — the
+  unfiltered baseline of Tables 6/7.
+* :func:`~repro.hlatch.system.run_hlatch` /
+  :func:`~repro.hlatch.baseline.run_baseline` — trace-driven runs.
+"""
+
+from repro.hlatch.taint_cache import PreciseTaintCache, TaintCacheConfig
+from repro.hlatch.baseline import ConventionalTaintCache, run_baseline
+from repro.hlatch.machine import ConventionalMonitor, HLatchMonitor
+from repro.hlatch.system import HLatchReport, HLatchSystem, run_hlatch
+
+__all__ = [
+    "ConventionalMonitor",
+    "ConventionalTaintCache",
+    "HLatchMonitor",
+    "HLatchReport",
+    "HLatchSystem",
+    "PreciseTaintCache",
+    "TaintCacheConfig",
+    "run_baseline",
+    "run_hlatch",
+]

@@ -1,0 +1,127 @@
+"""Functional H-LATCH: hardware DIFT with LATCH-filtered taint caching.
+
+In a hardware DIFT design, checking and propagation happen in logic at
+commit time — functionally identical to the software tracker, since
+both implement the same classical DTA rules (:mod:`repro.dift` is shared
+between them by construction).  What LATCH changes is *which structure
+services each taint-tag lookup*: the TLB taint bits and the CTC screen
+accesses so that the precise taint cache can shrink from 4 KB to 128 B.
+
+:class:`HLatchMonitor` attaches both pieces to a live CPU:
+
+* a byte-precise :class:`repro.dift.DIFTEngine` playing the role of the
+  commit-stage checking/propagation logic (so detection behaviour is
+  exactly hardware DIFT's), and
+* the :class:`repro.hlatch.system.HLatchSystem` caching stack, fed each
+  memory operand for the Tables 6/7-style accounting, with every tag
+  write chained up the Figure 12 update path.
+
+A conventional monitor (:class:`ConventionalMonitor`) does the same with
+an unfiltered 4 KB taint cache, so a single program run yields the
+filtered-vs-baseline comparison on *real* executions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.latch import LatchConfig
+from repro.dift.engine import DIFTEngine
+from repro.dift.policy import TaintPolicy
+from repro.hlatch.baseline import ConventionalTaintCache
+from repro.hlatch.system import HLATCH_LATCH_CONFIG, HLatchReport, HLatchSystem
+from repro.hlatch.taint_cache import (
+    CONVENTIONAL_TAINT_CACHE,
+    HLATCH_TAINT_CACHE,
+    TaintCacheConfig,
+)
+from repro.machine.cpu import CPU
+from repro.machine.events import InputEvent, Observer, OutputEvent, StepEvent
+
+
+class HLatchMonitor(Observer):
+    """Hardware-DIFT monitor with the LATCH-filtered caching stack."""
+
+    def __init__(
+        self,
+        cpu: CPU,
+        policy: Optional[TaintPolicy] = None,
+        latch_config: LatchConfig = HLATCH_LATCH_CONFIG,
+        tcache_config: TaintCacheConfig = HLATCH_TAINT_CACHE,
+    ) -> None:
+        self.engine = DIFTEngine(policy)
+        self.stack = HLatchSystem(latch_config, tcache_config)
+        self.engine.add_tag_listener(self._on_tag_write)
+        cpu.attach(self)
+
+    # ------------------------------------------------------------ observer
+
+    def on_input(self, event: InputEvent) -> None:
+        self.engine.on_input(event)
+
+    def on_output(self, event: OutputEvent) -> None:
+        self.engine.on_output(event)
+
+    def on_step(self, event: StepEvent) -> None:
+        # The caching stack sees each operand as the commit logic fetches
+        # its taint tags (pre-propagation, like real tag reads)...
+        for access in event.memory_accesses:
+            self.stack.access(access.address, access.size, access.is_write)
+        # ...then checking + propagation happen exactly as in DIFT.
+        self.engine.on_step(event)
+
+    # ------------------------------------------------------------- wiring
+
+    def _on_tag_write(self, address: int, tags: bytes) -> None:
+        # Figure 12: the precise tag write chains into the CTT, the CTC,
+        # and the page-level bits; clears are immediate (masked AND).
+        self.stack.write_tags(address, tags)
+
+    # ------------------------------------------------------------- output
+
+    @property
+    def alerts(self) -> List:
+        """Security alerts raised by the hardware checking logic."""
+        return self.engine.alerts
+
+    def report(self, name: str = "run") -> HLatchReport:
+        """Cache-performance accounting of the monitored execution."""
+        return self.stack.report(name)
+
+
+class ConventionalMonitor(Observer):
+    """Hardware DIFT with the unfiltered 4 KB taint cache (baseline)."""
+
+    def __init__(
+        self,
+        cpu: CPU,
+        policy: Optional[TaintPolicy] = None,
+        tcache_config: TaintCacheConfig = CONVENTIONAL_TAINT_CACHE,
+    ) -> None:
+        self.engine = DIFTEngine(policy)
+        self.tcache = ConventionalTaintCache(tcache_config)
+        cpu.attach(self)
+
+    def on_input(self, event: InputEvent) -> None:
+        self.engine.on_input(event)
+
+    def on_output(self, event: OutputEvent) -> None:
+        self.engine.on_output(event)
+
+    def on_step(self, event: StepEvent) -> None:
+        for access in event.memory_accesses:
+            self.tcache.access(access.address, access.size, access.is_write)
+        self.engine.on_step(event)
+
+    @property
+    def alerts(self) -> List:
+        """Security alerts raised by the checking logic."""
+        return self.engine.alerts
+
+    @property
+    def miss_percent(self) -> float:
+        """Taint-cache miss rate over the monitored run."""
+        stats = self.tcache.stats
+        if stats.accesses == 0:
+            return 0.0
+        return stats.misses / stats.accesses * 100.0

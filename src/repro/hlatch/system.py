@@ -1,0 +1,166 @@
+"""The H-LATCH filtered taint-caching stack (Section 5.3, Tables 6/7).
+
+Every memory operand passes through:
+
+1. the TLB taint bits (free — they ride with the translation);
+2. on a hot page-level domain, the CTC;
+3. on a coarsely tainted domain, the tiny precise taint cache.
+
+The update path follows Figure 12: precise tag writes chain upward,
+setting coarse bits when taint appears and clearing them *immediately*
+(no deferred clear bits) when the last tag in a domain goes away —
+H-LATCH's hardware can compute the masked AND of the remaining tags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.latch import CheckLevel, LatchConfig, LatchModule
+from repro.dift.tags import ShadowMemory
+from repro.hlatch.taint_cache import (
+    HLATCH_TAINT_CACHE,
+    PreciseTaintCache,
+    TaintCacheConfig,
+)
+from repro.workloads.trace import AccessTrace
+
+#: H-LATCH structural configuration from Section 6.4: a fully
+#: associative CTC of 16 one-word lines (64 B), 128-entry TLB with taint
+#: bits, and 64-byte domains.
+HLATCH_LATCH_CONFIG = LatchConfig(
+    domain_size=64,
+    ctc_entries=16,
+    tlb_entries=128,
+    use_tlb_bits=True,
+)
+
+
+@dataclass
+class HLatchReport:
+    """One benchmark's row of Tables 6/7 plus the Figure 16 split."""
+
+    name: str
+    accesses: int
+    ctc_misses: int
+    tcache_accesses: int
+    tcache_misses: int
+    resolved_by_tlb: int
+    resolved_by_ctc: int
+    sent_to_precise: int
+
+    @property
+    def ctc_miss_percent(self) -> float:
+        """CTC misses as a percentage of all memory accesses."""
+        return self._pct(self.ctc_misses)
+
+    @property
+    def tcache_miss_percent(self) -> float:
+        """Precise taint-cache misses as a percentage of all accesses."""
+        return self._pct(self.tcache_misses)
+
+    @property
+    def combined_miss_percent(self) -> float:
+        """CTC + precise misses as a percentage of all accesses."""
+        return self._pct(self.ctc_misses + self.tcache_misses)
+
+    def _pct(self, value: int) -> float:
+        return value / self.accesses * 100.0 if self.accesses else 0.0
+
+    def resolution_split(self) -> Dict[str, float]:
+        """Figure 16: fraction of accesses handled per stack level."""
+        if self.accesses == 0:
+            return {"tlb": 0.0, "ctc": 0.0, "precise": 0.0}
+        return {
+            "tlb": self.resolved_by_tlb / self.accesses,
+            "ctc": self.resolved_by_ctc / self.accesses,
+            "precise": self.sent_to_precise / self.accesses,
+        }
+
+    def misses_avoided_percent(self, baseline_misses: int) -> float:
+        """Percentage of the baseline's misses H-LATCH eliminates."""
+        if baseline_misses == 0:
+            return 0.0
+        avoided = baseline_misses - (self.ctc_misses + self.tcache_misses)
+        return avoided / baseline_misses * 100.0
+
+
+class HLatchSystem:
+    """LATCH-filtered hardware taint checking.
+
+    Args:
+        latch_config: structural parameters of the LATCH module.
+        tcache_config: geometry of the precise taint cache.
+    """
+
+    def __init__(
+        self,
+        latch_config: LatchConfig = HLATCH_LATCH_CONFIG,
+        tcache_config: TaintCacheConfig = HLATCH_TAINT_CACHE,
+    ) -> None:
+        self.latch = LatchModule(latch_config)
+        self.tcache = PreciseTaintCache(tcache_config)
+        self.shadow = ShadowMemory()
+
+    # ------------------------------------------------------------- set-up
+
+    def load_taint(self, layout) -> None:
+        """Install a workload's taint layout into precise + coarse state."""
+        for start, length in layout.extents:
+            self.shadow.set_range(start, length, 1)
+        self.latch.bulk_load_from_shadow(self.shadow)
+
+    # ------------------------------------------------------------- checks
+
+    def access(self, address: int, size: int = 1, write: bool = False) -> CheckLevel:
+        """Check one memory operand through the full stack.
+
+        Returns the level that resolved the access.
+        """
+        result = self.latch.check_memory(address, size)
+        if result.coarse_tainted:
+            self.tcache.access(address, size=size, write=write)
+        return result.level
+
+    # ------------------------------------------------------------- updates
+
+    def write_tags(self, address: int, tags: bytes) -> None:
+        """Propagate a precise tag write up the stack (Figure 12)."""
+        self.shadow.set_tags(address, tags)
+        self.latch.update_memory_tags(
+            address,
+            tags,
+            defer_clear=False,
+            clean_oracle=self.shadow.region_clean,
+        )
+
+    def report(self, name: str) -> HLatchReport:
+        """Snapshot the counters into a benchmark report."""
+        stats = self.latch.stats
+        return HLatchReport(
+            name=name,
+            accesses=stats.memory_checks,
+            ctc_misses=self.latch.ctc.stats.misses,
+            tcache_accesses=self.tcache.stats.accesses,
+            tcache_misses=self.tcache.stats.misses,
+            resolved_by_tlb=stats.resolved_by_tlb,
+            resolved_by_ctc=stats.resolved_by_ctc,
+            sent_to_precise=stats.sent_to_precise,
+        )
+
+
+def run_hlatch(
+    trace: AccessTrace,
+    latch_config: LatchConfig = HLATCH_LATCH_CONFIG,
+    tcache_config: TaintCacheConfig = HLATCH_TAINT_CACHE,
+) -> HLatchReport:
+    """Replay an access trace through the H-LATCH stack."""
+    system = HLatchSystem(latch_config, tcache_config)
+    system.load_taint(trace.layout)
+    addresses = trace.addresses
+    sizes = trace.sizes
+    writes = trace.is_write
+    for index in range(len(addresses)):
+        system.access(int(addresses[index]), int(sizes[index]), bool(writes[index]))
+    return system.report(trace.name)

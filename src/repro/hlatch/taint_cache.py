@@ -1,0 +1,101 @@
+"""Precise taint-cache model.
+
+Hardware DIFT proposals such as FlexiTaint keep per-word taint tags in a
+designated memory region, accessed through a dedicated taint cache.  The
+model below follows that organisation:
+
+* one one-byte taint tag per 32-bit word of program memory;
+* a cache line of ``line_tag_bytes`` tags therefore covers
+  ``4 * line_tag_bytes`` bytes of program memory;
+* H-LATCH configuration (Section 6.4): 32-bit blocks (4 tags → 16 B of
+  memory per line), 4 ways, 128 B total capacity;
+* conventional baseline: the same geometry scaled to 4 KB capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.cache import CacheStats, SetAssociativeCache
+
+#: Bytes of program memory summarised by one taint tag (word granularity).
+BYTES_PER_TAG = 4
+
+
+@dataclass(frozen=True)
+class TaintCacheConfig:
+    """Geometry of a precise taint cache.
+
+    Attributes:
+        capacity_bytes: total tag storage.
+        ways: associativity.
+        line_tag_bytes: tag bytes per line (the paper's 32-bit blocks
+            mean 4).
+    """
+
+    capacity_bytes: int = 128
+    ways: int = 4
+    line_tag_bytes: int = 4
+
+    @property
+    def lines(self) -> int:
+        """Total lines."""
+        return self.capacity_bytes // self.line_tag_bytes
+
+    @property
+    def sets(self) -> int:
+        """Number of sets."""
+        return max(1, self.lines // self.ways)
+
+    @property
+    def memory_coverage_per_line(self) -> int:
+        """Bytes of program memory mapped by one line."""
+        return self.line_tag_bytes * BYTES_PER_TAG
+
+    @property
+    def memory_coverage(self) -> int:
+        """Bytes of program memory covered by the whole cache when full."""
+        return self.lines * self.memory_coverage_per_line
+
+
+#: The tiny precise cache H-LATCH uses (Section 6.4).
+HLATCH_TAINT_CACHE = TaintCacheConfig(capacity_bytes=128, ways=4, line_tag_bytes=4)
+
+#: The conventional 4 KB taint cache of [54] used as the baseline.
+CONVENTIONAL_TAINT_CACHE = TaintCacheConfig(
+    capacity_bytes=4096, ways=4, line_tag_bytes=4
+)
+
+
+class PreciseTaintCache:
+    """Trace-driven precise taint cache."""
+
+    def __init__(self, config: TaintCacheConfig = HLATCH_TAINT_CACHE) -> None:
+        self.config = config
+        self._cache = SetAssociativeCache(
+            num_sets=config.sets,
+            ways=config.ways,
+            line_size=config.memory_coverage_per_line,
+            policy="lru",
+        )
+
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss statistics."""
+        return self._cache.stats
+
+    def access(self, address: int, size: int = 1, write: bool = False) -> bool:
+        """Look up the taint tags for a memory operand.
+
+        Returns True when every line the operand's tags live in was
+        already resident (a fully hitting access).
+        """
+        hit = self._cache.access(address, write=write)
+        end = address + max(size, 1) - 1
+        if self._cache.line_base(end) != self._cache.line_base(address):
+            hit = self._cache.access(end, write=write) and hit
+        return hit
+
+    def flush(self) -> None:
+        """Invalidate all lines."""
+        self._cache.flush()

@@ -1,0 +1,179 @@
+"""Structural area model: logic elements and memory bits for LATCH.
+
+Costs are derived from standard FPGA structure estimates:
+
+* a fully associative cache of N entries needs N tag comparators
+  (≈ tag_bits LEs each, one 4-input LUT per compared bit plus reduce),
+  an LRU matrix (≈ N²/2 bits of state, N LEs of update logic), and its
+  storage in memory bits;
+* the TRF is a 16 × 4-bit register file: 64 memory bits plus read/write
+  ports (≈ 1 LE per bit of port width);
+* the extraction logic taps the commit bus: mux + latch per operand
+  field (≈ 40 LEs);
+* the multi-granular update chain of Figure 12 is a masked AND-reduce
+  over one CTT word plus a decoder (≈ DOMAINS_PER_WORD + 12 LEs).
+
+The AO486 budget comes from the project's published DE2-115 synthesis
+(≈ 30 k logic elements, ≈ 300 kbit block RAM with caches and TLB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.domains import DOMAINS_PER_WORD
+from repro.core.latch import LatchConfig
+
+
+@dataclass(frozen=True)
+class CoreBudget:
+    """Resource budget of the host core."""
+
+    name: str
+    logic_elements: int
+    memory_bits: int
+
+
+#: AO486 on a DE2-115.  Logic elements from the project's synthesis
+#: summary; memory bits count the core's register arrays and small
+#: buffers (the large, configurable cache arrays are excluded, as the
+#: paper's percentage is relative to the base core resources).
+AO486_BUDGET = CoreBudget(
+    name="ao486",
+    logic_elements=30_000,
+    memory_bits=40_000,
+)
+
+
+@dataclass
+class ComplexityReport:
+    """LATCH resource usage against a core budget."""
+
+    config_name: str
+    latch_logic_elements: int
+    latch_memory_bits: int
+    budget: CoreBudget
+    affects_cycle_time: bool = False
+
+    @property
+    def logic_percent(self) -> float:
+        """LATCH logic elements as % of the core."""
+        return self.latch_logic_elements / self.budget.logic_elements * 100.0
+
+    @property
+    def memory_percent(self) -> float:
+        """LATCH memory bits as % of the core."""
+        return self.latch_memory_bits / self.budget.memory_bits * 100.0
+
+
+class LatchAreaModel:
+    """Structural logic/memory accounting for one LATCH configuration."""
+
+    #: Physical address bits (the AO486 is a 32-bit machine).
+    ADDRESS_BITS = 32
+    #: Logic elements per tag comparator bit (XOR compare, AND reduce,
+    #: and the hit priority-encode share).
+    LE_PER_TAG_BIT = 2.0
+    #: Logic elements for the operand extraction tap.
+    EXTRACTION_LE = 40
+    #: Logic elements for the Figure 12 update chain per CTT word.
+    UPDATE_CHAIN_LE = DOMAINS_PER_WORD + 12
+    #: Logic elements per TRF port bit.
+    LE_PER_TRF_PORT_BIT = 1.0
+
+    def __init__(self, config: LatchConfig) -> None:
+        self.config = config
+        self.geometry = config.geometry()
+
+    # ------------------------------------------------------------ pieces
+
+    def ctc_tag_bits(self) -> int:
+        """Tag width of one CTC entry."""
+        offset_bits = (self.geometry.word_span - 1).bit_length()
+        return self.ADDRESS_BITS - offset_bits
+
+    def ctc_logic_elements(self) -> int:
+        """Comparators + LRU + fill logic for the CTC."""
+        entries = self.config.ctc_entries
+        comparators = int(entries * self.ctc_tag_bits() * self.LE_PER_TAG_BIT)
+        lru = entries * 4  # pseudo-LRU update network
+        fill = 120  # miss path: CTT address generation + fill FSM (Fig. 8)
+        return comparators + lru + fill
+
+    def ctc_memory_bits(self) -> int:
+        """CTC storage: data word + clear bits + tag + valid per entry."""
+        entries = self.config.ctc_entries
+        per_entry = (
+            DOMAINS_PER_WORD  # taint word
+            + DOMAINS_PER_WORD  # taint clear bits (Section 5.1.4)
+            + self.ctc_tag_bits()
+            + 1  # valid
+        )
+        return entries * per_entry
+
+    def trf_logic_elements(self) -> int:
+        """TRF read/write port logic."""
+        # Two read ports (rs1, rs2) and one write port, 4 bits wide each.
+        return int(3 * 4 * self.LE_PER_TRF_PORT_BIT) + 16
+
+    def trf_memory_bits(self) -> int:
+        """TRF storage: 16 registers × 4 byte-taint bits."""
+        return 16 * 4
+
+    def tlb_taint_memory_bits(self) -> int:
+        """Added taint bits across the TLB."""
+        if not self.config.use_tlb_bits:
+            return 0
+        return self.config.tlb_entries * self.geometry.page_domains
+
+    def tlb_taint_logic_elements(self) -> int:
+        """Mux/select for the page-level screen."""
+        if not self.config.use_tlb_bits:
+            return 0
+        return 12 + self.geometry.page_domains
+
+    def update_chain_logic_elements(self) -> int:
+        """The masked AND-reduce of Figure 12 (chained to page level)."""
+        levels = 2 if self.config.use_tlb_bits else 1
+        return self.UPDATE_CHAIN_LE * levels
+
+    # ------------------------------------------------------------- totals
+
+    def logic_elements(self) -> int:
+        """Total LATCH logic elements."""
+        return (
+            self.EXTRACTION_LE
+            + self.ctc_logic_elements()
+            + self.trf_logic_elements()
+            + self.tlb_taint_logic_elements()
+            + self.update_chain_logic_elements()
+        )
+
+    def memory_bits(self) -> int:
+        """Total LATCH memory bits."""
+        return (
+            self.ctc_memory_bits()
+            + self.trf_memory_bits()
+            + self.tlb_taint_memory_bits()
+        )
+
+
+def estimate_latch_complexity(
+    config: LatchConfig,
+    budget: CoreBudget = AO486_BUDGET,
+    name: str = "latch",
+) -> ComplexityReport:
+    """Build the Section 6.4 complexity report for one configuration.
+
+    LATCH operates on committed instructions off the critical path, so
+    ``affects_cycle_time`` is always False (matching the paper's
+    synthesis result that LATCH fits the core's optimised frequency).
+    """
+    model = LatchAreaModel(config)
+    return ComplexityReport(
+        config_name=name,
+        latch_logic_elements=model.logic_elements(),
+        latch_memory_bits=model.memory_bits(),
+        budget=budget,
+        affects_cycle_time=False,
+    )

@@ -1,0 +1,46 @@
+"""Toy 32-bit RISC-style instruction set used as the execution substrate.
+
+The LATCH paper runs its analysis on x86 binaries under Intel Pin.  This
+reproduction replaces that substrate with a small, fully specified RISC-like
+ISA so that every layer — fetch/decode/execute, memory accesses, taint
+sources — is observable from Python.  The ISA includes the three dedicated
+S-LATCH instructions from Table 5 of the paper (``strf``, ``stnt``, ``ltnt``).
+
+Public surface:
+
+* :class:`~repro.isa.instructions.Instruction` — a decoded instruction.
+* :class:`~repro.isa.instructions.Opcode` — the opcode enumeration.
+* :func:`~repro.isa.assembler.assemble` — two-pass assembler.
+* :func:`~repro.isa.disassembler.disassemble` — inverse of the assembler.
+* :func:`~repro.isa.encoding.encode` / :func:`~repro.isa.encoding.decode`
+  — 32-bit binary encoding round trip.
+* :class:`~repro.isa.program.Program` — an assembled image (text + data).
+"""
+
+from repro.isa.instructions import (
+    Format,
+    Instruction,
+    Opcode,
+    REGISTER_COUNT,
+    REGISTER_NAMES,
+    register_number,
+)
+from repro.isa.encoding import decode, encode
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.disassembler import disassemble
+from repro.isa.program import Program
+
+__all__ = [
+    "AssemblyError",
+    "Format",
+    "Instruction",
+    "Opcode",
+    "Program",
+    "REGISTER_COUNT",
+    "REGISTER_NAMES",
+    "assemble",
+    "decode",
+    "disassemble",
+    "encode",
+    "register_number",
+]

@@ -1,0 +1,87 @@
+"""Disassembler for the toy ISA.
+
+Produces text in the same syntax the assembler accepts, so that
+``assemble(disassemble(program))`` round-trips (modulo labels, which are
+flattened to numeric offsets).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.isa.instructions import (
+    Format,
+    Instruction,
+    LOAD_SIZES,
+    Opcode,
+    REGISTER_NAMES,
+    STORE_SIZES,
+)
+
+
+def _reg(number: Optional[int]) -> str:
+    if number is None:
+        return "?"
+    return REGISTER_NAMES[number]
+
+
+def format_instruction(instruction: Instruction) -> str:
+    """Render one instruction as assembler text."""
+    opcode = instruction.opcode
+    name = opcode.name.lower()
+    fmt = instruction.format
+
+    if opcode == Opcode.NOP or opcode == Opcode.HALT or opcode == Opcode.SYSCALL:
+        return name
+    if opcode == Opcode.STRF:
+        return f"{name} {_reg(instruction.rs1)}"
+    if opcode == Opcode.LTNT:
+        return f"{name} {_reg(instruction.rd)}"
+    if opcode == Opcode.STNT:
+        return f"{name} {_reg(instruction.rs1)}, {_reg(instruction.rs2)}"
+    if opcode in LOAD_SIZES or opcode == Opcode.JALR:
+        return (
+            f"{name} {_reg(instruction.rd)}, "
+            f"{instruction.imm}({_reg(instruction.rs1)})"
+        )
+    if opcode in STORE_SIZES:
+        return (
+            f"{name} {_reg(instruction.rs2)}, "
+            f"{instruction.imm}({_reg(instruction.rs1)})"
+        )
+    if fmt == Format.R:
+        return (
+            f"{name} {_reg(instruction.rd)}, "
+            f"{_reg(instruction.rs1)}, {_reg(instruction.rs2)}"
+        )
+    if fmt == Format.I:
+        return (
+            f"{name} {_reg(instruction.rd)}, "
+            f"{_reg(instruction.rs1)}, {instruction.imm}"
+        )
+    if fmt == Format.B:
+        target = instruction.label or str(instruction.imm)
+        return (
+            f"{name} {_reg(instruction.rs1)}, {_reg(instruction.rs2)}, {target}"
+        )
+    if fmt == Format.J:
+        target = instruction.label or str(instruction.imm)
+        return f"{name} {_reg(instruction.rd)}, {target}"
+    if fmt == Format.U:
+        return f"{name} {_reg(instruction.rd)}, {instruction.imm}"
+    return name  # pragma: no cover - formats are exhaustive
+
+
+def disassemble(
+    instructions: Iterable[Instruction], base_address: int = 0
+) -> str:
+    """Render a sequence of instructions, one per line, with addresses.
+
+    ``base_address`` is the address of the first instruction and only
+    affects the address column in the output.
+    """
+    lines: List[str] = []
+    for index, instruction in enumerate(instructions):
+        address = base_address + 4 * index
+        lines.append(f"{address:#010x}:  {format_instruction(instruction)}")
+    return "\n".join(lines)

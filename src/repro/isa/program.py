@@ -1,0 +1,61 @@
+"""Assembled program image: text, data, symbols, entry point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.instructions import Instruction
+
+
+@dataclass
+class Program:
+    """An assembled/linked program, ready to be loaded into a machine.
+
+    Attributes:
+        instructions: decoded text section, one entry per 32-bit slot.
+        text_base: virtual address of ``instructions[0]``.
+        data: initialised data section bytes.
+        data_base: virtual address of ``data[0]``.
+        symbols: label name → absolute virtual address.
+        entry_point: initial program counter.
+    """
+
+    instructions: List[Instruction]
+    text_base: int
+    data: bytes = b""
+    data_base: int = 0
+    symbols: Dict[str, int] = field(default_factory=dict)
+    entry_point: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.entry_point is None:
+            self.entry_point = self.text_base
+
+    @property
+    def text_size(self) -> int:
+        """Size of the text section in bytes."""
+        return 4 * len(self.instructions)
+
+    @property
+    def text_end(self) -> int:
+        """First address past the text section."""
+        return self.text_base + self.text_size
+
+    def instruction_at(self, address: int) -> Instruction:
+        """Return the instruction located at virtual ``address``.
+
+        Raises :class:`IndexError` if the address is outside the text
+        section or not 4-byte aligned.
+        """
+        offset = address - self.text_base
+        if offset < 0 or offset % 4:
+            raise IndexError(f"bad instruction address {address:#x}")
+        index = offset // 4
+        if index >= len(self.instructions):
+            raise IndexError(f"instruction address {address:#x} past text end")
+        return self.instructions[index]
+
+    def address_of(self, label: str) -> int:
+        """Return the address of ``label``; raises :class:`KeyError`."""
+        return self.symbols[label]

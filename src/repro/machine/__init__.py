@@ -1,0 +1,43 @@
+"""CPU emulator and OS-surface substrate for the toy ISA.
+
+This package plays the role that a real x86 machine plus Debian played in
+the paper's experimental framework: it executes programs, exposes the
+dynamic instruction stream to observers (the way Intel Pin exposes it to a
+Pintool), and provides the syscall surface — virtual files and sockets —
+through which taint enters the system.
+
+Public surface:
+
+* :class:`~repro.machine.cpu.CPU` — fetch/decode/execute machine.
+* :class:`~repro.machine.memory.PagedMemory` — demand-paged memory.
+* :class:`~repro.machine.devices.VirtualFile` /
+  :class:`~repro.machine.devices.VirtualSocket` — taint sources/sinks.
+* :class:`~repro.machine.events.StepEvent` /
+  :class:`~repro.machine.events.MemoryAccess` /
+  :class:`~repro.machine.events.InputEvent` — the observer protocol.
+* :mod:`~repro.machine.syscalls` — syscall numbers and semantics.
+"""
+
+from repro.machine.memory import PAGE_SIZE, MemoryFault, PagedMemory
+from repro.machine.events import InputEvent, MemoryAccess, OutputEvent, StepEvent
+from repro.machine.devices import DeviceTable, VirtualFile, VirtualSocket
+from repro.machine.syscalls import Syscall
+from repro.machine.cpu import CPU, ExecutionError
+from repro.machine.tracing import TraceRecorder
+
+__all__ = [
+    "CPU",
+    "DeviceTable",
+    "ExecutionError",
+    "InputEvent",
+    "MemoryAccess",
+    "MemoryFault",
+    "OutputEvent",
+    "PAGE_SIZE",
+    "PagedMemory",
+    "StepEvent",
+    "Syscall",
+    "TraceRecorder",
+    "VirtualFile",
+    "VirtualSocket",
+]

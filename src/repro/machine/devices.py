@@ -1,0 +1,147 @@
+"""Virtual files and sockets — the taint sources and sinks.
+
+The paper introduces taint through ``socket``/``accept`` system calls for
+network applications and through file reads for the SPEC benchmarks.  This
+module provides the corresponding virtual devices:
+
+* :class:`VirtualFile` — a named in-memory file; reads advance a cursor.
+* :class:`VirtualSocket` — a message-oriented connection; each ``recv``
+  consumes one queued message (one "request").  Per-connection trust mirrors
+  the paper's apache-25/50/75 policies, where a random subset of accepted
+  connections is marked trusted and their data left untainted.
+* :class:`DeviceTable` — the per-process descriptor table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class VirtualFile:
+    """An in-memory file with a read cursor.
+
+    ``tainted`` marks the file as an untrusted input source: a DIFT policy
+    that taints file input will taint bytes read from it.
+    """
+
+    name: str
+    data: bytes = b""
+    tainted: bool = True
+    cursor: int = 0
+    written: bytearray = field(default_factory=bytearray)
+
+    def read(self, length: int) -> bytes:
+        """Consume up to ``length`` bytes from the cursor."""
+        chunk = self.data[self.cursor : self.cursor + length]
+        self.cursor += len(chunk)
+        return chunk
+
+    def write(self, payload: bytes) -> int:
+        """Append ``payload`` to the file's write log."""
+        self.written += payload
+        return len(payload)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every byte has been read."""
+        return self.cursor >= len(self.data)
+
+
+@dataclass
+class VirtualSocket:
+    """A connected socket delivering queued inbound messages.
+
+    Attributes:
+        peer: display name of the remote endpoint.
+        inbound: messages awaiting ``recv``; each ``recv`` drains from the
+            head message only (it never merges messages).
+        trusted: if True, data from this connection is NOT a taint source —
+            this models the paper's trusted-client apache policies.
+    """
+
+    peer: str
+    inbound: List[bytes] = field(default_factory=list)
+    trusted: bool = False
+    sent: List[bytes] = field(default_factory=list)
+    _partial: bytes = b""
+
+    def recv(self, length: int) -> bytes:
+        """Consume up to ``length`` bytes of the current message."""
+        if not self._partial and self.inbound:
+            self._partial = self.inbound.pop(0)
+        chunk = self._partial[:length]
+        self._partial = self._partial[len(chunk):]
+        return chunk
+
+    def send(self, payload: bytes) -> int:
+        """Record outbound bytes."""
+        self.sent.append(payload)
+        return len(payload)
+
+    @property
+    def has_data(self) -> bool:
+        """True if any inbound bytes remain."""
+        return bool(self._partial or self.inbound)
+
+
+@dataclass
+class ListeningSocket:
+    """A passive socket with a queue of pending connections."""
+
+    name: str
+    pending: List[VirtualSocket] = field(default_factory=list)
+
+    def accept(self) -> Optional[VirtualSocket]:
+        """Pop the next pending connection, or None if the backlog is empty."""
+        if self.pending:
+            return self.pending.pop(0)
+        return None
+
+
+class DeviceTable:
+    """Per-process descriptor table mapping fds to virtual devices.
+
+    Descriptor 0 is reserved for the console sink.  ``open_file`` looks up
+    registered files by name, mirroring a minimal filesystem namespace.
+    """
+
+    CONSOLE_FD = 0
+
+    def __init__(self) -> None:
+        self._devices: Dict[int, object] = {}
+        self._files: Dict[str, VirtualFile] = {}
+        self._next_fd = 1
+
+    # ----------------------------------------------------------- namespace
+
+    def register_file(self, file: VirtualFile) -> None:
+        """Add ``file`` to the filesystem namespace (not yet opened)."""
+        self._files[file.name] = file
+
+    def lookup_file(self, name: str) -> Optional[VirtualFile]:
+        """Find a registered file by name."""
+        return self._files.get(name)
+
+    # ---------------------------------------------------------- descriptors
+
+    def allocate(self, device: object) -> int:
+        """Install ``device`` and return its new descriptor."""
+        fd = self._next_fd
+        self._next_fd += 1
+        self._devices[fd] = device
+        return fd
+
+    def get(self, fd: int) -> Optional[object]:
+        """Device for ``fd``, or None."""
+        return self._devices.get(fd)
+
+    def close(self, fd: int) -> bool:
+        """Remove ``fd``; returns False if it was not open."""
+        return self._devices.pop(fd, None) is not None
+
+    def open_file(self, name: str) -> int:
+        """Open a registered file by name; raises KeyError if unknown."""
+        file = self._files[name]
+        return self.allocate(file)

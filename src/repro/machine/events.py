@@ -1,0 +1,108 @@
+"""Observer-protocol event types emitted by the CPU.
+
+These events are the reproduction's equivalent of the instrumentation
+callbacks a Pintool receives from Intel Pin: one :class:`StepEvent` per
+committed instruction, carrying the registers and memory ranges it read
+and wrote, plus :class:`InputEvent`/:class:`OutputEvent` for syscall I/O
+(the points where taint enters and leaves the system).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.isa.instructions import Instruction
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One contiguous data-memory access performed by an instruction."""
+
+    address: int
+    size: int
+    is_write: bool
+
+    def byte_addresses(self) -> range:
+        """The addresses of every byte covered by this access."""
+        return range(self.address, self.address + self.size)
+
+
+@dataclass(frozen=True)
+class StepEvent:
+    """A committed instruction with its architectural effects.
+
+    Attributes:
+        index: zero-based dynamic instruction count.
+        pc: address of the instruction.
+        instruction: the decoded instruction.
+        regs_read: architectural register numbers read.
+        regs_written: architectural register numbers written.
+        reads: data-memory reads performed.
+        writes: data-memory writes performed.
+        next_pc: pc after this instruction (reflects taken branches).
+        syscall_number: populated for SYSCALL steps.
+    """
+
+    index: int
+    pc: int
+    instruction: Instruction
+    regs_read: Tuple[int, ...] = ()
+    regs_written: Tuple[int, ...] = ()
+    reads: Tuple[MemoryAccess, ...] = ()
+    writes: Tuple[MemoryAccess, ...] = ()
+    next_pc: int = 0
+    syscall_number: Optional[int] = None
+
+    @property
+    def memory_accesses(self) -> Tuple[MemoryAccess, ...]:
+        """All data-memory accesses (reads then writes)."""
+        return self.reads + self.writes
+
+
+@dataclass(frozen=True)
+class InputEvent:
+    """Bytes delivered into program memory by a syscall (read/recv).
+
+    DIFT engines use the ``source`` descriptor to decide whether the bytes
+    are tainted; see :class:`repro.dift.policy.TaintPolicy`.
+    """
+
+    step_index: int
+    address: int
+    data: bytes
+    source_kind: str  # "file" | "socket"
+    source_name: str
+    tainted_hint: bool = True
+
+
+@dataclass(frozen=True)
+class OutputEvent:
+    """Bytes leaving program memory through a syscall (write/send)."""
+
+    step_index: int
+    address: int
+    length: int
+    sink_kind: str  # "file" | "socket" | "console"
+    sink_name: str
+
+
+class Observer:
+    """Base class for execution observers.
+
+    All hooks default to no-ops so subclasses override only what they
+    need.  Observers are invoked synchronously at commit time, in the
+    order they were attached.
+    """
+
+    def on_step(self, event: StepEvent) -> None:
+        """Called after every committed instruction."""
+
+    def on_input(self, event: InputEvent) -> None:
+        """Called when a syscall writes external data into memory."""
+
+    def on_output(self, event: OutputEvent) -> None:
+        """Called when a syscall reads program memory out to a sink."""
+
+    def on_halt(self, step_index: int) -> None:
+        """Called once when the program halts."""

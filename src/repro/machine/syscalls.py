@@ -1,0 +1,201 @@
+"""Syscall numbers and semantics for the toy machine.
+
+Calling convention: the syscall number is placed in ``a0`` (r3), arguments
+in r4/r5/r6, and the return value comes back in r3.  A negative return
+value indicates an error.
+
+========  =============================  =========================================
+Number    Signature                      Semantics
+========  =============================  =========================================
+EXIT      exit(code)                     halt the machine
+READ      read(fd, addr, len) -> n       read from file/socket into memory
+WRITE     write(fd, addr, len) -> n      write memory out to file/socket/console
+OPEN      open(path_addr) -> fd          open a registered file by NUL name
+CLOSE     close(fd) -> 0/-1              release a descriptor
+SOCKET    socket(listen_id) -> fd        bind to registered listening socket
+ACCEPT    accept(fd) -> conn_fd          pop one pending connection (-1 if none)
+RECV      recv(fd, addr, len) -> n       like read, for connected sockets
+SEND      send(fd, addr, len) -> n       like write, for connected sockets
+RAND      rand() -> value                deterministic 32-bit LCG value
+GETTIME   gettime() -> ticks             committed-instruction counter
+========  =============================  =========================================
+
+``read`` and ``recv`` raise an :class:`~repro.machine.events.InputEvent`
+to observers, tagged with the source identity so DIFT policies can decide
+whether the delivered bytes are tainted (file reads and untrusted socket
+reads are; trusted-connection reads are not — the apache-25/50/75 case).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from repro.machine.devices import (
+    DeviceTable,
+    ListeningSocket,
+    VirtualFile,
+    VirtualSocket,
+)
+from repro.machine.events import InputEvent, OutputEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.cpu import CPU
+
+
+class Syscall(enum.IntEnum):
+    """Syscall numbers (values are ABI-stable)."""
+
+    EXIT = 0
+    READ = 1
+    WRITE = 2
+    OPEN = 3
+    CLOSE = 4
+    SOCKET = 5
+    ACCEPT = 6
+    RECV = 7
+    SEND = 8
+    RAND = 9
+    GETTIME = 10
+
+
+_LCG_MULTIPLIER = 1103515245
+_LCG_INCREMENT = 12345
+_MASK32 = 0xFFFFFFFF
+
+
+class SyscallHandler:
+    """Executes syscalls against a CPU's device table and memory."""
+
+    def __init__(self, devices: DeviceTable):
+        self.devices = devices
+        self._rand_state = 0x1234_5678
+        self._listeners = {}
+
+    def register_listener(self, listener: ListeningSocket, listen_id: int) -> None:
+        """Expose ``listener`` to the guest under integer id ``listen_id``."""
+        self._listeners[listen_id] = listener
+
+    def dispatch(self, cpu: "CPU", number: int) -> int:
+        """Execute syscall ``number``; returns the value for r3."""
+        arg1 = cpu.registers[4]
+        arg2 = cpu.registers[5]
+        arg3 = cpu.registers[6]
+
+        if number == Syscall.EXIT:
+            cpu.halt(exit_code=arg1)
+            return arg1
+        if number == Syscall.READ:
+            return self._read(cpu, arg1, arg2, arg3, via_recv=False)
+        if number == Syscall.WRITE:
+            return self._write(cpu, arg1, arg2, arg3, via_send=False)
+        if number == Syscall.OPEN:
+            return self._open(cpu, arg1)
+        if number == Syscall.CLOSE:
+            return 0 if self.devices.close(arg1) else -1
+        if number == Syscall.SOCKET:
+            listener = self._listeners.get(arg1)
+            if listener is None:
+                return -1
+            return self.devices.allocate(listener)
+        if number == Syscall.ACCEPT:
+            return self._accept(arg1)
+        if number == Syscall.RECV:
+            return self._read(cpu, arg1, arg2, arg3, via_recv=True)
+        if number == Syscall.SEND:
+            return self._write(cpu, arg1, arg2, arg3, via_send=True)
+        if number == Syscall.RAND:
+            self._rand_state = (
+                self._rand_state * _LCG_MULTIPLIER + _LCG_INCREMENT
+            ) & _MASK32
+            return (self._rand_state >> 1) & 0x7FFF_FFFF
+        if number == Syscall.GETTIME:
+            return cpu.step_count & 0x7FFF_FFFF
+        return -1
+
+    # ------------------------------------------------------------- helpers
+
+    def _open(self, cpu: "CPU", path_address: int) -> int:
+        name = cpu.memory.read_cstring(path_address).decode("latin-1")
+        if self.devices.lookup_file(name) is None:
+            return -1
+        return self.devices.open_file(name)
+
+    def _accept(self, fd: int) -> int:
+        listener = self.devices.get(fd)
+        if not isinstance(listener, ListeningSocket):
+            return -1
+        connection = listener.accept()
+        if connection is None:
+            return -1
+        return self.devices.allocate(connection)
+
+    @staticmethod
+    def _sanitize_length(length: int) -> int:
+        """Interpret a guest length as signed; negative means error."""
+        if length & 0x8000_0000:
+            return -1
+        return length & 0x7FFF_FFFF
+
+    def _read(
+        self, cpu: "CPU", fd: int, address: int, length: int, via_recv: bool
+    ) -> int:
+        length = self._sanitize_length(length)
+        if length < 0:
+            return -1
+        device = self.devices.get(fd)
+        if isinstance(device, VirtualFile) and not via_recv:
+            data = device.read(length)
+            source_kind, source_name = "file", device.name
+            tainted = device.tainted
+        elif isinstance(device, VirtualSocket):
+            data = device.recv(length)
+            source_kind, source_name = "socket", device.peer
+            tainted = not device.trusted
+        else:
+            return -1
+        if not data:
+            return 0
+        cpu.memory.write_bytes(address, data)
+        cpu.notify_input(
+            InputEvent(
+                step_index=cpu.step_count,
+                address=address,
+                data=data,
+                source_kind=source_kind,
+                source_name=source_name,
+                tainted_hint=tainted,
+            )
+        )
+        return len(data)
+
+    def _write(
+        self, cpu: "CPU", fd: int, address: int, length: int, via_send: bool
+    ) -> int:
+        length = self._sanitize_length(length)
+        if length < 0:
+            return -1
+        payload = cpu.memory.read_bytes(address, length)
+        device = self.devices.get(fd)
+        if fd == DeviceTable.CONSOLE_FD:
+            cpu.console += payload
+            sink_kind, sink_name = "console", "console"
+            written = len(payload)
+        elif isinstance(device, VirtualFile) and not via_send:
+            written = device.write(payload)
+            sink_kind, sink_name = "file", device.name
+        elif isinstance(device, VirtualSocket):
+            written = device.send(payload)
+            sink_kind, sink_name = "socket", device.peer
+        else:
+            return -1
+        cpu.notify_output(
+            OutputEvent(
+                step_index=cpu.step_count,
+                address=address,
+                length=written,
+                sink_kind=sink_kind,
+                sink_name=sink_name,
+            )
+        )
+        return written

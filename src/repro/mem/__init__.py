@@ -1,0 +1,26 @@
+"""Memory-hierarchy component models (caches, TLB).
+
+These are timing/occupancy models, not data stores for program values: the
+simulated caches track which lines are resident and collect hit/miss/evict
+statistics, and can optionally carry a payload per line (the CTC stores
+coarse-taint words and clear bits this way).
+
+Public surface:
+
+* :class:`~repro.mem.cache.SetAssociativeCache` — generic cache model
+  (LRU/FIFO/random), fully associative when ``num_sets == 1``.
+* :class:`~repro.mem.cache.CacheStats` — hit/miss/eviction counters.
+* :class:`~repro.mem.tlb.TLB` — translation lookaside buffer model with
+  optional per-entry metadata (the LATCH page-taint bits).
+"""
+
+from repro.mem.cache import CacheLine, CacheStats, SetAssociativeCache
+from repro.mem.tlb import TLB, TLBEntry
+
+__all__ = [
+    "CacheLine",
+    "CacheStats",
+    "SetAssociativeCache",
+    "TLB",
+    "TLBEntry",
+]

@@ -1,0 +1,101 @@
+"""TLB model with optional per-entry metadata.
+
+LATCH extends each TLB entry with a small number of *page taint bytes*
+that divide the page into multi-kilobyte page-level taint domains
+(Section 4.2 of the paper).  The TLB model therefore stores an opaque
+metadata payload per entry; the LATCH core attaches its page-taint bits
+there via :class:`repro.core.tlb_taint.TlbTaintBits`.
+
+The model is fully associative with LRU replacement — adequate for the
+128-entry TLB the paper assumes — and counts hits/misses so H-LATCH can
+attribute access resolution per level (Figure 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.mem.cache import CacheStats
+
+
+@dataclass
+class TLBEntry:
+    """One TLB entry: a page number plus LATCH metadata payload."""
+
+    page: int
+    metadata: Any = None
+    last_use: int = 0
+
+
+class TLB:
+    """Fully associative, LRU translation lookaside buffer.
+
+    Args:
+        entries: capacity in entries (paper: 128).
+        page_size: bytes per page (paper: 4 KiB).
+        metadata_loader: called with the page number on each miss to produce
+            the entry's metadata (e.g. page taint bits fetched from the
+            CTT); defaults to None metadata.
+    """
+
+    def __init__(
+        self,
+        entries: int = 128,
+        page_size: int = 4096,
+        metadata_loader: Optional[Callable[[int], Any]] = None,
+    ) -> None:
+        if entries < 1:
+            raise ValueError("TLB needs at least one entry")
+        if page_size & (page_size - 1):
+            raise ValueError("page_size must be a power of two")
+        self.entries = entries
+        self.page_size = page_size
+        self.metadata_loader = metadata_loader
+        self.stats = CacheStats()
+        self._map: Dict[int, TLBEntry] = {}
+        self._clock = 0
+        self._page_shift = page_size.bit_length() - 1
+
+    def page_of(self, address: int) -> int:
+        """Page number containing ``address``."""
+        return address >> self._page_shift
+
+    def access(self, address: int) -> TLBEntry:
+        """Translate ``address``, filling the TLB on a miss.
+
+        Returns the (possibly fresh) entry for the page.
+        """
+        self._clock += 1
+        self.stats.accesses += 1
+        page = self.page_of(address)
+        entry = self._map.get(page)
+        if entry is not None:
+            self.stats.hits += 1
+            entry.last_use = self._clock
+            return entry
+        self.stats.misses += 1
+        if len(self._map) >= self.entries:
+            victim = min(self._map.values(), key=lambda e: e.last_use)
+            del self._map[victim.page]
+            self.stats.evictions += 1
+        metadata = self.metadata_loader(page) if self.metadata_loader else None
+        entry = TLBEntry(page=page, metadata=metadata, last_use=self._clock)
+        self._map[page] = entry
+        return entry
+
+    def probe(self, address: int) -> Optional[TLBEntry]:
+        """Residency check without statistics or replacement effects."""
+        return self._map.get(self.page_of(address))
+
+    def invalidate_page(self, page: int) -> bool:
+        """Drop the entry for ``page``; True if one was resident."""
+        return self._map.pop(page, None) is not None
+
+    def flush(self) -> None:
+        """Invalidate all entries (stats retained)."""
+        self._map.clear()
+
+    def resident_entries(self) -> int:
+        """Number of live entries."""
+        return len(self._map)

@@ -1,0 +1,190 @@
+"""Functional P-LATCH: a two-core monitored execution on the emulator.
+
+The paper evaluates P-LATCH analytically; this module additionally
+*implements* it so the design can be checked end to end (Figure 11-b):
+
+* the **monitored core** (the :class:`repro.machine.CPU` this system
+  attaches to) carries the unmodified LATCH module.  Each committed
+  instruction is coarse-checked; only instructions that *might* involve
+  taint are placed in the shared FIFO queue:
+
+  - a source register is tainted in the (conservative) TRF, or
+  - a memory operand hits a coarsely tainted domain, or
+  - a memory operand is covered by a queued-but-unprocessed update
+    (the :class:`~repro.platch.pending.PendingUpdateTracker` guard the
+    paper sketches for false-negative prevention), or
+  - a written register is currently marked tainted (the instruction
+    changes taint state by overwriting it).
+
+* the **monitor core** drains the queue asynchronously, running the
+  byte-precise DIFT engine over the queued events, propagating tags,
+  raising alerts, and updating the CTT (which write-through keeps the
+  CTC coherent); completed events retire their pending entries.
+
+Because every instruction that could read, write, or clear taint is
+enqueued, the skipped instructions provably cannot change taint state,
+and the monitor's precise state equals an always-on tracker's
+(differentially tested in ``tests/test_platch_functional.py``).
+Detection is *delayed* by queue occupancy — the LBA trade-off — but
+never lost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from repro.core.latch import LatchConfig, LatchModule
+from repro.dift.engine import DIFTEngine
+from repro.dift.policy import TaintPolicy
+from repro.machine.cpu import CPU
+from repro.machine.events import InputEvent, Observer, OutputEvent, StepEvent
+
+
+@dataclass
+class PLatchCounters:
+    """Event accounting for the functional two-core system."""
+
+    instructions: int = 0
+    enqueued: int = 0
+    drained: int = 0
+    queue_full_stalls: int = 0
+    pending_hits: int = 0
+
+    @property
+    def enqueue_fraction(self) -> float:
+        """Fraction of instructions that entered the monitor queue."""
+        if self.instructions == 0:
+            return 0.0
+        return self.enqueued / self.instructions
+
+
+class PLatchSystem(Observer):
+    """LATCH-filtered two-core monitoring attached to one CPU.
+
+    Args:
+        cpu: the monitored machine.
+        policy: DIFT policy for the monitor core.
+        latch_config: LATCH structural parameters.
+        queue_capacity: shared FIFO depth; a full queue forces an
+            immediate partial drain (the producer stall of Figure 11).
+        drain_batch: events the monitor processes per automatic drain.
+    """
+
+    def __init__(
+        self,
+        cpu: CPU,
+        policy: Optional[TaintPolicy] = None,
+        latch_config: Optional[LatchConfig] = None,
+        queue_capacity: int = 256,
+        drain_batch: int = 64,
+    ) -> None:
+        from repro.platch.pending import PendingUpdateTracker
+
+        self.cpu = cpu
+        self.engine = DIFTEngine(policy)
+        self.latch = LatchModule(latch_config)
+        self.queue: Deque[Tuple[StepEvent, int]] = deque()
+        self.queue_capacity = queue_capacity
+        self.drain_batch = drain_batch
+        self.pending = PendingUpdateTracker(capacity=4 * queue_capacity)
+        self.counters = PLatchCounters()
+        self.engine.add_tag_listener(self._on_tag_write)
+        cpu.attach(self)
+
+    # ------------------------------------------------------------ observer
+
+    def on_input(self, event: InputEvent) -> None:
+        """Taint sources are applied immediately (kernel-side stnt)."""
+        self.engine.on_input(event)
+
+    def on_output(self, event: OutputEvent) -> None:
+        """Sink checks must see all prior propagation: drain first."""
+        self.drain_all()
+        self.engine.on_output(event)
+
+    def on_step(self, event: StepEvent) -> None:
+        self.counters.instructions += 1
+        if self._needs_monitoring(event):
+            self._enqueue(event)
+        else:
+            # Provably taint-free: sources clean, memory operands clean
+            # and not pending, written registers already clean.  Nothing
+            # for the monitor to see.
+            pass
+        if len(self.queue) >= self.drain_batch:
+            self.drain(self.drain_batch)
+
+    def on_halt(self, step_index: int) -> None:
+        self.drain_all()
+
+    # ------------------------------------------------------------- filter
+
+    def _needs_monitoring(self, event: StepEvent) -> bool:
+        check = self.latch.check_step(event)
+        if check.coarse_tainted:
+            return True
+        for access in event.memory_accesses:
+            if self.pending.covers(access.address, access.size):
+                self.counters.pending_hits += 1
+                return True
+        for register in event.regs_written:
+            if self.latch.trf.is_tainted(register):
+                return True
+        return False
+
+    def _enqueue(self, event: StepEvent) -> None:
+        if len(self.queue) >= self.queue_capacity:
+            self.counters.queue_full_stalls += 1
+            self.drain(self.drain_batch)
+        sequence = -1
+        for access in event.writes:
+            pushed = self.pending.push(access.address, access.size)
+            while pushed is None:
+                self.drain(self.drain_batch)
+                pushed = self.pending.push(access.address, access.size)
+            sequence = pushed
+        self.queue.append((event, sequence))
+        self.counters.enqueued += 1
+        # Conservative TRF: destinations of queued events count as
+        # tainted until the monitor resolves them.
+        for register in event.regs_written:
+            self.latch.trf.taint(register)
+
+    # ------------------------------------------------------------ monitor
+
+    def drain(self, max_events: Optional[int] = None) -> int:
+        """Run the monitor core over up to ``max_events`` queued events."""
+        processed = 0
+        while self.queue and (max_events is None or processed < max_events):
+            event, sequence = self.queue.popleft()
+            self.engine.on_step(event)
+            if sequence >= 0:
+                self.pending.retire(sequence)
+            processed += 1
+            self.counters.drained += 1
+        if not self.queue:
+            # Queue empty: resynchronise the conservative TRF with the
+            # monitor's precise register taint (the strf path).
+            self.latch.set_trf_mask(self.engine.trf.register_mask())
+        return processed
+
+    def drain_all(self) -> int:
+        """Process every outstanding event."""
+        return self.drain(None)
+
+    # ------------------------------------------------------------- wiring
+
+    def _on_tag_write(self, address: int, tags: bytes) -> None:
+        self.latch.update_memory_tags(
+            address,
+            tags,
+            defer_clear=False,
+            clean_oracle=self.engine.shadow.region_clean,
+        )
+
+    @property
+    def alerts(self) -> List:
+        """Alerts raised by the monitor so far."""
+        return self.engine.alerts

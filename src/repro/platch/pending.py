@@ -1,0 +1,120 @@
+"""Outstanding-update tracking for P-LATCH (Section 5.2).
+
+In P-LATCH the monitor core applies taint propagation *behind* the
+monitored core: an instruction whose destination will become tainted
+sits in the queue for a while before the CTT reflects it.  A dependent
+instruction committed in that window would consult a stale coarse
+state — a potential false negative.
+
+The paper's fix: "tracking the destination operands for queued events,
+and treating them as tainted until the coarse taint state is updated.
+A small FIFO-like structure could be used to track these operands.
+When taint is updated, a signal from the monitored core can pop the
+corresponding entries in the FIFO and invalidate any associated CTC
+lines if taint has been changed."
+
+:class:`PendingUpdateTracker` implements that structure.  Entries are
+conservative: while an address range is pending, coarse checks treat it
+as tainted (extra false positives, never false negatives — the same
+asymmetry as the rest of LATCH).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PendingEntry:
+    """One enqueued event's destination operand."""
+
+    sequence: int
+    address: int
+    size: int
+
+
+class PendingUpdateTracker:
+    """FIFO of destination operands with outstanding CTT updates.
+
+    Args:
+        capacity: number of FIFO entries.  When full, the enqueue path
+            must stall (mirrors the hardware's bounded structure); the
+            caller observes this via :meth:`push` returning False.
+        on_retire: optional callback ``(address, size)`` invoked when an
+            entry retires — P-LATCH wires this to CTC line invalidation
+            so a changed coarse state becomes visible immediately.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 16,
+        on_retire: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.on_retire = on_retire
+        self._fifo: Deque[PendingEntry] = deque()
+        self._next_sequence = 0
+        self.stalls = 0
+        self.retired = 0
+
+    # -------------------------------------------------------------- state
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def full(self) -> bool:
+        """True when a push would have to stall."""
+        return len(self._fifo) >= self.capacity
+
+    def covers(self, address: int, size: int = 1) -> bool:
+        """Is any byte of [address, address+size) pending an update?
+
+        While true, the coarse check must conservatively report taint.
+        """
+        end = address + max(size, 1)
+        for entry in self._fifo:
+            if address < entry.address + entry.size and entry.address < end:
+                return True
+        return False
+
+    # ----------------------------------------------------------- mutation
+
+    def push(self, address: int, size: int) -> Optional[int]:
+        """Record a queued event's destination operand.
+
+        Returns the entry's sequence number, or None when the FIFO is
+        full (the monitored core must stall until an entry retires).
+        """
+        if self.full:
+            self.stalls += 1
+            return None
+        entry = PendingEntry(self._next_sequence, address, max(size, 1))
+        self._next_sequence += 1
+        self._fifo.append(entry)
+        return entry.sequence
+
+    def retire(self, sequence: int) -> int:
+        """The monitor signals completion of all events up to ``sequence``.
+
+        Events complete in order, so everything at the head with an
+        equal-or-lower sequence retires.  Returns the number retired.
+        """
+        count = 0
+        while self._fifo and self._fifo[0].sequence <= sequence:
+            entry = self._fifo.popleft()
+            if self.on_retire is not None:
+                self.on_retire(entry.address, entry.size)
+            self.retired += 1
+            count += 1
+        return count
+
+    def retire_all(self) -> int:
+        """Drain the FIFO (queue fully processed)."""
+        if not self._fifo:
+            return 0
+        return self.retire(self._fifo[-1].sequence)

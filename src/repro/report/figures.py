@@ -1,0 +1,94 @@
+"""ASCII figure rendering: bar charts for the paper's figures.
+
+The paper's figures are bar charts over benchmarks; these helpers
+render the same series as monospace horizontal bars so benchmark output
+remains meaningful in a terminal or a log file.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+_BAR_CHARACTER = "█"
+_HALF_CHARACTER = "▌"
+
+
+def format_bar_chart(
+    values: Mapping[str, Number],
+    title: Optional[str] = None,
+    width: int = 50,
+    unit: str = "",
+    max_value: Optional[float] = None,
+    precision: int = 2,
+) -> str:
+    """Render a horizontal bar chart.
+
+    Args:
+        values: label → value (non-negative).
+        title: optional heading.
+        width: bar width in characters for the largest value.
+        unit: suffix printed after each value (e.g. ``"%"`` or ``"x"``).
+        max_value: scale maximum (defaults to the data maximum).
+        precision: decimals for the printed value.
+    """
+    if not values:
+        return title or ""
+    scale = max_value if max_value is not None else max(values.values())
+    scale = max(float(scale), 1e-12)
+    label_width = max(len(str(label)) for label in values)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for label, value in values.items():
+        fraction = min(max(float(value) / scale, 0.0), 1.0)
+        cells = fraction * width
+        bar = _BAR_CHARACTER * int(cells)
+        if cells - int(cells) >= 0.5:
+            bar += _HALF_CHARACTER
+        lines.append(
+            f"{str(label).rjust(label_width)} |{bar.ljust(width)}| "
+            f"{value:.{precision}f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def format_grouped_bars(
+    series: Mapping[str, Mapping[str, Number]],
+    title: Optional[str] = None,
+    width: int = 40,
+    unit: str = "",
+    precision: int = 2,
+) -> str:
+    """Render grouped bars: benchmark → {series name → value}.
+
+    Used for before/after comparisons (e.g. libdft vs S-LATCH overhead,
+    baseline vs filtered miss rates).
+    """
+    if not series:
+        return title or ""
+    scale = max(
+        (float(value) for group in series.values() for value in group.values()),
+        default=1.0,
+    )
+    scale = max(scale, 1e-12)
+    label_width = max(
+        (len(name) for group in series.values() for name in group),
+        default=1,
+    )
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for group_label, group in series.items():
+        lines.append(f"{group_label}:")
+        for name, value in group.items():
+            fraction = min(max(float(value) / scale, 0.0), 1.0)
+            bar = _BAR_CHARACTER * int(fraction * width)
+            lines.append(
+                f"  {str(name).rjust(label_width)} |{bar.ljust(width)}| "
+                f"{value:.{precision}f}{unit}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""The paper's reported numbers, verbatim, for side-by-side comparison.
+
+Every benchmark in ``benchmarks/`` prints measured values next to these.
+Sources: Tables 1–4, 6, 7 and the quoted aggregates of Sections 6.1–6.4
+of Townley et al., *LATCH: A Locality-Aware Taint CHecker*, MICRO 2019.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Table 1 — % instructions touching tainted data (SPEC CPU 2006).
+TABLE1_TAINT_PERCENT: Dict[str, float] = {
+    "astar": 21.73, "bzip2": 0.01, "calculix": 0.28, "cactusADM": 0.01,
+    "gcc": 0.08, "gobmk": 0.01, "gromacs": 0.19, "h264ref": 0.01,
+    "hmmer": 0.01, "lbm": 0.14, "mcf": 0.29, "namd": 0.17,
+    "omnetpp": 0.01, "perlbench": 2.67, "povray": 0.21, "sjeng": 0.01,
+    "soplex": 7.69, "sphinx": 13.53, "wrf": 0.28, "Xalan": 0.11,
+}
+
+#: Table 2 — % instructions touching tainted data (network applications).
+TABLE2_TAINT_PERCENT: Dict[str, float] = {
+    "curl": 1.13, "wget": 0.15, "mySQL": 0.19, "apache": 1.94,
+    "apache-25": 1.49, "apache-50": 0.95, "apache-75": 0.45,
+}
+
+#: Table 3 — page-granularity taint distribution (SPEC):
+#: name → (pages accessed, pages tainted, % accessed pages tainted).
+TABLE3_PAGES: Dict[str, tuple] = {
+    "astar": (2344, 2001, 85.37), "bzip2": (52110, 70, 0.13),
+    "cactusADM": (6199, 1, 0.02), "calculix": (806, 9, 1.12),
+    "gcc": (2590, 213, 8.22), "gobmk": (3981, 1, 0.03),
+    "gromacs": (3604, 17, 0.47), "h264ref": (6861, 183, 2.67),
+    "hmmer": (182, 5, 2.75), "lbm": (104766, 2, 0.01),
+    "mcf": (21481, 2, 0.01), "namd": (11575, 3, 0.03),
+    "omnetpp": (1786, 14, 0.78), "perlbench": (203, 22, 10.84),
+    "povray": (725, 24, 3.31), "sjeng": (44713, 3, 0.01),
+    "soplex": (412, 84, 20.39), "sphinx": (7133, 4133, 57.94),
+    "wrf": (25182, 246, 0.98), "Xalan": (1634, 105, 6.43),
+}
+
+#: Table 4 — page-granularity taint distribution (network).
+TABLE4_PAGES: Dict[str, tuple] = {
+    "curl": (600, 33, 5.5), "wget": (1591, 44, 2.77),
+    "mySQL": (10483, 435, 4.15), "apache": (1113, 238, 21.38),
+    "apache-25": (1170, 260, 22.22), "apache-50": (1101, 231, 20.98),
+    "apache-75": (1115, 238, 21.35),
+}
+
+#: Table 6 — H-LATCH cache performance, SPEC (the paper also lists wget
+#: in this table): name → (CTC miss %, t-cache miss % in H-LATCH,
+#: combined miss %, t-cache miss % without LATCH, % misses avoided).
+TABLE6_HLATCH: Dict[str, tuple] = {
+    "astar": (2.622, 2.8894, 5.5114, 7.9707, 30.8541),
+    "bzip2": (0.0001, 0.0001, 0.0001, 5.3137, 99.9995),
+    "cactusADM": (0.0001, 0.0001, 0.0001, 25.364, 99.9999),
+    "calculix": (0.0001, 0.0025, 0.0025, 10.3279, 99.9758),
+    "gcc": (0.0008, 0.0037, 0.0045, 11.3298, 99.9604),
+    "gobmk": (0.0001, 0.0001, 0.0001, 11.3462, 99.9991),
+    "gromacs": (0.0001, 0.0044, 0.0044, 5.0965, 99.913),
+    "h264ref": (0.0001, 0.0002, 0.0002, 6.9702, 99.9977),
+    "hmmer": (0.0001, 0.0001, 0.0001, 7.39, 99.9999),
+    "lbm": (0.0001, 0.0026, 0.0026, 23.6281, 99.9891),
+    "mcf": (0.0001, 0.0024, 0.0024, 35.6878, 99.9933),
+    "namd": (0.0001, 0.0008, 0.0008, 12.1935, 99.9932),
+    "omnetpp": (0.0001, 0.0001, 0.0001, 12.3787, 99.9997),
+    "perlbench": (0.0034, 0.0469, 0.0503, 16.4413, 99.6939),
+    "povray": (0.0001, 0.0017, 0.0017, 10.0139, 99.9829),
+    "sjeng": (0.0001, 0.0001, 0.0001, 15.0817, 99.9999),
+    "soplex": (0.0001, 0.0001, 0.0001, 13.5815, 99.9999),
+    "sphinx": (0.2872, 2.0087, 2.2959, 11.3727, 79.8126),
+    "wget": (0.0004, 0.0055, 0.0058, 7.0173, 99.9168),
+    "wrf": (0.0035, 0.0274, 0.0309, 16.4611, 99.8125),
+    "Xalan": (0.0141, 0.0124, 0.0265, 13.4061, 99.8022),
+}
+
+#: Table 7 — H-LATCH cache performance, network applications.
+TABLE7_HLATCH: Dict[str, tuple] = {
+    "apache": (0.0632, 0.1528, 0.2159, 10.6789, 97.9779),
+    "apache-25": (0.0454, 0.1365, 0.1818, 10.7884, 98.3146),
+    "apache-50": (0.0305, 0.0713, 0.1018, 10.7945, 99.0569),
+    "apache-75": (0.0141, 0.0371, 0.0511, 10.8036, 99.5267),
+    "curl": (0.0022, 0.0817, 0.0839, 5.8689, 98.5707),
+    "mySQL": (0.0722, 0.0544, 0.1266, 11.6442, 98.9128),
+    "wget": (0.0003, 0.0055, 0.0059, 6.9646, 99.9157),
+}
+
+#: Section 6.1 aggregates for S-LATCH (Figure 13).
+SLATCH_AGGREGATES = {
+    "harmonic_mean_overhead": 0.60,
+    "benchmarks_under_50_percent": 12,
+    "benchmarks_under_5_percent": 8,
+    "mean_speedup_vs_libdft": 4.0,
+    "web_client_speedup": 10.0,
+    "mysql_speedup": 1.63,
+    "apache_speedup": 1.47,
+    "apache_75_speedup": 3.25,
+    "mean_overhead_good_locality": 0.32,
+}
+
+#: Section 6.2 aggregates for P-LATCH (Figure 15).
+PLATCH_AGGREGATES = {
+    "simple_spec_mean": 0.184,
+    "simple_network_mean": 0.524,
+    "simple_overall_mean": 0.257,
+    "optimized_spec_mean": 0.076,
+    "optimized_network_mean": 0.101,
+    "baseline_simple_overhead": 3.38,
+    "baseline_optimized_overhead": 0.36,
+}
+
+#: Section 6.4 — FPGA synthesis results on the AO486.
+FPGA_RESULTS = {
+    "logic_elements_percent": 4.0,
+    "memory_bits_percent": 5.0,
+    "dynamic_power_percent": 5.0,
+    "static_power_percent": 0.2,
+    "cycle_time_impact": 0.0,
+}

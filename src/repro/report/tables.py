@@ -1,0 +1,100 @@
+"""Plain-text table and series formatting."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+def _format_value(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    rendered = [
+        [_format_value(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in rendered))
+        if rendered
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(
+        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(
+            "  ".join(row[i].rjust(widths[i]) for i in range(len(headers)))
+        )
+    return "\n".join(lines)
+
+
+def format_comparison_table(
+    names: Sequence[str],
+    measured: Mapping[str, Number],
+    paper: Mapping[str, Number],
+    value_label: str = "measured",
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render measured-vs-paper rows with a ratio column."""
+    rows: List[List[object]] = []
+    for name in names:
+        measured_value = measured.get(name)
+        paper_value = paper.get(name)
+        if measured_value is None:
+            continue
+        if paper_value in (None, 0):
+            ratio = ""
+        else:
+            ratio = f"{measured_value / paper_value:.2f}x"
+        rows.append(
+            [
+                name,
+                _format_value(measured_value, precision),
+                "" if paper_value is None else _format_value(paper_value, precision),
+                ratio,
+            ]
+        )
+    return format_table(
+        ["benchmark", value_label, "paper", "measured/paper"],
+        rows,
+        title=title,
+        precision=precision,
+    )
+
+
+def format_series(
+    series: Mapping[str, Mapping[object, Number]],
+    x_label: str = "x",
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render named series (benchmark → {x: y}) with x values as columns."""
+    x_values: List[object] = []
+    for values in series.values():
+        for x in values:
+            if x not in x_values:
+                x_values.append(x)
+    headers = [x_label] + [str(x) for x in x_values]
+    rows = []
+    for name, values in series.items():
+        rows.append(
+            [name] + [values.get(x, float("nan")) for x in x_values]
+        )
+    return format_table(headers, rows, title=title, precision=precision)

@@ -1,0 +1,43 @@
+"""S-LATCH: LATCH-gated single-core software DIFT (Section 5.1).
+
+Two complementary artefacts:
+
+* :class:`~repro.slatch.controller.SLatchSystem` — the *functional*
+  system: it attaches to a :class:`repro.machine.CPU`, performs coarse
+  hardware checks every committed instruction, traps to the software
+  DIFT layer on coarse taint, screens false positives against the
+  precise state, and returns to hardware mode after the 1000-instruction
+  timeout.  Differential tests prove it raises exactly the alerts a
+  pure software tracker raises (no precision loss — the paper's central
+  accuracy claim).
+* :func:`~repro.slatch.simulator.simulate_slatch` — the *performance*
+  model (the paper's Section 6.1 methodology): it replays a workload's
+  epoch stream through the mode-switching policy and assigns cycle
+  costs to software instrumentation, control transfers, false-positive
+  checks, and CTC misses (Figures 13/14).
+"""
+
+from repro.slatch.costs import SLatchCostModel
+from repro.slatch.controller import Mode, SLatchSystem
+from repro.slatch.timeout import AdaptiveTimeout, FixedTimeout, TimeoutPolicy
+from repro.slatch.simulator import (
+    HwRates,
+    SLatchReport,
+    measure_hw_rates,
+    simulate_slatch,
+    simulate_slatch_with_policy,
+)
+
+__all__ = [
+    "AdaptiveTimeout",
+    "FixedTimeout",
+    "HwRates",
+    "Mode",
+    "TimeoutPolicy",
+    "SLatchCostModel",
+    "SLatchReport",
+    "SLatchSystem",
+    "measure_hw_rates",
+    "simulate_slatch",
+    "simulate_slatch_with_policy",
+]

@@ -1,0 +1,110 @@
+"""Return-to-hardware timeout policies for S-LATCH.
+
+Section 5.1.3: "While a variety of timeout policies are possible,
+S-LATCH achieves strong performance using a simple timeout scheme that
+returns control to hardware after 1000 instructions have been executed
+without manipulating tainted data."
+
+This module makes the policy pluggable and provides two:
+
+* :class:`FixedTimeout` — the paper's scheme;
+* :class:`AdaptiveTimeout` — an exploration of the design space the
+  paper leaves open: the threshold doubles when a return to hardware is
+  punished by a quick re-trap (the switch was premature) and decays
+  when hardware mode survives long stretches (the threshold was overly
+  conservative).  Correctness is untouched either way — the policy only
+  decides *when to switch*, never *what is tainted*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class TimeoutPolicy:
+    """Protocol: decides the quiet-streak threshold for mode returns."""
+
+    def threshold(self) -> int:
+        """Current number of taint-free instructions before returning."""
+        raise NotImplementedError
+
+    def on_return(self) -> None:
+        """Called when software mode hands control back to hardware."""
+
+    def on_retrap(self, hw_instructions: int) -> None:
+        """Called on a confirmed trap, with the hardware-mode span length."""
+
+    def reset(self) -> None:
+        """Restore the initial state."""
+
+
+@dataclass
+class FixedTimeout(TimeoutPolicy):
+    """The paper's constant-threshold policy (default 1000)."""
+
+    instructions: int = 1000
+
+    def threshold(self) -> int:
+        return self.instructions
+
+
+class AdaptiveTimeout(TimeoutPolicy):
+    """Multiplicative-increase / gentle-decay threshold adaptation.
+
+    The clamp bounds matter: a return/trap round trip costs roughly
+    ``trap + return ≈ 4000`` cycles while staying in software costs
+    ``(libdft_slowdown − 1) ≈ 2–6`` cycles per instruction, so the
+    break-even threshold sits near 1000 instructions — the paper's fixed
+    choice.  Adaptation pays off only on workloads whose taint period
+    straddles that point, and must not wander far above it (software
+    time then dominates any switch savings).
+
+    Args:
+        initial: starting threshold (the paper's 1000).
+        minimum/maximum: clamp bounds (default 125–4000, a factor of
+            8/4 around the break-even point).
+        punish_span: a hardware span shorter than this after a return is
+            treated as a premature switch (double the threshold).
+        reward_span: a hardware span longer than this halves the
+            threshold (hardware mode is clearly viable; switch sooner
+            next time and save software cycles).
+    """
+
+    def __init__(
+        self,
+        initial: int = 1000,
+        minimum: int = 125,
+        maximum: int = 4_000,
+        punish_span: int = 1_000,
+        reward_span: int = 100_000,
+    ) -> None:
+        if not minimum <= initial <= maximum:
+            raise ValueError("initial must lie within [minimum, maximum]")
+        self.initial = initial
+        self.minimum = minimum
+        self.maximum = maximum
+        self.punish_span = punish_span
+        self.reward_span = reward_span
+        self._threshold = initial
+        self.increases = 0
+        self.decreases = 0
+
+    def threshold(self) -> int:
+        return self._threshold
+
+    def on_retrap(self, hw_instructions: int) -> None:
+        if hw_instructions < self.punish_span:
+            new = min(self._threshold * 2, self.maximum)
+            if new != self._threshold:
+                self.increases += 1
+            self._threshold = new
+        elif hw_instructions > self.reward_span:
+            new = max(self._threshold // 2, self.minimum)
+            if new != self._threshold:
+                self.decreases += 1
+            self._threshold = new
+
+    def reset(self) -> None:
+        self._threshold = self.initial
+        self.increases = 0
+        self.decreases = 0

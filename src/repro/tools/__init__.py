@@ -1,0 +1,7 @@
+"""Command-line tools.
+
+* ``python -m repro.tools.asm``     — assemble toy-ISA source to machine code.
+* ``python -m repro.tools.disasm``  — disassemble machine code.
+* ``python -m repro.tools.run``     — run a program, optionally under
+  DIFT or S-LATCH monitoring, with virtual files as taint sources.
+"""

@@ -1,0 +1,81 @@
+"""Assembler CLI: toy-ISA source → binary image.
+
+Usage::
+
+    python -m repro.tools.asm program.s -o program.bin [--listing]
+
+The output is a flat little-endian encoding of the text section; the
+data section and symbols are printed (or written with ``--meta``) so
+``repro.tools.disasm`` and debuggers can reconstruct the layout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.disassembler import disassemble
+from repro.isa.encoding import encode_program
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-asm", description="Assemble toy-ISA source."
+    )
+    parser.add_argument("source", type=Path, help="assembly source file")
+    parser.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="machine-code output (default: <source>.bin)",
+    )
+    parser.add_argument(
+        "--meta", type=Path, default=None,
+        help="also write a JSON sidecar with bases, symbols, and data",
+    )
+    parser.add_argument(
+        "--listing", action="store_true", help="print a disassembly listing"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        source = args.source.read_text()
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        program = assemble(source)
+    except AssemblyError as error:
+        print(f"error: {args.source}: {error}", file=sys.stderr)
+        return 1
+
+    output = args.output or args.source.with_suffix(".bin")
+    output.write_bytes(encode_program(program.instructions))
+    print(
+        f"{args.source}: {len(program.instructions)} instructions, "
+        f"{len(program.data)} data bytes -> {output}"
+    )
+    if args.meta:
+        args.meta.write_text(
+            json.dumps(
+                {
+                    "text_base": program.text_base,
+                    "data_base": program.data_base,
+                    "entry_point": program.entry_point,
+                    "symbols": program.symbols,
+                    "data": program.data.hex(),
+                },
+                indent=2,
+            )
+        )
+    if args.listing:
+        print(disassemble(program.instructions, base_address=program.text_base))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""Disassembler CLI: binary image → listing.
+
+Usage::
+
+    python -m repro.tools.disasm program.bin [--base 0x1000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.isa.disassembler import disassemble
+from repro.isa.encoding import EncodingError, decode_program
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-disasm", description="Disassemble toy-ISA machine code."
+    )
+    parser.add_argument("binary", type=Path, help="machine-code file")
+    parser.add_argument(
+        "--base",
+        type=lambda value: int(value, 0),
+        default=0x1000,
+        help="address of the first instruction (default 0x1000)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        blob = args.binary.read_bytes()
+        instructions = decode_program(blob)
+    except (OSError, EncodingError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(disassemble(instructions, base_address=args.base))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

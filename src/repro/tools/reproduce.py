@@ -1,0 +1,376 @@
+"""Experiment driver: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.tools.reproduce --list
+    python -m repro.tools.reproduce table1 table6 fig13
+    python -m repro.tools.reproduce all --epoch-scale 50000000 -o out/
+
+Each experiment prints its artefact (measured beside the paper's value
+where the paper states one) and, with ``-o``, writes it to a file.  The
+same computations back the pytest-benchmark harness in ``benchmarks/``;
+this entry point exists so a reader can regenerate a single artefact
+without the test machinery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List
+
+from repro.analysis import (
+    epoch_duration_profile,
+    false_positive_sweep,
+    page_taint_distribution,
+    tainted_instruction_fraction,
+)
+from repro.core.latch import LatchConfig
+from repro.hlatch import run_baseline, run_hlatch
+from repro.hw import estimate_latch_complexity, estimate_power_delta
+from repro.platch import LBA_OPTIMIZED, LBA_SIMPLE, analytic_platch
+from repro.report import (
+    format_comparison_table,
+    format_series,
+    format_table,
+)
+from repro.report.paper_data import (
+    TABLE1_TAINT_PERCENT,
+    TABLE2_TAINT_PERCENT,
+    TABLE3_PAGES,
+    TABLE4_PAGES,
+    TABLE6_HLATCH,
+    TABLE7_HLATCH,
+)
+from repro.slatch import measure_hw_rates, simulate_slatch
+from repro.workloads import WorkloadGenerator, all_profiles, get_profile
+
+
+class ExperimentContext:
+    """Shared scales and caches for one driver invocation."""
+
+    def __init__(self, epoch_scale: int, trace_window: int) -> None:
+        self.epoch_scale = epoch_scale
+        self.trace_window = trace_window
+        self._generators: Dict[str, WorkloadGenerator] = {}
+        self._streams: Dict[str, object] = {}
+        self._traces: Dict[str, object] = {}
+
+    def generator(self, name: str) -> WorkloadGenerator:
+        if name not in self._generators:
+            self._generators[name] = WorkloadGenerator(get_profile(name))
+        return self._generators[name]
+
+    def stream(self, name: str):
+        if name not in self._streams:
+            self._streams[name] = self.generator(name).epoch_stream(
+                self.epoch_scale
+            )
+        return self._streams[name]
+
+    def trace(self, name: str):
+        if name not in self._traces:
+            self._traces[name] = self.generator(name).access_trace(
+                self.trace_window
+            )
+        return self._traces[name]
+
+    def names(self, kind: str = None) -> List[str]:
+        return [
+            profile.name
+            for profile in all_profiles()
+            if kind is None or profile.kind == kind
+        ]
+
+
+def _table1(ctx: ExperimentContext) -> str:
+    measured = {
+        name: 100 * tainted_instruction_fraction(ctx.stream(name))
+        for name in ctx.names("spec")
+    }
+    return format_comparison_table(
+        ctx.names("spec"), measured, TABLE1_TAINT_PERCENT,
+        value_label="taint insn %",
+        title="Table 1: % instructions touching tainted data (SPEC)",
+        precision=3,
+    )
+
+
+def _table2(ctx: ExperimentContext) -> str:
+    measured = {
+        name: 100 * tainted_instruction_fraction(ctx.stream(name))
+        for name in ctx.names("network")
+    }
+    return format_comparison_table(
+        ctx.names("network"), measured, TABLE2_TAINT_PERCENT,
+        value_label="taint insn %",
+        title="Table 2: % instructions touching tainted data (network)",
+        precision=3,
+    )
+
+
+def _pages_table(ctx: ExperimentContext, kind: str, paper, title: str) -> str:
+    rows = []
+    for name in ctx.names(kind):
+        stats = page_taint_distribution(ctx.generator(name).layout())
+        rows.append(
+            [name, stats.pages_accessed, stats.pages_tainted,
+             stats.tainted_percent, *paper.get(name, ("", "", ""))]
+        )
+    return format_table(
+        ["benchmark", "pages", "tainted", "tainted %",
+         "paper pages", "paper tainted", "paper %"],
+        rows, title=title, precision=2,
+    )
+
+
+def _table3(ctx):
+    return _pages_table(
+        ctx, "spec", TABLE3_PAGES,
+        "Table 3: page-granularity taint distribution (SPEC)",
+    )
+
+
+def _table4(ctx):
+    return _pages_table(
+        ctx, "network", TABLE4_PAGES,
+        "Table 4: page-granularity taint distribution (network)",
+    )
+
+
+def _fig5(ctx: ExperimentContext) -> str:
+    series = {
+        name: {
+            f">={t}": v
+            for t, v in epoch_duration_profile(ctx.stream(name)).items()
+        }
+        for name in ctx.names()
+    }
+    return format_series(
+        series, x_label="epoch ≥",
+        title="Figure 5: % of instructions in taint-free epochs ≥ L",
+        precision=1,
+    )
+
+
+def _fig6(ctx: ExperimentContext) -> str:
+    series = {}
+    for name in ctx.names():
+        sweep = false_positive_sweep(ctx.trace(name))
+        series[name] = {
+            f"{size}B": value for size, value in sweep.items()
+            if value == value
+        }
+    return format_series(
+        series, x_label="domain",
+        title="Figure 6: coarse-taint detection multiplier vs domain size",
+        precision=2,
+    )
+
+
+def _fig13(ctx: ExperimentContext) -> str:
+    rows = []
+    for name in ctx.names():
+        profile = get_profile(name)
+        rates = measure_hw_rates(ctx.trace(name))
+        report = simulate_slatch(profile, ctx.stream(name), rates)
+        rows.append(
+            [name, report.libdft_only_overhead, report.overhead,
+             report.speedup_vs_libdft, 100 * report.sw_fraction]
+        )
+    return format_table(
+        ["benchmark", "libdft overhead", "S-LATCH overhead", "speedup", "sw %"],
+        rows,
+        title="Figure 13: performance overhead over native execution",
+        precision=3,
+    )
+
+
+def _fig14(ctx: ExperimentContext) -> str:
+    rows = []
+    for name in ctx.names():
+        profile = get_profile(name)
+        rates = measure_hw_rates(ctx.trace(name))
+        report = simulate_slatch(profile, ctx.stream(name), rates)
+        split = report.breakdown()
+        rows.append(
+            [name, report.overhead, 100 * split["libdft"],
+             100 * split["control_xfer"], 100 * split["fp_checks"],
+             100 * split["ctc_misses"]]
+        )
+    return format_table(
+        ["benchmark", "overhead", "libdft %", "control xfer %",
+         "fp checks %", "ctc misses %"],
+        rows,
+        title="Figure 14: sources of overhead in S-LATCH",
+        precision=2,
+    )
+
+
+def _fig15(ctx: ExperimentContext) -> str:
+    rows = []
+    for name in ctx.names():
+        stream = ctx.stream(name)
+        simple = analytic_platch(stream, LBA_SIMPLE)
+        optimized = analytic_platch(stream, LBA_OPTIMIZED)
+        rows.append(
+            [name, 100 * simple.monitored_fraction, simple.overhead,
+             optimized.overhead]
+        )
+    return format_table(
+        ["benchmark", "monitored %", "P-LATCH (simple)", "P-LATCH (optimized)"],
+        rows,
+        title="Figure 15: P-LATCH overhead vs native",
+        precision=4,
+    )
+
+
+def _hlatch_table(ctx: ExperimentContext, kind: str, paper, title: str) -> str:
+    rows = []
+    for name in ctx.names(kind):
+        trace = ctx.trace(name)
+        hlatch = run_hlatch(trace)
+        baseline = run_baseline(trace)
+        paper_row = paper.get(name, ("", "", "", "", ""))
+        rows.append(
+            [name, hlatch.ctc_miss_percent, hlatch.tcache_miss_percent,
+             hlatch.combined_miss_percent, baseline.miss_percent,
+             hlatch.misses_avoided_percent(baseline.misses),
+             paper_row[3], paper_row[4]]
+        )
+    return format_table(
+        ["benchmark", "CTC miss %", "t-cache miss %", "combined %",
+         "no-LATCH %", "avoided %", "paper no-LATCH %", "paper avoided %"],
+        rows, title=title,
+    )
+
+
+def _table6(ctx):
+    return _hlatch_table(
+        ctx, "spec", TABLE6_HLATCH,
+        "Table 6: H-LATCH cache performance (SPEC)",
+    )
+
+
+def _table7(ctx):
+    return _hlatch_table(
+        ctx, "network", TABLE7_HLATCH,
+        "Table 7: H-LATCH cache performance (network)",
+    )
+
+
+def _fig16(ctx: ExperimentContext) -> str:
+    rows = []
+    for name in ctx.names():
+        split = run_hlatch(ctx.trace(name)).resolution_split()
+        rows.append(
+            [name, 100 * split["tlb"], 100 * split["ctc"],
+             100 * split["precise"]]
+        )
+    return format_table(
+        ["benchmark", "TLB %", "CTC %", "precise %"],
+        rows,
+        title="Figure 16: memory accesses resolved per H-LATCH level",
+        precision=2,
+    )
+
+
+def _sec64(ctx: ExperimentContext) -> str:
+    rows = []
+    for label, config in [
+        ("S-LATCH/P-LATCH (160 B)", LatchConfig()),
+        ("CTC x4 (64 entries)", LatchConfig(ctc_entries=64)),
+        ("no TLB taint bits", LatchConfig(use_tlb_bits=False)),
+    ]:
+        area = estimate_latch_complexity(config, name=label)
+        power = estimate_power_delta(config)
+        rows.append(
+            [label, area.latch_logic_elements, area.logic_percent,
+             area.latch_memory_bits, area.memory_percent,
+             power.dynamic_percent, power.static_percent]
+        )
+    return format_table(
+        ["configuration", "LEs", "LE %", "mem bits", "mem %",
+         "dyn pwr %", "stat pwr %"],
+        rows,
+        title="Section 6.4: LATCH complexity (paper: +4% LE, +5% mem, "
+              "+5% dyn, +0.2% static)",
+        precision=2,
+    )
+
+
+EXPERIMENTS: Dict[str, Callable[[ExperimentContext], str]] = {
+    "table1": _table1,
+    "table2": _table2,
+    "table3": _table3,
+    "table4": _table4,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig13": _fig13,
+    "fig14": _fig14,
+    "fig15": _fig15,
+    "table6": _table6,
+    "table7": _table7,
+    "fig16": _fig16,
+    "sec64": _sec64,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-reproduce",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*",
+        help="experiment ids (or 'all'); see --list",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--epoch-scale", type=int, default=20_000_000,
+        help="instructions per benchmark for temporal analyses",
+    )
+    parser.add_argument(
+        "--trace-window", type=int, default=150_000,
+        help="access-trace window for cache simulations",
+    )
+    parser.add_argument(
+        "-o", "--output-dir", type=Path, default=None,
+        help="also write each artefact to <dir>/<id>.txt",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for identifier in EXPERIMENTS:
+            print(identifier)
+        return 0
+    requested = args.experiments
+    if not requested:
+        print("error: no experiments requested (try --list or 'all')",
+              file=sys.stderr)
+        return 2
+    if requested == ["all"]:
+        requested = list(EXPERIMENTS)
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        print(f"error: unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+
+    context = ExperimentContext(args.epoch_scale, args.trace_window)
+    for identifier in requested:
+        text = EXPERIMENTS[identifier](context)
+        print(text)
+        print()
+        if args.output_dir:
+            args.output_dir.mkdir(parents=True, exist_ok=True)
+            (args.output_dir / f"{identifier}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

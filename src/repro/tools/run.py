@@ -1,0 +1,135 @@
+"""Runner CLI: execute a toy-ISA program, optionally under monitoring.
+
+Usage::
+
+    python -m repro.tools.run program.s
+    python -m repro.tools.run program.s --monitor dift \\
+        --file input.txt=payload.bin
+    python -m repro.tools.run program.s --monitor slatch --timeout 500 \\
+        --file input.txt=payload.bin:untainted
+
+``--file NAME=PATH[:untainted]`` registers the host file ``PATH`` as
+virtual file ``NAME`` inside the machine (tainted source by default).
+Exit status mirrors the guest's exit code; monitoring reports go to
+stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from pathlib import Path
+
+from repro.dift.engine import DIFTEngine
+from repro.isa.assembler import AssemblyError, assemble
+from repro.machine.cpu import CPU, ExecutionError
+from repro.machine.devices import DeviceTable, VirtualFile
+from repro.slatch.controller import SLatchSystem
+from repro.slatch.costs import SLatchCostModel
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-run", description="Run a toy-ISA program."
+    )
+    parser.add_argument("source", type=Path, help="assembly source file")
+    parser.add_argument(
+        "--monitor",
+        choices=["none", "dift", "slatch"],
+        default="none",
+        help="attach no monitoring, software DIFT, or S-LATCH gating",
+    )
+    parser.add_argument(
+        "--file",
+        action="append",
+        default=[],
+        metavar="NAME=PATH[:untainted]",
+        help="register a virtual file backed by a host file",
+    )
+    parser.add_argument(
+        "--max-steps", type=int, default=5_000_000,
+        help="instruction budget (default 5M)",
+    )
+    parser.add_argument(
+        "--timeout", type=int, default=1000,
+        help="S-LATCH return-to-hardware timeout in instructions",
+    )
+    return parser
+
+
+def _parse_file_spec(spec: str) -> VirtualFile:
+    name, _, rest = spec.partition("=")
+    if not rest:
+        raise ValueError(f"bad --file spec {spec!r} (expected NAME=PATH)")
+    path, _, flag = rest.partition(":")
+    tainted = flag.strip().lower() != "untainted"
+    return VirtualFile(name, Path(path).read_bytes(), tainted=tainted)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        program = assemble(args.source.read_text())
+    except (OSError, AssemblyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    devices = DeviceTable()
+    try:
+        for spec in args.file:
+            devices.register_file(_parse_file_spec(spec))
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    cpu = CPU(program, devices=devices)
+    engine = None
+    slatch = None
+    if args.monitor == "dift":
+        engine = DIFTEngine()
+        cpu.attach(engine)
+    elif args.monitor == "slatch":
+        costs = dataclasses.replace(
+            SLatchCostModel(), timeout_instructions=args.timeout
+        )
+        slatch = SLatchSystem(cpu, costs=costs)
+        engine = slatch.engine
+
+    try:
+        executed = cpu.run(args.max_steps)
+    except ExecutionError as error:
+        print(f"execution fault after {cpu.step_count} instructions: {error}")
+        executed = cpu.step_count
+
+    if cpu.console:
+        sys.stdout.write(cpu.console.decode("latin-1"))
+        if not cpu.console.endswith(b"\n"):
+            print()
+    print(f"-- {executed} instructions, exit code {cpu.exit_code}"
+          f"{' (halted)' if cpu.halted else ' (budget exhausted)'}")
+
+    if engine is not None:
+        stats = engine.stats
+        print(
+            f"-- dift: {stats.tainted_instructions} tainted instructions "
+            f"({stats.tainted_fraction:.2%}), "
+            f"{engine.shadow.tainted_byte_count} tainted bytes live, "
+            f"{len(engine.alerts)} alert(s)"
+        )
+        for alert in engine.alerts:
+            print(f"   ALERT {alert.kind.value} at pc={alert.pc:#x}: "
+                  f"{alert.detail}")
+    if slatch is not None:
+        counters = slatch.counters
+        print(
+            f"-- s-latch: {counters.hw_instructions} hw / "
+            f"{counters.sw_instructions} sw instructions "
+            f"({1 - counters.sw_fraction:.1%} at native speed), "
+            f"{counters.traps} traps, {counters.false_positives} FPs screened"
+        )
+    return cpu.exit_code if cpu.halted else 124
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,149 @@
+"""Attack scenarios: what the DIFT policy is there to catch.
+
+The paper motivates DIFT with control-flow hijacking (buffer overflows
+enabling ROP/JOP) and malicious data leakage.  These scenarios build
+vulnerable programs plus benign and malicious inputs, so tests can
+verify that DIFT — with or without LATCH gating — flags exactly the
+malicious runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.assembler import assemble
+from repro.machine.devices import DeviceTable, VirtualFile, VirtualSocket, ListeningSocket
+from repro.workloads.programs import Scenario
+
+#: Address of the attacker-chosen jump target used by the overflow
+#: payloads (any executable address distinct from the legitimate path).
+HIJACK_TARGET = 0x0000_2000
+
+
+def overflow_payload(hijack: bool, buffer_size: int = 16) -> bytes:
+    """Build a network/file payload for the vulnerable reader.
+
+    The vulnerable program copies the payload into a ``buffer_size``
+    byte buffer and then loads a function pointer stored directly after
+    it.  A benign payload fits the buffer; a hijack payload overflows it
+    and overwrites the pointer with :data:`HIJACK_TARGET`.
+    """
+    if not hijack:
+        return b"A" * (buffer_size - 2)
+    return b"A" * buffer_size + HIJACK_TARGET.to_bytes(4, "little")
+
+
+def buffer_overflow(hijack: bool = True, buffer_size: int = 16) -> Scenario:
+    """A classic unchecked-copy overflow smashing a function pointer.
+
+    The program stores a legitimate function pointer right after a
+    fixed-size buffer, reads attacker-controlled data with no bounds
+    check, and finally calls through the pointer.  With ``hijack=True``
+    the read overflows and the indirect call consumes tainted bytes —
+    the canonical TAINTED_JUMP detection of Section 1.
+    """
+    source = f"""
+    .data
+path:   .asciiz "request.bin"
+buf:    .space {buffer_size}
+fptr:   .word 0
+    .text
+_start:
+    # install the legitimate handler pointer
+    li   r9, handler
+    li   r8, fptr
+    sw   r9, 0(r8)
+    # read attacker data with NO bounds check
+    li   r3, 3
+    li   r4, path
+    syscall
+    mv   r10, r3
+    li   r3, 1
+    mv   r4, r10
+    li   r5, buf
+    li   r6, 64             # reads up to 64 bytes into a {buffer_size}-byte buffer
+    syscall
+    # dispatch through the (possibly clobbered) pointer
+    li   r8, fptr
+    lw   r9, 0(r8)
+    jalr r1, 0(r9)
+    li   r3, 0
+    li   r4, 0
+    syscall
+handler:
+    addi r12, r0, 42        # legitimate handler
+    jalr r0, 0(ra)
+"""
+    devices = DeviceTable()
+    devices.register_file(
+        VirtualFile("request.bin", overflow_payload(hijack, buffer_size))
+    )
+    return Scenario(
+        name="buffer-overflow" + ("-hijack" if hijack else "-benign"),
+        program=assemble(source),
+        devices=devices,
+        description=(
+            "unchecked copy smashes a function pointer; DIFT flags the "
+            "tainted indirect call" if hijack else
+            "same vulnerable code with a benign, in-bounds input"
+        ),
+    )
+
+
+def data_leak(leak: bool = True) -> Scenario:
+    """Sensitive file data exfiltrated over a socket (leak detection).
+
+    With ``leak=True`` the program sends the secret buffer to the
+    network; DIFT under a leak policy flags TAINTED_OUTPUT.  With
+    ``leak=False`` it sends an unrelated constant banner instead.
+    """
+    source = f"""
+    .data
+path:   .asciiz "secret.key"
+banner: .asciiz "service ready"
+buf:    .space 64
+    .text
+_start:
+    li   r3, 3              # OPEN secret
+    li   r4, path
+    syscall
+    mv   r10, r3
+    li   r3, 1              # READ secret into buf
+    mv   r4, r10
+    li   r5, buf
+    li   r6, 32
+    syscall
+    mv   r12, r3
+    li   r3, 5              # SOCKET(listener 1)
+    li   r4, 1
+    syscall
+    mv   r10, r3
+    li   r3, 6              # ACCEPT
+    mv   r4, r10
+    syscall
+    mv   r11, r3
+    li   r3, 8              # SEND
+    mv   r4, r11
+    li   r5, {'buf' if leak else 'banner'}
+    {'mv   r6, r12' if leak else 'li   r6, 13'}
+    syscall
+    li   r3, 0
+    li   r4, 0
+    syscall
+"""
+    devices = DeviceTable()
+    devices.register_file(VirtualFile("secret.key", b"hunter2-api-key-0042"))
+    listener = ListeningSocket(name="exfil")
+    listener.pending.append(VirtualSocket(peer="attacker", inbound=[]))
+
+    def setup(cpu) -> None:
+        cpu.syscalls.register_listener(listener, listen_id=1)
+
+    return Scenario(
+        name="data-leak" + ("" if leak else "-benign"),
+        program=assemble(source),
+        devices=devices,
+        description="tainted secret sent to a socket sink" if leak
+        else "constant banner sent; no tainted output",
+        setup=setup,
+    )

@@ -1,0 +1,408 @@
+"""Runnable toy-ISA programs exercising DIFT end to end.
+
+These are real programs for the :class:`repro.machine.CPU` — unlike the
+statistical traces of :mod:`repro.workloads.generator`, they execute
+instruction by instruction under a real DIFT engine, so the examples
+and differential tests can observe genuine taint propagation.
+
+Each builder returns a :class:`Scenario`: the assembled program, its
+device table (taint sources/sinks), and what the scenario demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.machine.devices import (
+    DeviceTable,
+    ListeningSocket,
+    VirtualFile,
+    VirtualSocket,
+)
+
+
+@dataclass
+class Scenario:
+    """A ready-to-run workload: program + devices + expectations."""
+
+    name: str
+    program: Program
+    devices: DeviceTable
+    description: str = ""
+    #: Called after construction to finish wiring (e.g. listeners).
+    setup: Optional[Callable] = None
+
+    def make_cpu(self, cpu_class=None):
+        """Instantiate a CPU for this scenario (fresh device state)."""
+        from repro.machine.cpu import CPU
+
+        cls = cpu_class if cpu_class is not None else CPU
+        cpu = cls(self.program, devices=self.devices)
+        if self.setup is not None:
+            self.setup(cpu)
+        return cpu
+
+
+def file_filter(
+    payload: bytes = b"Hello, tainted world! 1234567890",
+    tainted: bool = True,
+) -> Scenario:
+    """Read a file, uppercase ASCII letters, write the result out.
+
+    Models the SPEC-style file-input workloads: taint enters through
+    ``open``/``read``, propagates byte by byte through the transform
+    loop, and reaches the output file.
+    """
+    source = """
+    .data
+in_path:    .asciiz "input.dat"
+out_path:   .asciiz "output.dat"
+buf:        .space 256
+    .text
+_start:
+    li   r3, 3              # OPEN(in_path)
+    li   r4, in_path
+    syscall
+    mv   r10, r3            # in fd
+    li   r3, 3              # OPEN(out_path)
+    li   r4, out_path
+    syscall
+    mv   r11, r3            # out fd
+read_loop:
+    li   r3, 1              # READ(in, buf, 64)
+    mv   r4, r10
+    li   r5, buf
+    li   r6, 64
+    syscall
+    beqz r3, done
+    mv   r12, r3            # bytes read
+    li   r7, 0              # index
+xform:
+    bge  r7, r12, flush
+    li   r8, buf
+    add  r8, r8, r7
+    lbu  r9, 0(r8)
+    li   r13, 'a'
+    blt  r9, r13, keep      # < 'a': keep
+    li   r13, 'z'
+    blt  r13, r9, keep      # > 'z': keep
+    addi r9, r9, -32        # to upper case
+    sb   r9, 0(r8)
+keep:
+    addi r7, r7, 1
+    j    xform
+flush:
+    li   r3, 2              # WRITE(out, buf, r12)
+    mv   r4, r11
+    li   r5, buf
+    mv   r6, r12
+    syscall
+    j    read_loop
+done:
+    li   r3, 0              # EXIT(0)
+    li   r4, 0
+    syscall
+"""
+    devices = DeviceTable()
+    devices.register_file(VirtualFile("input.dat", payload, tainted=tainted))
+    devices.register_file(VirtualFile("output.dat", b"", tainted=False))
+    return Scenario(
+        name="file-filter",
+        program=assemble(source),
+        devices=devices,
+        description="file-input transform: taint flows input → buffer → output",
+    )
+
+
+def checksum(payload: bytes = bytes(range(48, 96)), tainted: bool = True) -> Scenario:
+    """Read a file and fold it into a running checksum register."""
+    source = """
+    .data
+path:   .asciiz "data.bin"
+buf:    .space 128
+    .text
+_start:
+    li   r3, 3
+    li   r4, path
+    syscall
+    mv   r10, r3
+    li   r3, 1
+    mv   r4, r10
+    li   r5, buf
+    li   r6, 128
+    syscall
+    mv   r12, r3            # length
+    li   r7, 0              # index
+    li   r9, 0              # checksum
+sum:
+    bge  r7, r12, report
+    li   r8, buf
+    add  r8, r8, r7
+    lbu  r11, 0(r8)
+    add  r9, r9, r11
+    slli r13, r9, 3
+    xor  r9, r9, r13
+    addi r7, r7, 1
+    j    sum
+report:
+    li   r8, buf            # store checksum back (tainted store)
+    sw   r9, 0(r8)
+    li   r3, 0
+    mv   r4, r9
+    syscall
+"""
+    devices = DeviceTable()
+    devices.register_file(VirtualFile("data.bin", payload, tainted=tainted))
+    return Scenario(
+        name="checksum",
+        program=assemble(source),
+        devices=devices,
+        description="register-heavy taint propagation through ALU chains",
+    )
+
+
+def substitution_cipher(payload: bytes = b"secret message payload") -> Scenario:
+    """Translate input through a precomputed table (the bzip2/TLS case).
+
+    Classical DTA does not propagate taint through table *indices*, so
+    the output bytes are untainted even though they derive from tainted
+    input — the mechanism behind the paper's observation that bzip2 and
+    the TLS web clients show almost no tainted output pages.
+    """
+    table = bytes((i * 7 + 13) % 256 for i in range(256))
+    source = """
+    .data
+path:   .asciiz "cipher.in"
+outp:   .asciiz "cipher.out"
+buf:    .space 64
+obuf:   .space 64
+table:  .space 256
+    .text
+_start:
+    li   r3, 3
+    li   r4, path
+    syscall
+    mv   r10, r3
+    li   r3, 3
+    li   r4, outp
+    syscall
+    mv   r14, r3
+    li   r3, 1
+    mv   r4, r10
+    li   r5, buf
+    li   r6, 64
+    syscall
+    mv   r12, r3
+    li   r7, 0
+loop:
+    bge  r7, r12, out
+    li   r8, buf
+    add  r8, r8, r7
+    lbu  r9, 0(r8)          # tainted index
+    li   r11, table
+    add  r11, r11, r9
+    lbu  r13, 0(r11)        # table value: classical DTA → untainted
+    li   r8, obuf
+    add  r8, r8, r7
+    sb   r13, 0(r8)
+    addi r7, r7, 1
+    j    loop
+out:
+    li   r3, 2
+    mv   r4, r14
+    li   r5, obuf
+    mv   r6, r12
+    syscall
+    li   r3, 0
+    li   r4, 0
+    syscall
+"""
+    program = assemble(source)
+    # Pre-fill the substitution table in the data image.
+    data = bytearray(program.data)
+    offset = program.address_of("table") - program.data_base
+    data[offset : offset + 256] = table
+    program.data = bytes(data)
+    devices = DeviceTable()
+    devices.register_file(VirtualFile("cipher.in", payload, tainted=True))
+    devices.register_file(VirtualFile("cipher.out", b"", tainted=False))
+    return Scenario(
+        name="substitution-cipher",
+        program=program,
+        devices=devices,
+        description="index-based table lookup strips taint (bzip2/TLS pattern)",
+    )
+
+
+def echo_server(
+    requests: Optional[List[bytes]] = None,
+    trusted_flags: Optional[List[bool]] = None,
+) -> Scenario:
+    """Accept connections and echo each request back (the apache model).
+
+    ``trusted_flags`` marks a subset of connections trusted, reproducing
+    the paper's apache-25/50/75 policies: data from trusted connections
+    is not tainted, creating long taint-free spans between untrusted
+    requests.
+    """
+    if requests is None:
+        requests = [b"GET /index.html", b"GET /about.html", b"POST /form"]
+    if trusted_flags is None:
+        trusted_flags = [False] * len(requests)
+    if len(trusted_flags) != len(requests):
+        raise ValueError("trusted_flags must match requests")
+
+    source = """
+    .data
+buf:    .space 256
+    .text
+_start:
+    li   r3, 5              # SOCKET(listener id 1)
+    li   r4, 1
+    syscall
+    mv   r10, r3            # listening fd
+accept_loop:
+    li   r3, 6              # ACCEPT
+    mv   r4, r10
+    syscall
+    blt  r3, r0, done       # no more connections
+    mv   r11, r3            # connection fd
+    li   r3, 7              # RECV(conn, buf, 256)
+    mv   r4, r11
+    li   r5, buf
+    li   r6, 256
+    syscall
+    mv   r12, r3            # request length
+    blt  r12, r0, next
+    li   r7, 0              # "process" the request: bump each byte
+proc:
+    bge  r7, r12, reply
+    li   r8, buf
+    add  r8, r8, r7
+    lbu  r9, 0(r8)
+    addi r9, r9, 1
+    sb   r9, 0(r8)
+    addi r7, r7, 1
+    j    proc
+reply:
+    li   r3, 8              # SEND(conn, buf, len)
+    mv   r4, r11
+    li   r5, buf
+    mv   r6, r12
+    syscall
+next:
+    li   r3, 4              # CLOSE(conn)
+    mv   r4, r11
+    syscall
+    j    accept_loop
+done:
+    li   r3, 0
+    li   r4, 0
+    syscall
+"""
+    devices = DeviceTable()
+    listener = ListeningSocket(name="web")
+    for index, (request, trusted) in enumerate(zip(requests, trusted_flags)):
+        listener.pending.append(
+            VirtualSocket(
+                peer=f"client-{index}", inbound=[request], trusted=trusted
+            )
+        )
+
+    def setup(cpu) -> None:
+        cpu.syscalls.register_listener(listener, listen_id=1)
+
+    return Scenario(
+        name="echo-server",
+        program=assemble(source),
+        devices=devices,
+        description="request/response server with per-connection trust",
+        setup=setup,
+    )
+
+
+def phased_compute(
+    payload: bytes = b"0123456789abcdef",
+    clean_iterations: int = 400,
+) -> Scenario:
+    """Clean compute → tainted file processing → clean compute.
+
+    The canonical Figure 2 workload: two long taint-free epochs around
+    one taint-handling epoch, which is exactly the structure S-LATCH
+    turns into hardware-speed execution.
+    """
+    source = f"""
+    .data
+path:   .asciiz "phase.in"
+buf:    .space 64
+    .text
+_start:
+    # ---- phase (a): taint-free numeric loop ----
+    li   r7, 0
+    li   r9, 1
+    li   r14, {clean_iterations}
+p1:
+    bge  r7, r14, p1_done
+    add  r9, r9, r7
+    slli r8, r9, 1
+    xor  r9, r9, r8
+    addi r7, r7, 1
+    j    p1
+p1_done:
+    # ---- phase (b): process tainted file ----
+    li   r3, 3
+    li   r4, path
+    syscall
+    mv   r10, r3
+    li   r3, 1
+    mv   r4, r10
+    li   r5, buf
+    li   r6, 64
+    syscall
+    mv   r12, r3
+    li   r7, 0
+p2:
+    bge  r7, r12, p2_done
+    li   r8, buf
+    add  r8, r8, r7
+    lbu  r11, 0(r8)
+    addi r11, r11, 1
+    sb   r11, 0(r8)
+    addi r7, r7, 1
+    j    p2
+p2_done:
+    # overwrite the buffer with constants: clears the taint
+    li   r7, 0
+p2_clear:
+    bge  r7, r12, p3_start
+    li   r8, buf
+    add  r8, r8, r7
+    sb   r0, 0(r8)
+    addi r7, r7, 1
+    j    p2_clear
+p3_start:
+    # ---- phase (c): taint-free numeric loop ----
+    li   r7, 0
+p3:
+    bge  r7, r14, p3_done
+    add  r9, r9, r7
+    srli r8, r9, 1
+    add  r9, r9, r8
+    addi r7, r7, 1
+    j    p3
+p3_done:
+    li   r3, 0
+    li   r4, 0
+    syscall
+"""
+    devices = DeviceTable()
+    devices.register_file(VirtualFile("phase.in", payload, tainted=True))
+    return Scenario(
+        name="phased-compute",
+        program=assemble(source),
+        devices=devices,
+        description="Figure 2: taint-free epochs around one taint-handling epoch",
+    )

@@ -1,0 +1,101 @@
+"""On-disk persistence for workload artefacts (.npz).
+
+Large calibrated traces are expensive to regenerate; these helpers save
+and load :class:`~repro.workloads.trace.AccessTrace` and
+:class:`~repro.workloads.trace.EpochStream` objects as compressed numpy
+archives, so a sweep can be generated once and replayed many times
+(or shared between machines for reproducibility).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.workloads.trace import AccessTrace, EpochStream, TaintLayout
+
+_FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def save_access_trace(trace: AccessTrace, path: PathLike) -> None:
+    """Write an access trace (including its taint layout) to ``path``."""
+    extents = np.array(trace.layout.extents, dtype=np.int64).reshape(-1, 2)
+    pages = np.fromiter(
+        sorted(trace.layout.accessed_pages),
+        dtype=np.int64,
+        count=len(trace.layout.accessed_pages),
+    )
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        kind=np.bytes_(b"access-trace"),
+        name=np.bytes_(trace.name.encode()),
+        addresses=trace.addresses,
+        sizes=trace.sizes,
+        is_write=trace.is_write,
+        tainted=trace.tainted,
+        gap_before=trace.gap_before,
+        active_epoch=trace.active_epoch,
+        extents=extents,
+        accessed_pages=pages,
+    )
+
+
+def load_access_trace(path: PathLike) -> AccessTrace:
+    """Read an access trace written by :func:`save_access_trace`."""
+    with np.load(path) as archive:
+        _check(archive, b"access-trace", path)
+        layout = TaintLayout(
+            extents=[tuple(row) for row in archive["extents"].tolist()],
+            accessed_pages=set(archive["accessed_pages"].tolist()),
+        )
+        return AccessTrace(
+            name=bytes(archive["name"]).decode(),
+            addresses=archive["addresses"],
+            sizes=archive["sizes"],
+            is_write=archive["is_write"],
+            tainted=archive["tainted"],
+            gap_before=archive["gap_before"],
+            active_epoch=archive["active_epoch"],
+            layout=layout,
+        )
+
+
+def save_epoch_stream(stream: EpochStream, path: PathLike) -> None:
+    """Write an epoch stream to ``path``."""
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        kind=np.bytes_(b"epoch-stream"),
+        name=np.bytes_(stream.name.encode()),
+        lengths=stream.lengths,
+        tainted_counts=stream.tainted_counts,
+    )
+
+
+def load_epoch_stream(path: PathLike) -> EpochStream:
+    """Read an epoch stream written by :func:`save_epoch_stream`."""
+    with np.load(path) as archive:
+        _check(archive, b"epoch-stream", path)
+        return EpochStream(
+            name=bytes(archive["name"]).decode(),
+            lengths=archive["lengths"],
+            tainted_counts=archive["tainted_counts"],
+        )
+
+
+def _check(archive, expected_kind: bytes, path: PathLike) -> None:
+    if "kind" not in archive or bytes(archive["kind"]) != expected_kind:
+        raise ValueError(
+            f"{path}: not a {expected_kind.decode()} archive"
+        )
+    version = int(archive["format_version"])
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported format version {version} "
+            f"(this build reads {_FORMAT_VERSION})"
+        )

@@ -1,0 +1,78 @@
+"""Named workload suites and sweep helpers.
+
+Thin conveniences over :mod:`repro.workloads.profiles` used by the
+benchmark harness, the `reproduce` driver, and downstream sweeps:
+
+* :data:`SPEC_SUITE` / :data:`NETWORK_SUITE` / :data:`FULL_SUITE` — the
+  paper's benchmark groupings, in its column order.
+* :data:`POOR_LOCALITY` / :data:`PAGE_ALIGNED` — the subsets the paper
+  repeatedly singles out (Sections 3.2–3.3, 6.1, 6.3).
+* :func:`iter_generators` — seeded generators for a suite.
+* :func:`suite_summary` — one-line stats per benchmark (sanity view).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.profiles import (
+    NETWORK_PROFILES,
+    SPEC_PROFILES,
+    WorkloadProfile,
+    get_profile,
+)
+
+#: The 20 SPEC CPU 2006 benchmarks, in the paper's column order.
+SPEC_SUITE: Tuple[str, ...] = tuple(p.name for p in SPEC_PROFILES)
+
+#: The 7 network applications (apache == apache-0).
+NETWORK_SUITE: Tuple[str, ...] = tuple(p.name for p in NETWORK_PROFILES)
+
+#: Everything, SPEC first.
+FULL_SUITE: Tuple[str, ...] = SPEC_SUITE + NETWORK_SUITE
+
+#: "The four remaining benchmarks, astar, sphinx, perl and soplex, more
+#: closely resemble program B" — the poor-temporal-locality group.
+POOR_LOCALITY: Tuple[str, ...] = ("astar", "perlbench", "soplex", "sphinx")
+
+#: "The bzip2, gobmk, and lbm benchmark are notable in that the
+#: coarse-grained tainting policies produced few or no false positives."
+PAGE_ALIGNED: Tuple[str, ...] = ("bzip2", "gobmk", "lbm")
+
+#: The Apache trust-policy sweep of Section 3.1.
+APACHE_SWEEP: Tuple[str, ...] = (
+    "apache", "apache-25", "apache-50", "apache-75",
+)
+
+
+def profiles_for(names: Sequence[str]) -> List[WorkloadProfile]:
+    """Resolve benchmark names to profiles (KeyError on unknown)."""
+    return [get_profile(name) for name in names]
+
+
+def iter_generators(
+    names: Sequence[str] = FULL_SUITE, seed: int = 0
+) -> Iterator[Tuple[str, WorkloadGenerator]]:
+    """Yield ``(name, generator)`` pairs for a suite."""
+    for name in names:
+        yield name, WorkloadGenerator(get_profile(name), seed=seed)
+
+
+def suite_summary(
+    names: Sequence[str] = FULL_SUITE,
+    epoch_scale: int = 2_000_000,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Quick per-benchmark statistics (taint %, epochs, tainted pages)."""
+    summary: Dict[str, Dict[str, float]] = {}
+    for name, generator in iter_generators(names, seed=seed):
+        stream = generator.epoch_stream(epoch_scale)
+        layout = generator.layout()
+        summary[name] = {
+            "taint_percent": 100.0 * stream.tainted_fraction,
+            "epochs": float(stream.epoch_count),
+            "pages_accessed": float(len(layout.accessed_pages)),
+            "pages_tainted": float(len(layout.tainted_pages())),
+        }
+    return summary

@@ -1,0 +1,96 @@
+"""Reuse-distance tests, including equivalence with the LRU cache model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.reuse import (
+    COLD,
+    ReuseProfile,
+    lru_hit_rate,
+    reuse_distances,
+)
+from repro.mem.cache import SetAssociativeCache
+
+
+class TestDistances:
+    def test_first_touch_is_cold(self):
+        distances = reuse_distances(np.array([0, 16, 32]), granularity=16)
+        assert (distances == COLD).all()
+
+    def test_immediate_reuse_distance_zero(self):
+        distances = reuse_distances(np.array([0, 0]), granularity=16)
+        assert distances[1] == 0
+
+    def test_one_intervening_granule(self):
+        distances = reuse_distances(np.array([0, 16, 0]), granularity=16)
+        assert distances[2] == 1
+
+    def test_duplicate_intervening_counts_once(self):
+        # A B B A: only one distinct granule between the As.
+        distances = reuse_distances(np.array([0, 16, 16, 0]), granularity=16)
+        assert distances[3] == 1
+
+    def test_same_line_different_bytes(self):
+        distances = reuse_distances(np.array([0, 5, 15]), granularity=16)
+        assert distances[1] == 0 and distances[2] == 0
+
+    def test_granularity_validation(self):
+        with pytest.raises(ValueError):
+            reuse_distances(np.array([0]), granularity=0)
+
+
+class TestHitRate:
+    def test_cold_accesses_never_hit(self):
+        distances = np.array([COLD, COLD, 0, 5])
+        assert lru_hit_rate(distances, capacity_lines=8) == pytest.approx(0.5)
+
+    def test_capacity_threshold(self):
+        distances = np.array([3, 4])
+        assert lru_hit_rate(distances, 4) == pytest.approx(0.5)
+        assert lru_hit_rate(distances, 5) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert lru_hit_rate(np.array([], dtype=np.int64), 4) == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=0x7FF),
+            min_size=1,
+            max_size=250,
+        ),
+        st.integers(min_value=1, max_value=32),
+    )
+    def test_predicts_fully_associative_lru_exactly(self, addresses, capacity):
+        """The stack-distance prediction equals a real LRU simulation."""
+        array = np.array(addresses, dtype=np.int64)
+        distances = reuse_distances(array, granularity=16)
+        predicted = lru_hit_rate(distances, capacity)
+
+        cache = SetAssociativeCache(num_sets=1, ways=capacity, line_size=16)
+        for address in addresses:
+            cache.access(int(address))
+        simulated = cache.stats.hit_rate
+        assert predicted == pytest.approx(simulated)
+
+
+class TestProfile:
+    def test_histogram_partitions_accesses(self):
+        trace = np.array([0, 0, 16, 0, 512, 0] * 10, dtype=np.int64)
+        distances = reuse_distances(trace, granularity=16)
+        profile = ReuseProfile.from_distances(distances, granularity=16)
+        assert sum(profile.histogram.values()) == profile.accesses
+        assert 0.0 <= profile.cold_fraction <= 1.0
+
+    def test_workload_locality_ordering(self):
+        """Hot-loop traffic has shorter reuse distances than scans."""
+        hot = np.tile(np.arange(0, 64, 4, dtype=np.int64), 50)
+        scan = np.arange(0, 12800, 4, dtype=np.int64)
+        hot_profile = ReuseProfile.from_distances(
+            reuse_distances(hot, 16), 16
+        )
+        scan_profile = ReuseProfile.from_distances(
+            reuse_distances(scan, 16), 16
+        )
+        assert hot_profile.cold_fraction < scan_profile.cold_fraction

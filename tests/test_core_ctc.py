@@ -1,0 +1,146 @@
+"""Coarse Taint Cache tests, including the clear-bit machinery."""
+
+from repro.core.ctc import CoarseTaintCache
+from repro.core.ctt import CoarseTaintTable
+from repro.core.domains import DomainGeometry
+from repro.dift.tags import ShadowMemory
+
+
+def make_ctc(entries=16, domain_size=64):
+    geometry = DomainGeometry(domain_size=domain_size)
+    ctt = CoarseTaintTable(geometry)
+    return CoarseTaintCache(geometry, ctt, entries=entries), ctt
+
+
+class TestChecking:
+    def test_miss_loads_from_ctt(self):
+        ctc, ctt = make_ctc()
+        ctt.set_domain(0x100)
+        hit, tainted = ctc.check(0x100)
+        assert not hit and tainted
+        hit, tainted = ctc.check(0x120)
+        assert hit and tainted  # same domain, now resident
+
+    def test_clean_domain_check(self):
+        ctc, _ = make_ctc()
+        _, tainted = ctc.check(0x5000)
+        assert not tainted
+
+    def test_capacity_eviction(self):
+        ctc, _ = make_ctc(entries=2)
+        span = ctc.geometry.word_span
+        ctc.check(0 * span)
+        ctc.check(1 * span)
+        ctc.check(2 * span)  # evicts line 0
+        hit, _ = ctc.check(0)
+        assert not hit
+        assert ctc.stats.evictions >= 1
+
+    def test_capacity_bytes(self):
+        ctc, _ = make_ctc(entries=16)
+        assert ctc.capacity_bytes == 64  # paper: 16 one-word lines
+
+
+class TestUpdates:
+    def test_set_taint_writes_through(self):
+        ctc, ctt = make_ctc()
+        ctc.update_taint(0x200, tainted=True)
+        assert ctt.is_domain_tainted(0x200)
+        hit, tainted = ctc.check(0x200)
+        assert tainted
+
+    def test_deferred_clear_keeps_ctt_bit(self):
+        ctc, ctt = make_ctc()
+        ctc.update_taint(0x200, tainted=True)
+        ctc.update_taint(0x200, tainted=False, defer_clear=True)
+        # Coarse state still tainted until reconciled (no false negatives).
+        assert ctt.is_domain_tainted(0x200)
+        _, tainted = ctc.check(0x200)
+        assert tainted
+
+    def test_reconcile_clears_clean_domains(self):
+        ctc, ctt = make_ctc()
+        shadow = ShadowMemory()
+        ctc.update_taint(0x200, tainted=True)
+        ctc.update_taint(0x200, tainted=False, defer_clear=True)
+        cleared = ctc.reconcile_clears(shadow.region_clean)
+        assert cleared == 1
+        assert not ctt.is_domain_tainted(0x200)
+        _, tainted = ctc.check(0x200)
+        assert not tainted
+
+    def test_reconcile_respects_remaining_taint(self):
+        ctc, ctt = make_ctc()
+        shadow = ShadowMemory()
+        shadow.set(0x210, 1)  # another byte in the domain is still tainted
+        ctc.update_taint(0x200, tainted=True)
+        ctc.update_taint(0x200, tainted=False, defer_clear=True)
+        cleared = ctc.reconcile_clears(shadow.region_clean)
+        assert cleared == 0
+        assert ctt.is_domain_tainted(0x200)
+
+    def test_set_after_clear_deasserts_clear_bit(self):
+        ctc, ctt = make_ctc()
+        shadow = ShadowMemory()
+        ctc.update_taint(0x200, tainted=True)
+        ctc.update_taint(0x200, tainted=False, defer_clear=True)
+        ctc.update_taint(0x200, tainted=True)  # re-taint
+        cleared = ctc.reconcile_clears(shadow.region_clean)
+        assert cleared == 0  # clear bit was de-asserted by the re-taint
+        assert ctt.is_domain_tainted(0x200)
+
+    def test_immediate_clear_with_oracle(self):
+        ctc, ctt = make_ctc()
+        shadow = ShadowMemory()
+        ctc.update_taint(0x200, tainted=True)
+        ctc.update_taint(
+            0x200, tainted=False, defer_clear=False,
+            clean_oracle=shadow.region_clean,
+        )
+        assert not ctt.is_domain_tainted(0x200)
+
+    def test_immediate_clear_requires_oracle(self):
+        ctc, _ = make_ctc()
+        ctc.update_taint(0x200, tainted=True)
+        try:
+            ctc.update_taint(0x200, tainted=False, defer_clear=False)
+            assert False
+        except ValueError:
+            pass
+
+    def test_clear_bit_eviction_raises_pending_reconcile(self):
+        ctc, ctt = make_ctc(entries=1)
+        shadow = ShadowMemory()
+        span = ctc.geometry.word_span
+        ctc.update_taint(0x40, tainted=True)
+        ctc.update_taint(0x40, tainted=False, defer_clear=True)
+        ctc.check(span * 5)  # evicts the line carrying the clear bit
+        assert ctc.clear_bit_evictions == 1
+        cleared = ctc.reconcile_clears(shadow.region_clean)
+        assert cleared == 1
+        assert not ctt.is_domain_tainted(0x40)
+
+
+class TestCoherence:
+    def test_refresh_resident(self):
+        ctc, ctt = make_ctc()
+        ctc.check(0x100)  # resident clean line
+        ctt.set_domain(0x100)  # CTT modified behind the CTC's back
+        _, tainted = ctc.check(0x100)
+        assert not tainted  # stale
+        ctc.refresh_resident(0x100)
+        _, tainted = ctc.check(0x100)
+        assert tainted
+
+    def test_invalidate(self):
+        ctc, _ = make_ctc()
+        ctc.check(0x100)
+        assert ctc.invalidate(0x100)
+        assert not ctc.invalidate(0x100)
+
+    def test_flush(self):
+        ctc, _ = make_ctc()
+        ctc.check(0x0)
+        ctc.flush()
+        hit, _ = ctc.check(0x0)
+        assert not hit

@@ -1,0 +1,86 @@
+"""Coarse Taint Table tests."""
+
+from repro.core.ctt import CoarseTaintTable
+from repro.core.domains import DomainGeometry
+
+
+def make_table(domain_size=64):
+    return CoarseTaintTable(DomainGeometry(domain_size=domain_size))
+
+
+class TestBits:
+    def test_initially_clean(self):
+        table = make_table()
+        assert not table.is_domain_tainted(0x1234)
+        assert table.tainted_domain_count() == 0
+
+    def test_set_and_clear(self):
+        table = make_table()
+        assert table.set_domain(0x100)
+        assert table.is_domain_tainted(0x100)
+        assert table.is_domain_tainted(0x13F)  # same 64 B domain
+        assert not table.is_domain_tainted(0x140)
+        assert table.clear_domain(0x100)
+        assert not table.is_domain_tainted(0x100)
+
+    def test_idempotent_returns(self):
+        table = make_table()
+        assert table.set_domain(0)
+        assert not table.set_domain(0)
+        assert table.clear_domain(0)
+        assert not table.clear_domain(0)
+
+    def test_zero_words_elided(self):
+        table = make_table()
+        table.set_domain(0x100)
+        table.clear_domain(0x100)
+        assert table.tainted_words() == set()
+
+    def test_any_domain_tainted_over_range(self):
+        table = make_table()
+        table.set_domain(0x80)
+        assert table.any_domain_tainted(0x40, 0x100)
+        assert not table.any_domain_tainted(0x100, 0x40)
+        assert table.any_domain_tainted(0x7F, 2)  # straddles into domain
+
+    def test_word_value(self):
+        table = make_table()
+        table.set_domain(0)       # bit 0 of word 0
+        table.set_domain(64 * 5)  # bit 5
+        assert table.word(0) == 0b100001
+        assert table.word(1) == 0
+
+    def test_set_word(self):
+        table = make_table()
+        table.set_word(2, 0xF)
+        assert table.is_domain_tainted(2 * 2048)
+        table.set_word(2, 0)
+        assert not table.is_domain_tainted(2 * 2048)
+
+    def test_iter_tainted_domains(self):
+        table = make_table()
+        table.set_domain(64 * 40)
+        table.set_domain(0)
+        assert list(table.iter_tainted_domains()) == [0, 40]
+
+    def test_clear_all(self):
+        table = make_table()
+        table.set_domain(0)
+        table.clear_all()
+        assert table.tainted_domain_count() == 0
+
+
+class TestPageSummaries:
+    def test_page_word_or(self):
+        table = make_table()
+        table.set_domain(0x0800)  # second half of page 0
+        assert table.page_word_or(0) != 0
+        assert table.page_word_or(1) == 0
+
+    def test_page_taint_bits_per_word(self):
+        table = make_table()
+        table.set_domain(0x0000)  # page 0, page-domain 0
+        table.set_domain(0x1800)  # page 1, page-domain 1
+        assert table.page_taint_bits(0) == 0b01
+        assert table.page_taint_bits(1) == 0b10
+        assert table.page_taint_bits(2) == 0

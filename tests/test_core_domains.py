@@ -1,0 +1,97 @@
+"""Taint-domain geometry tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.domains import DOMAINS_PER_WORD, DomainGeometry
+
+
+class TestConstruction:
+    def test_defaults_match_paper(self):
+        geometry = DomainGeometry()
+        assert geometry.domain_size == 64
+        assert geometry.word_span == 2048      # 32 domains × 64 B
+        assert geometry.page_domains == 2      # two TLB taint bits / page
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            DomainGeometry(domain_size=48)
+
+    def test_word_span_must_fit_page(self):
+        with pytest.raises(ValueError):
+            DomainGeometry(domain_size=256)  # word span 8K > 4K page
+        DomainGeometry(domain_size=128)      # span 4K == page: fine
+
+    def test_small_domain(self):
+        geometry = DomainGeometry(domain_size=8)
+        assert geometry.word_span == 256
+        assert geometry.page_domains == 16
+
+
+class TestAddressMath:
+    def test_domain_index_and_base(self):
+        geometry = DomainGeometry(domain_size=64)
+        assert geometry.domain_index(0) == 0
+        assert geometry.domain_index(63) == 0
+        assert geometry.domain_index(64) == 1
+        assert geometry.domain_base(0x12345) == 0x12340
+
+    def test_word_index(self):
+        geometry = DomainGeometry(domain_size=64)
+        assert geometry.word_index(0) == 0
+        assert geometry.word_index(2047) == 0
+        assert geometry.word_index(2048) == 1
+
+    def test_bit_offset_cycles(self):
+        geometry = DomainGeometry(domain_size=64)
+        assert geometry.bit_offset(0) == 0
+        assert geometry.bit_offset(64) == 1
+        assert geometry.bit_offset(64 * 31) == 31
+        assert geometry.bit_offset(64 * 32) == 0
+
+    def test_page_domain_index(self):
+        geometry = DomainGeometry(domain_size=64)
+        assert geometry.page_domain_index(0x0000) == 0
+        assert geometry.page_domain_index(0x07FF) == 0
+        assert geometry.page_domain_index(0x0800) == 1
+        assert geometry.page_domain_index(0x1000) == 0  # next page
+
+    def test_domains_in_range(self):
+        geometry = DomainGeometry(domain_size=64)
+        assert list(geometry.domains_in_range(0, 64)) == [0]
+        assert list(geometry.domains_in_range(60, 8)) == [0, 1]
+        assert list(geometry.domains_in_range(0, 0)) == []
+
+    def test_words_in_range(self):
+        geometry = DomainGeometry(domain_size=64)
+        assert list(geometry.words_in_range(2040, 16)) == [0, 1]
+
+    def test_domain_range_inverse(self):
+        geometry = DomainGeometry(domain_size=64)
+        base, size = geometry.domain_range(5)
+        assert base == 320 and size == 64
+
+
+class TestProperties:
+    @given(
+        st.sampled_from([8, 16, 32, 64, 128]),
+        st.integers(min_value=0, max_value=0xFFFF_FFFF),
+    )
+    def test_bit_and_word_consistent(self, domain_size, address):
+        geometry = DomainGeometry(domain_size=domain_size)
+        domain = geometry.domain_index(address)
+        assert domain == (
+            geometry.word_index(address) * DOMAINS_PER_WORD
+            + geometry.bit_offset(address)
+        )
+
+    @given(
+        st.sampled_from([8, 64, 128]),
+        st.integers(min_value=0, max_value=0xFFFF_0000),
+        st.integers(min_value=1, max_value=512),
+    )
+    def test_every_byte_covered_by_listed_domains(self, size, address, length):
+        geometry = DomainGeometry(domain_size=size)
+        domains = set(geometry.domains_in_range(address, length))
+        for offset in (0, length // 2, length - 1):
+            assert geometry.domain_index(address + offset) in domains

@@ -1,0 +1,128 @@
+"""Differential tests: LATCH-gated DIFT ≡ pure software DIFT.
+
+The paper's central accuracy claim: "LATCH implements this policy
+without sacrificing the accuracy of DIFT" — the combined system offers
+precise taint checking with no false negatives (Section 1, Figure 1).
+
+Every scenario is executed twice — once under a reference
+:class:`repro.dift.DIFTEngine` (always-on software tracking) and once
+under the functional :class:`repro.slatch.SLatchSystem` — and must
+produce identical alerts and identical final taint state, across a
+sweep of timeout values (aggressive switching stresses the clear-bit
+reconcile and TRF resynchronisation paths the hardest).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.dift.engine import DIFTEngine
+from repro.dift.policy import TaintPolicy, leak_detection_policy
+from repro.slatch.controller import SLatchSystem
+from repro.slatch.costs import SLatchCostModel
+from repro.core.latch import LatchConfig
+from repro.workloads import attacks, programs
+
+SCENARIO_BUILDERS = [
+    ("file-filter", lambda: programs.file_filter(), None),
+    ("file-filter-clean", lambda: programs.file_filter(tainted=False), None),
+    ("checksum", lambda: programs.checksum(), None),
+    ("cipher", lambda: programs.substitution_cipher(), None),
+    ("echo", lambda: programs.echo_server(), None),
+    (
+        "echo-mixed-trust",
+        lambda: programs.echo_server(
+            requests=[b"a" * 30, b"b" * 30, b"c" * 30, b"d" * 30],
+            trusted_flags=[True, False, True, False],
+        ),
+        None,
+    ),
+    ("phased", lambda: programs.phased_compute(), None),
+    ("overflow-benign", lambda: attacks.buffer_overflow(hijack=False), None),
+    ("overflow-hijack", lambda: attacks.buffer_overflow(hijack=True), None),
+    ("leak", lambda: attacks.data_leak(leak=True), leak_detection_policy),
+    ("leak-benign", lambda: attacks.data_leak(leak=False), leak_detection_policy),
+]
+
+TIMEOUTS = [1, 7, 50, 1000]
+
+
+def run_reference(build, policy_factory):
+    scenario = build()
+    cpu = scenario.make_cpu()
+    engine = DIFTEngine(policy_factory() if policy_factory else None)
+    cpu.attach(engine)
+    try:
+        cpu.run(300_000)
+    except Exception:
+        pass
+    return engine
+
+
+def run_gated(build, policy_factory, timeout, latch_config=None):
+    scenario = build()
+    cpu = scenario.make_cpu()
+    costs = dataclasses.replace(SLatchCostModel(), timeout_instructions=timeout)
+    system = SLatchSystem(
+        cpu,
+        policy=policy_factory() if policy_factory else None,
+        latch_config=latch_config,
+        costs=costs,
+    )
+    try:
+        cpu.run(300_000)
+    except Exception:
+        pass
+    return system
+
+
+def state_signature(engine):
+    return (
+        [(alert.kind, alert.pc) for alert in engine.alerts],
+        list(engine.shadow.iter_tainted_bytes()),
+        [engine.trf.get(register) for register in range(16)],
+    )
+
+
+@pytest.mark.parametrize(
+    "name,build,policy_factory",
+    SCENARIO_BUILDERS,
+    ids=[entry[0] for entry in SCENARIO_BUILDERS],
+)
+@pytest.mark.parametrize("timeout", TIMEOUTS)
+def test_gated_equals_reference(name, build, policy_factory, timeout):
+    reference = run_reference(build, policy_factory)
+    gated = run_gated(build, policy_factory, timeout)
+    ref_alerts, ref_shadow, ref_trf = state_signature(reference)
+    gated_alerts, gated_shadow, gated_trf = state_signature(gated.engine)
+    assert gated_alerts == ref_alerts
+    assert gated_shadow == ref_shadow
+    assert gated_trf == ref_trf
+
+
+@pytest.mark.parametrize("domain_size", [8, 32, 64, 128])
+def test_equivalence_across_domain_sizes(domain_size):
+    """Coarser domains create more false positives, never different
+    results."""
+    config = LatchConfig(domain_size=domain_size, ctc_entries=4, tlb_entries=8)
+    reference = run_reference(lambda: programs.file_filter(), None)
+    gated = run_gated(lambda: programs.file_filter(), None, 25, config)
+    assert state_signature(gated.engine) == state_signature(reference)
+
+
+@pytest.mark.parametrize("ctc_entries", [1, 2, 16])
+def test_equivalence_under_ctc_pressure(ctc_entries):
+    """A tiny CTC forces evictions (including clear-bit evictions)
+    without affecting correctness."""
+    config = LatchConfig(ctc_entries=ctc_entries, tlb_entries=2)
+    reference = run_reference(lambda: programs.phased_compute(), None)
+    gated = run_gated(lambda: programs.phased_compute(), None, 10, config)
+    assert state_signature(gated.engine) == state_signature(reference)
+
+
+def test_detection_latency_identical_for_hijack():
+    """The hijack is flagged at the same instruction in both systems."""
+    reference = run_reference(lambda: attacks.buffer_overflow(True), None)
+    gated = run_gated(lambda: attacks.buffer_overflow(True), None, 50)
+    assert reference.alerts and gated.engine.alerts
+    assert reference.alerts[0].pc == gated.engine.alerts[0].pc

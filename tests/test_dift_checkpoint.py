@@ -1,0 +1,99 @@
+"""Checkpoint/restore tests."""
+
+import pytest
+
+from repro.core.latch import LatchModule
+from repro.dift.checkpoint import (
+    engine_state,
+    load_checkpoint,
+    restore_engine_state,
+    save_checkpoint,
+)
+from repro.dift.engine import DIFTEngine
+from repro.dift.policy import TaintPolicy
+from repro.workloads.programs import file_filter
+
+
+def monitored_engine():
+    scenario = file_filter()
+    cpu = scenario.make_cpu()
+    engine = DIFTEngine(TaintPolicy(color_by_source=True))
+    cpu.attach(engine)
+    cpu.run(100_000)
+    return engine
+
+
+class TestRoundTrip:
+    def test_state_roundtrips(self, tmp_path):
+        source = monitored_engine()
+        path = tmp_path / "state.json"
+        save_checkpoint(source, path)
+
+        target = DIFTEngine()
+        load_checkpoint(target, path)
+        assert (
+            list(target.shadow.iter_tainted_bytes())
+            == list(source.shadow.iter_tainted_bytes())
+        )
+        for address in source.shadow.iter_tainted_bytes():
+            assert target.shadow.get(address) == source.shadow.get(address)
+        for register in range(16):
+            assert target.trf.get(register) == source.trf.get(register)
+        assert target.stats.tainted_instructions == (
+            source.stats.tainted_instructions
+        )
+
+    def test_restore_replaces_existing_state(self):
+        source = monitored_engine()
+        target = DIFTEngine()
+        target.shadow.set_range(0xAAAA, 32, 1)  # stale taint to be dropped
+        restore_engine_state(target, engine_state(source))
+        assert not target.shadow.any_tainted(0xAAAA, 32)
+
+    def test_alerts_preserved(self, tmp_path):
+        from repro.workloads.attacks import buffer_overflow
+
+        scenario = buffer_overflow(hijack=True)
+        cpu = scenario.make_cpu()
+        engine = DIFTEngine()
+        cpu.attach(engine)
+        try:
+            cpu.run(100_000)
+        except Exception:
+            pass
+        assert engine.alerts
+        path = tmp_path / "state.json"
+        save_checkpoint(engine, path)
+        target = DIFTEngine()
+        load_checkpoint(target, path)
+        assert [(a.kind, a.pc) for a in target.alerts] == [
+            (a.kind, a.pc) for a in engine.alerts
+        ]
+
+    def test_version_guard(self):
+        with pytest.raises(ValueError):
+            restore_engine_state(DIFTEngine(), {"format_version": 99})
+
+
+class TestLatchRebuild:
+    def test_restore_rebuilds_coarse_state_through_listener(self):
+        """Attaching a LATCH to the restoring engine yields a coherent
+        coarse ⊇ precise state — the paper's attach-to-running-process
+        scenario."""
+        source = monitored_engine()
+        target = DIFTEngine()
+        latch = LatchModule()
+        target.add_tag_listener(lambda a, t: latch.update_memory_tags(a, t))
+        restore_engine_state(target, engine_state(source))
+        for address in target.shadow.iter_tainted_bytes():
+            assert latch.check_memory(address, 1).coarse_tainted
+
+    def test_colors_survive(self, tmp_path):
+        source = monitored_engine()
+        allocated = source.colors.allocated
+        assert allocated >= 1
+        path = tmp_path / "state.json"
+        save_checkpoint(source, path)
+        target = DIFTEngine()
+        load_checkpoint(target, path)
+        assert target.colors.allocated == allocated

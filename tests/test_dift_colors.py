@@ -1,0 +1,127 @@
+"""Taint-colour tests: per-source tags and alert provenance."""
+
+import pytest
+
+from repro.dift.colors import OVERFLOW_COLOR, ColorAllocator, colors_in_tags
+from repro.dift.engine import DIFTEngine
+from repro.dift.policy import TaintPolicy
+from repro.isa.assembler import assemble
+from repro.machine.cpu import CPU
+from repro.machine.devices import DeviceTable, VirtualFile
+from repro.machine.events import InputEvent
+
+
+class TestAllocator:
+    def test_stable_assignment(self):
+        allocator = ColorAllocator()
+        first = allocator.tag_for("a.txt")
+        second = allocator.tag_for("b.txt")
+        assert first != second
+        assert allocator.tag_for("a.txt") == first
+        assert allocator.allocated == 2
+
+    def test_tags_nonzero(self):
+        allocator = ColorAllocator()
+        assert allocator.tag_for("x") != 0
+
+    def test_name_lookup(self):
+        allocator = ColorAllocator()
+        tag = allocator.tag_for("socket:peer-1")
+        assert allocator.name_for(tag) == "socket:peer-1"
+        assert allocator.name_for(0) == "<untainted>"
+
+    def test_overflow_pooling(self):
+        allocator = ColorAllocator()
+        for index in range(300):
+            allocator.tag_for(f"source-{index}")
+        assert allocator.tag_for("source-299") == OVERFLOW_COLOR
+        assert allocator.name_for(OVERFLOW_COLOR) == "<multiple-sources>"
+
+    def test_names_for_sequence(self):
+        allocator = ColorAllocator()
+        a = allocator.tag_for("a")
+        b = allocator.tag_for("b")
+        assert allocator.names_for([0, a, b, a]) == ["a", "b"]
+
+    def test_colors_in_tags(self):
+        assert colors_in_tags(b"\x00\x02\x00\x05\x02") == {2, 5}
+
+
+class TestColouredEngine:
+    def _input(self, name, address, data=b"xy"):
+        return InputEvent(
+            step_index=0,
+            address=address,
+            data=data,
+            source_kind="file",
+            source_name=name,
+            tainted_hint=True,
+        )
+
+    def test_sources_get_distinct_tags(self):
+        engine = DIFTEngine(TaintPolicy(color_by_source=True))
+        engine.on_input(self._input("alpha", 0x100))
+        engine.on_input(self._input("beta", 0x200))
+        assert engine.shadow.get(0x100) != engine.shadow.get(0x200)
+        assert engine.shadow.get(0x100) != 0
+
+    def test_default_policy_uses_single_tag(self):
+        engine = DIFTEngine()
+        engine.on_input(self._input("alpha", 0x100))
+        engine.on_input(self._input("beta", 0x200))
+        assert engine.shadow.get(0x100) == engine.shadow.get(0x200) == 1
+
+    def test_alert_attributes_source(self):
+        source = """
+        .data
+p: .asciiz "evil.bin"
+b: .space 8
+        .text
+_start:
+    li r3, 3
+    li r4, p
+    syscall
+    mv r10, r3
+    li r3, 1
+    mv r4, r10
+    li r5, b
+    li r6, 4
+    syscall
+    li r8, b
+    lw r9, 0(r8)
+    jalr r1, 0(r9)
+    halt
+"""
+        devices = DeviceTable()
+        devices.register_file(VirtualFile("evil.bin", b"\x00\x20\x00\x00"))
+        cpu = CPU(assemble(source), devices=devices)
+        engine = DIFTEngine(TaintPolicy(color_by_source=True))
+        cpu.attach(engine)
+        try:
+            cpu.run(1000)
+        except Exception:
+            pass
+        assert engine.alerts
+        assert "evil.bin" in engine.alerts[0].detail
+
+    def test_colours_survive_propagation(self):
+        engine = DIFTEngine(TaintPolicy(color_by_source=True))
+        engine.on_input(self._input("alpha", 0x100, b"\x01\x02\x03\x04"))
+        tag = engine.shadow.get(0x100)
+        # Propagate through a load: the register tags carry the colour.
+        from repro.isa.instructions import Instruction, Opcode
+        from repro.machine.events import MemoryAccess, StepEvent
+
+        engine.on_step(
+            StepEvent(
+                index=0,
+                pc=0,
+                instruction=Instruction(Opcode.LW, rd=5, rs1=1, imm=0),
+                regs_read=(1,),
+                regs_written=(5,),
+                reads=(MemoryAccess(0x100, 4, False),),
+                next_pc=4,
+            )
+        )
+        assert set(engine.trf.get(5)) == {tag}
+        assert engine.colors.names_for(engine.trf.get(5)) == ["alpha"]

@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    ("quickstart.py", []),
+    ("attack_detection.py", []),
+    ("web_server_gating.py", []),
+    ("locality_survey.py", ["--scale", "1000000"]),
+    ("hlatch_cache_study.py", ["--window", "40000", "--benchmarks", "gcc", "curl"]),
+    ("record_and_analyze.py", []),
+    ("performance_models.py",
+     ["--benchmarks", "gcc", "curl", "--scale", "1000000"]),
+]
+
+
+@pytest.mark.parametrize("script,args", EXAMPLES, ids=[e[0] for e in EXAMPLES])
+def test_example_runs(script, args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_quickstart_reports_matching_taint():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "final taint state matches plain DIFT: True" in result.stdout
+
+
+def test_attack_detection_flags_only_malicious():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "attack_detection.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.stdout.count("tainted-jump") == 2  # plain + S-LATCH
+    assert result.stdout.count("tainted-output") == 2

@@ -1,0 +1,168 @@
+"""H-LATCH tests: taint-cache geometry, filtering, update chain."""
+
+import numpy as np
+import pytest
+
+from repro.core.latch import CheckLevel, LatchConfig
+from repro.hlatch.baseline import ConventionalTaintCache, run_baseline
+from repro.hlatch.system import HLatchSystem, run_hlatch
+from repro.hlatch.taint_cache import (
+    CONVENTIONAL_TAINT_CACHE,
+    HLATCH_TAINT_CACHE,
+    PreciseTaintCache,
+    TaintCacheConfig,
+)
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.profiles import get_profile
+from repro.workloads.trace import AccessTrace, TaintLayout
+
+
+def make_trace(addresses, tainted=None, layout=None, name="t"):
+    n = len(addresses)
+    return AccessTrace(
+        name=name,
+        addresses=np.array(addresses, dtype=np.int64),
+        sizes=np.full(n, 4, dtype=np.uint8),
+        is_write=np.zeros(n, dtype=bool),
+        tainted=np.array(tainted if tainted is not None else [False] * n),
+        gap_before=np.zeros(n, dtype=np.int64),
+        active_epoch=np.zeros(n, dtype=bool),
+        layout=layout if layout is not None else TaintLayout(),
+    )
+
+
+class TestTaintCacheGeometry:
+    def test_paper_configurations(self):
+        assert HLATCH_TAINT_CACHE.capacity_bytes == 128
+        assert HLATCH_TAINT_CACHE.lines == 32
+        assert HLATCH_TAINT_CACHE.memory_coverage == 512
+        assert CONVENTIONAL_TAINT_CACHE.capacity_bytes == 4096
+        assert CONVENTIONAL_TAINT_CACHE.memory_coverage == 16 * 1024
+
+    def test_line_covers_16_bytes(self):
+        assert HLATCH_TAINT_CACHE.memory_coverage_per_line == 16
+
+    def test_access_hit_miss(self):
+        cache = PreciseTaintCache()
+        assert not cache.access(0x100)
+        assert cache.access(0x104)  # same 16-byte line
+        assert not cache.access(0x110)
+
+    def test_spanning_access_touches_two_lines(self):
+        cache = PreciseTaintCache()
+        cache.access(0x10E, size=4)
+        assert cache.stats.accesses == 2
+
+    def test_flush(self):
+        cache = PreciseTaintCache()
+        cache.access(0)
+        cache.flush()
+        assert not cache.access(0)
+
+
+class TestBaseline:
+    def test_every_access_consults_cache(self):
+        trace = make_trace([0, 16, 32, 0])
+        report = run_baseline(trace)
+        assert report.accesses == 4
+        assert report.misses == 3
+        assert report.miss_percent == pytest.approx(75.0)
+
+    def test_hot_loop_hits(self):
+        trace = make_trace([0x100] * 100)
+        report = run_baseline(trace)
+        assert report.miss_percent == pytest.approx(1.0)
+
+
+class TestFilteredStack:
+    def test_clean_trace_never_reaches_tcache(self):
+        trace = make_trace([0x1000, 0x2000, 0x3000] * 10)
+        report = run_hlatch(trace)
+        assert report.tcache_accesses == 0
+        assert report.sent_to_precise == 0
+        assert report.resolution_split()["tlb"] == pytest.approx(1.0)
+
+    def test_tainted_accesses_reach_tcache(self):
+        layout = TaintLayout(
+            extents=[(0x1000, 64)], accessed_pages={1}
+        )
+        trace = make_trace(
+            [0x1000, 0x1010, 0x5000], [True, True, False], layout
+        )
+        report = run_hlatch(trace)
+        assert report.sent_to_precise == 2
+        assert report.tcache_accesses >= 2
+
+    def test_combined_miss_percent(self):
+        layout = TaintLayout(extents=[(0x1000, 16)], accessed_pages={1})
+        trace = make_trace([0x1000] * 100, [True] * 100, layout)
+        report = run_hlatch(trace)
+        # First access misses CTC and t-cache; the rest hit everywhere.
+        assert report.ctc_misses == 1
+        assert report.tcache_misses == 1
+        assert report.combined_miss_percent == pytest.approx(2.0)
+
+    def test_misses_avoided_metric(self):
+        layout = TaintLayout(extents=[(0x1000, 16)], accessed_pages={1})
+        trace = make_trace([0x1000] * 10, [True] * 10, layout)
+        hlatch = run_hlatch(trace)
+        baseline = run_baseline(trace)
+        assert hlatch.misses_avoided_percent(baseline.misses) == pytest.approx(
+            (baseline.misses - 2) / baseline.misses * 100.0
+        )
+
+
+class TestUpdateChain:
+    def test_write_tags_sets_then_clears_coarse_state(self):
+        system = HLatchSystem()
+        system.write_tags(0x1000, b"\x01\x01")
+        assert system.latch.ctt.is_domain_tainted(0x1000)
+        assert system.access(0x1000) == CheckLevel.PRECISE
+        # Clearing the last tags releases the domain immediately (Fig 12).
+        system.write_tags(0x1000, b"\x00\x00")
+        assert not system.latch.ctt.is_domain_tainted(0x1000)
+        assert system.access(0x1000) in (CheckLevel.TLB, CheckLevel.CTC)
+
+    def test_partial_clear_keeps_domain(self):
+        system = HLatchSystem()
+        system.write_tags(0x1000, b"\x01\x01")
+        system.write_tags(0x1000, b"\x00")  # one byte still tainted
+        assert system.latch.ctt.is_domain_tainted(0x1000)
+
+    def test_load_taint_from_layout(self):
+        layout = TaintLayout(extents=[(0x2000, 8)], accessed_pages={2})
+        system = HLatchSystem()
+        system.load_taint(layout)
+        assert system.shadow.all_tainted(0x2000, 8)
+        assert system.access(0x2000) == CheckLevel.PRECISE
+
+
+class TestTable6Shape:
+    """Qualitative Table 6/7 claims on generated workloads."""
+
+    def _reports(self, name, window=150_000):
+        generator = WorkloadGenerator(get_profile(name))
+        trace = generator.access_trace(window)
+        return run_hlatch(trace), run_baseline(trace)
+
+    def test_filtering_eliminates_most_misses(self):
+        for name in ("bzip2", "gcc", "mcf", "curl", "mySQL"):
+            hlatch, baseline = self._reports(name)
+            assert hlatch.misses_avoided_percent(baseline.misses) > 90, name
+
+    def test_astar_is_the_outlier(self):
+        astar_h, astar_b = self._reports("astar")
+        gcc_h, gcc_b = self._reports("gcc")
+        assert astar_h.combined_miss_percent > gcc_h.combined_miss_percent
+        assert astar_h.misses_avoided_percent(
+            astar_b.misses
+        ) < gcc_h.misses_avoided_percent(gcc_b.misses)
+
+    def test_tlb_deflects_most_accesses_for_low_taint(self):
+        hlatch, _ = self._reports("bzip2")
+        assert hlatch.resolution_split()["tlb"] > 0.9
+
+    def test_combined_miss_far_below_baseline(self):
+        for name in ("sphinx", "apache"):
+            hlatch, baseline = self._reports(name)
+            assert hlatch.combined_miss_percent < baseline.miss_percent / 2, name

@@ -1,0 +1,104 @@
+"""Functional H-LATCH tests: live machine, filtered caching, no accuracy loss."""
+
+import pytest
+
+from repro.dift.engine import DIFTEngine
+from repro.dift.policy import leak_detection_policy
+from repro.hlatch.machine import ConventionalMonitor, HLatchMonitor
+from repro.workloads import attacks, programs
+
+SCENARIOS = [
+    ("file-filter", lambda: programs.file_filter(), None),
+    ("checksum", lambda: programs.checksum(), None),
+    ("cipher", lambda: programs.substitution_cipher(), None),
+    ("phased", lambda: programs.phased_compute(), None),
+    ("overflow", lambda: attacks.buffer_overflow(hijack=True), None),
+    ("leak", lambda: attacks.data_leak(leak=True), leak_detection_policy),
+]
+
+
+def run_monitored(build, policy_factory, monitor_class):
+    scenario = build()
+    cpu = scenario.make_cpu()
+    monitor = monitor_class(
+        cpu, policy=policy_factory() if policy_factory else None
+    )
+    try:
+        cpu.run(300_000)
+    except Exception:
+        pass
+    return monitor
+
+
+def run_reference(build, policy_factory):
+    scenario = build()
+    cpu = scenario.make_cpu()
+    engine = DIFTEngine(policy_factory() if policy_factory else None)
+    cpu.attach(engine)
+    try:
+        cpu.run(300_000)
+    except Exception:
+        pass
+    return engine
+
+
+def signature(engine):
+    return (
+        [(alert.kind, alert.pc) for alert in engine.alerts],
+        list(engine.shadow.iter_tainted_bytes()),
+    )
+
+
+@pytest.mark.parametrize(
+    "name,build,policy", SCENARIOS, ids=[s[0] for s in SCENARIOS]
+)
+def test_hlatch_monitor_matches_reference(name, build, policy):
+    """Filtering the taint cache cannot change detection behaviour."""
+    reference = run_reference(build, policy)
+    monitor = run_monitored(build, policy, HLatchMonitor)
+    assert signature(monitor.engine) == signature(reference)
+
+
+@pytest.mark.parametrize(
+    "name,build,policy", SCENARIOS[:3], ids=[s[0] for s in SCENARIOS[:3]]
+)
+def test_conventional_monitor_matches_reference(name, build, policy):
+    reference = run_reference(build, policy)
+    monitor = run_monitored(build, policy, ConventionalMonitor)
+    assert signature(monitor.engine) == signature(reference)
+
+
+class TestCacheAccounting:
+    def test_every_memory_operand_checked(self):
+        monitor = run_monitored(lambda: programs.file_filter(), None, HLatchMonitor)
+        report = monitor.report()
+        assert report.accesses > 0
+        split = report.resolution_split()
+        assert abs(sum(split.values()) - 1.0) < 1e-9
+
+    def test_clean_program_never_touches_precise_cache(self):
+        monitor = run_monitored(
+            lambda: programs.file_filter(tainted=False), None, HLatchMonitor
+        )
+        report = monitor.report()
+        assert report.sent_to_precise == 0
+        assert report.tcache_accesses == 0
+
+    def test_figure12_clears_release_domains(self):
+        # phased_compute clears its buffer; the immediate-update chain
+        # must release the coarse state before the run ends.
+        monitor = run_monitored(lambda: programs.phased_compute(), None, HLatchMonitor)
+        assert monitor.engine.shadow.tainted_byte_count == 0
+        assert monitor.stack.latch.ctt.tainted_domain_count() == 0
+
+    def test_conventional_baseline_miss_rate(self):
+        monitor = run_monitored(
+            lambda: programs.file_filter(), None, ConventionalMonitor
+        )
+        assert 0.0 <= monitor.miss_percent <= 100.0
+        assert monitor.tcache.stats.accesses > 0
+
+    def test_coarse_state_superset_throughout(self):
+        monitor = run_monitored(lambda: programs.checksum(), None, HLatchMonitor)
+        for address in monitor.engine.shadow.iter_tainted_bytes():
+            assert monitor.stack.latch.ctt.is_domain_tainted(address)

@@ -1,0 +1,75 @@
+"""Hardware complexity-model tests (Section 6.4)."""
+
+import pytest
+
+from repro.core.latch import LatchConfig
+from repro.hw.area import (
+    AO486_BUDGET,
+    CoreBudget,
+    LatchAreaModel,
+    estimate_latch_complexity,
+)
+from repro.hw.power import estimate_power_delta
+
+
+class TestAreaModel:
+    def test_paper_configuration_close_to_reported(self):
+        report = estimate_latch_complexity(LatchConfig())
+        # Paper: +4% logic elements, +5% memory bits.
+        assert 2.0 < report.logic_percent < 6.0
+        assert 2.0 < report.memory_percent < 8.0
+
+    def test_no_cycle_time_impact(self):
+        assert not estimate_latch_complexity(LatchConfig()).affects_cycle_time
+
+    def test_ctc_memory_includes_clear_bits(self):
+        model = LatchAreaModel(LatchConfig(ctc_entries=16))
+        bits = model.ctc_memory_bits()
+        # 16 entries × (32 taint + 32 clear + tag + valid).
+        assert bits >= 16 * 64
+
+    def test_bigger_ctc_costs_more(self):
+        small = LatchAreaModel(LatchConfig(ctc_entries=16))
+        large = LatchAreaModel(LatchConfig(ctc_entries=64))
+        assert large.logic_elements() > small.logic_elements()
+        assert large.memory_bits() > small.memory_bits()
+
+    def test_disabling_tlb_bits_saves_resources(self):
+        with_bits = LatchAreaModel(LatchConfig(use_tlb_bits=True))
+        without = LatchAreaModel(LatchConfig(use_tlb_bits=False))
+        assert without.memory_bits() < with_bits.memory_bits()
+        assert without.logic_elements() < with_bits.logic_elements()
+
+    def test_trf_is_64_bits(self):
+        assert LatchAreaModel(LatchConfig()).trf_memory_bits() == 64
+
+    def test_tlb_bits_scale_with_entries_and_domains(self):
+        few = LatchAreaModel(LatchConfig(tlb_entries=64))
+        many = LatchAreaModel(LatchConfig(tlb_entries=128))
+        assert many.tlb_taint_memory_bits() == 2 * few.tlb_taint_memory_bits()
+        fine = LatchAreaModel(LatchConfig(domain_size=16))
+        assert fine.tlb_taint_memory_bits() > many.tlb_taint_memory_bits()
+
+    def test_smaller_domains_wider_tags(self):
+        fine = LatchAreaModel(LatchConfig(domain_size=8))
+        coarse = LatchAreaModel(LatchConfig(domain_size=128))
+        assert fine.ctc_tag_bits() > coarse.ctc_tag_bits()
+
+    def test_custom_budget(self):
+        budget = CoreBudget(name="big", logic_elements=300_000, memory_bits=400_000)
+        report = estimate_latch_complexity(LatchConfig(), budget=budget)
+        assert report.logic_percent < 1.0  # negligible on a big core
+
+
+class TestPowerModel:
+    def test_paper_configuration_power(self):
+        delta = estimate_power_delta(LatchConfig())
+        # Paper: +5% dynamic, +0.2% static.
+        assert 3.0 < delta.dynamic_percent < 8.0
+        assert 0.05 < delta.static_percent < 1.0
+
+    def test_power_scales_with_structures(self):
+        small = estimate_power_delta(LatchConfig(ctc_entries=16))
+        large = estimate_power_delta(LatchConfig(ctc_entries=128))
+        assert large.dynamic_percent > small.dynamic_percent
+        assert large.static_percent > small.static_percent

@@ -1,0 +1,208 @@
+"""Assembler tests: syntax, labels, pseudo-instructions, data directives."""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, DATA_BASE, TEXT_BASE, assemble
+from repro.isa.instructions import Opcode
+
+
+class TestBasicSyntax:
+    def test_empty_source(self):
+        program = assemble("")
+        assert program.instructions == []
+        assert program.entry_point == TEXT_BASE
+
+    def test_single_instruction(self):
+        program = assemble("add r1, r2, r3")
+        assert len(program.instructions) == 1
+        instr = program.instructions[0]
+        assert instr.opcode == Opcode.ADD
+        assert (instr.rd, instr.rs1, instr.rs2) == (1, 2, 3)
+
+    def test_comments_stripped(self):
+        program = assemble("add r1, r2, r3  # comment\n; full line comment\n")
+        assert len(program.instructions) == 1
+
+    def test_hash_inside_string_preserved(self):
+        program = assemble('.data\ns: .asciiz "a#b"\n.text\nnop')
+        offset = program.address_of("s") - program.data_base
+        assert program.data[offset : offset + 4] == b"a#b\x00"
+
+    def test_immediates_in_all_bases(self):
+        program = assemble(
+            "addi r1, r0, 0x10\naddi r2, r0, 0b101\naddi r3, r0, -7\n"
+            "addi r4, r0, 'A'"
+        )
+        imms = [i.imm for i in program.instructions]
+        assert imms == [16, 5, -7, 65]
+
+    def test_unknown_mnemonic_reports_line(self):
+        with pytest.raises(AssemblyError) as err:
+            assemble("nop\nfrobnicate r1\n")
+        assert "line 2" in str(err.value)
+
+    def test_missing_operand(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1, r2")
+
+
+class TestLabelsAndBranches:
+    def test_branch_offset_is_pc_relative(self):
+        program = assemble("_start:\nnop\nloop: addi r1, r1, 1\nj loop\n")
+        jal = program.instructions[2]
+        # jal at TEXT_BASE+8 targeting TEXT_BASE+4 → offset -4
+        assert jal.opcode == Opcode.JAL
+        assert jal.imm == -4
+
+    def test_forward_branch(self):
+        program = assemble("beq r1, r2, done\nnop\ndone: halt")
+        assert program.instructions[0].imm == 8
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("a:\nnop\na:\nnop")
+
+    def test_label_on_same_line(self):
+        program = assemble("start: nop")
+        assert program.address_of("start") == TEXT_BASE
+
+    def test_entry_point_from_start_label(self):
+        program = assemble("nop\n_start:\nhalt")
+        assert program.entry_point == TEXT_BASE + 4
+
+    def test_numeric_branch_target_absolute_offset(self):
+        program = assemble("beq r0, r0, 8")
+        assert program.instructions[0].imm == 8
+
+
+class TestMemoryOperands:
+    def test_load_displacement_syntax(self):
+        program = assemble("lw r1, 8(r2)")
+        instr = program.instructions[0]
+        assert (instr.rd, instr.rs1, instr.imm) == (1, 2, 8)
+
+    def test_store_displacement_syntax(self):
+        program = assemble("sw r3, -4(sp)")
+        instr = program.instructions[0]
+        assert (instr.rs2, instr.rs1, instr.imm) == (3, 2, -4)
+
+    def test_bare_parens_default_displacement(self):
+        program = assemble("lw r1, (r2)")
+        assert program.instructions[0].imm == 0
+
+    def test_jalr_uses_memory_syntax(self):
+        program = assemble("jalr r1, 4(r5)")
+        instr = program.instructions[0]
+        assert (instr.rd, instr.rs1, instr.imm) == (1, 5, 4)
+
+    def test_malformed_memory_operand(self):
+        with pytest.raises(AssemblyError):
+            assemble("lw r1, r2")
+
+
+class TestPseudoInstructions:
+    def test_li_expands_to_two_instructions(self):
+        program = assemble("li r1, 0x12345678")
+        assert len(program.instructions) == 2
+        assert program.instructions[0].opcode == Opcode.LUI
+        assert program.instructions[0].imm == 0x1234
+        assert program.instructions[1].opcode == Opcode.ORI
+        assert program.instructions[1].imm == 0x5678
+
+    def test_la_resolves_data_label(self):
+        program = assemble(".data\nbuf: .space 4\n.text\nla r1, buf")
+        target = program.address_of("buf")
+        assert program.instructions[0].imm == (target >> 16) & 0xFFFF
+        assert program.instructions[1].imm == target & 0xFFFF
+
+    def test_mv(self):
+        program = assemble("mv r1, r2")
+        instr = program.instructions[0]
+        assert instr.opcode == Opcode.ADDI and instr.imm == 0
+
+    def test_j_and_call_and_ret(self):
+        program = assemble("f: ret\n_start: call f\nj f")
+        call = program.instructions[1]
+        assert call.opcode == Opcode.JAL and call.rd == 1
+        jump = program.instructions[2]
+        assert jump.opcode == Opcode.JAL and jump.rd == 0
+        ret = program.instructions[0]
+        assert ret.opcode == Opcode.JALR and ret.rd == 0 and ret.rs1 == 1
+
+    def test_beqz_bnez(self):
+        program = assemble("t: beqz r5, t\nbnez r6, t")
+        assert program.instructions[0].opcode == Opcode.BEQ
+        assert program.instructions[0].rs2 == 0
+        assert program.instructions[1].opcode == Opcode.BNE
+
+
+class TestDataDirectives:
+    def test_word_half_byte(self):
+        program = assemble(
+            ".data\nw: .word 0x11223344\nh: .half 0x5566\nb: .byte 0x77"
+        )
+        assert program.data[:7] == bytes(
+            [0x44, 0x33, 0x22, 0x11, 0x66, 0x55, 0x77]
+        )
+
+    def test_ascii_and_asciiz(self):
+        program = assemble('.data\na: .ascii "hi"\nz: .asciiz "yo"')
+        assert program.data == b"hiyo\x00"
+
+    def test_escapes_in_strings(self):
+        program = assemble('.data\ns: .asciiz "a\\nb"')
+        assert program.data == b"a\nb\x00"
+
+    def test_space_reserves_zeroes(self):
+        program = assemble(".data\nbuf: .space 8\nafter: .byte 1")
+        assert program.address_of("after") - program.address_of("buf") == 8
+
+    def test_align(self):
+        program = assemble(".data\n.byte 1\n.align 4\nw: .word 2")
+        assert (program.address_of("w") - DATA_BASE) % 4 == 0
+
+    def test_word_negative_value(self):
+        program = assemble(".data\nw: .word -1")
+        assert program.data == b"\xff\xff\xff\xff"
+
+    def test_data_labels_resolve_to_data_base(self):
+        program = assemble(".data\nx: .word 0\n.text\nnop")
+        assert program.address_of("x") == DATA_BASE
+
+    def test_instruction_in_data_section_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble(".data\nadd r1, r2, r3")
+
+    def test_data_directive_in_text_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble(".text\n.word 5")
+
+    def test_org_in_data(self):
+        program = assemble(f".data\n.org {DATA_BASE + 16}\nx: .byte 9")
+        assert program.address_of("x") == DATA_BASE + 16
+        assert program.data[16] == 9
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblyError):
+            assemble(".bogus 1")
+
+
+class TestProgramImage:
+    def test_instruction_at(self):
+        program = assemble("nop\nhalt")
+        assert program.instruction_at(TEXT_BASE).opcode == Opcode.NOP
+        assert program.instruction_at(TEXT_BASE + 4).opcode == Opcode.HALT
+
+    def test_instruction_at_errors(self):
+        program = assemble("nop")
+        with pytest.raises(IndexError):
+            program.instruction_at(TEXT_BASE + 4)
+        with pytest.raises(IndexError):
+            program.instruction_at(TEXT_BASE + 2)
+        with pytest.raises(IndexError):
+            program.instruction_at(TEXT_BASE - 4)
+
+    def test_text_geometry(self):
+        program = assemble("nop\nnop\nnop")
+        assert program.text_size == 12
+        assert program.text_end == TEXT_BASE + 12

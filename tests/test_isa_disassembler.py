@@ -1,0 +1,87 @@
+"""Disassembler tests, including assemble → disassemble → assemble loops."""
+
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble, format_instruction
+from repro.isa.instructions import Instruction, Opcode
+
+
+class TestFormatting:
+    def test_r_format(self):
+        assert format_instruction(
+            Instruction(Opcode.XOR, rd=4, rs1=5, rs2=6)
+        ) == "xor r4, r5, r6"
+
+    def test_load_store_syntax(self):
+        assert format_instruction(
+            Instruction(Opcode.LW, rd=1, rs1=2, imm=8)
+        ) == "lw r1, 8(r2)"
+        assert format_instruction(
+            Instruction(Opcode.SB, rs1=2, rs2=3, imm=-1)
+        ) == "sb r3, -1(r2)"
+
+    def test_branch_uses_label_when_known(self):
+        instr = Instruction(Opcode.BEQ, rs1=1, rs2=2, imm=8, label="done")
+        assert format_instruction(instr) == "beq r1, r2, done"
+
+    def test_branch_numeric_fallback(self):
+        instr = Instruction(Opcode.BNE, rs1=1, rs2=2, imm=-12)
+        assert format_instruction(instr) == "bne r1, r2, -12"
+
+    def test_bare_mnemonics(self):
+        assert format_instruction(Instruction(Opcode.NOP)) == "nop"
+        assert format_instruction(Instruction(Opcode.HALT)) == "halt"
+        assert format_instruction(Instruction(Opcode.SYSCALL)) == "syscall"
+
+    def test_latch_instructions(self):
+        assert format_instruction(Instruction(Opcode.STRF, rs1=5)) == "strf r5"
+        assert format_instruction(Instruction(Opcode.LTNT, rd=6)) == "ltnt r6"
+        assert format_instruction(
+            Instruction(Opcode.STNT, rs1=1, rs2=2)
+        ) == "stnt r1, r2"
+
+    def test_lui(self):
+        assert format_instruction(
+            Instruction(Opcode.LUI, rd=3, imm=0x1234)
+        ) == "lui r3, 4660"
+
+
+class TestListing:
+    def test_addresses_in_listing(self):
+        listing = disassemble(
+            [Instruction(Opcode.NOP), Instruction(Opcode.HALT)],
+            base_address=0x1000,
+        )
+        lines = listing.splitlines()
+        assert lines[0].startswith("0x00001000:")
+        assert lines[1].startswith("0x00001004:")
+        assert "halt" in lines[1]
+
+
+class TestRoundTrip:
+    def test_reassembling_disassembly_preserves_semantics(self):
+        source = """
+        _start:
+            addi r4, r0, 10
+            addi r5, r0, 0
+        loop:
+            add  r5, r5, r4
+            addi r4, r4, -1
+            bne  r4, r0, loop
+            halt
+        """
+        first = assemble(source)
+        # Strip symbolic labels so the listing is self-contained (numeric
+        # pc-relative offsets), then assemble the listing again.
+        import dataclasses
+
+        text = "\n".join(
+            format_instruction(dataclasses.replace(instr, label=None))
+            for instr in first.instructions
+        )
+        second = assemble(text)
+        assert [i.opcode for i in first.instructions] == [
+            i.opcode for i in second.instructions
+        ]
+        assert [i.imm for i in first.instructions] == [
+            i.imm for i in second.instructions
+        ]

@@ -1,0 +1,266 @@
+"""Golden-program tests: real algorithms on the toy machine.
+
+Each program computes something with a known answer, exercising loops,
+subroutines, the stack, and memory addressing together — the substrate
+confidence tests that back every simulation above it.
+"""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.machine.cpu import CPU
+
+
+def run(source: str, max_steps: int = 500_000) -> CPU:
+    cpu = CPU(assemble(source))
+    cpu.run(max_steps)
+    assert cpu.halted, "program did not halt"
+    return cpu
+
+
+class TestArithmeticPrograms:
+    def test_fibonacci_iterative(self):
+        cpu = run("""
+_start:
+    li   r4, 20          # n
+    li   r5, 0           # fib(0)
+    li   r6, 1           # fib(1)
+loop:
+    beqz r4, done
+    add  r7, r5, r6
+    mv   r5, r6
+    mv   r6, r7
+    addi r4, r4, -1
+    j    loop
+done:
+    li   r3, 0
+    mv   r4, r5
+    syscall
+""")
+        assert cpu.exit_code == 6765  # fib(20)
+
+    def test_gcd_euclid(self):
+        cpu = run("""
+_start:
+    li   r4, 1071
+    li   r5, 462
+loop:
+    beqz r5, done
+    rem  r6, r4, r5
+    mv   r4, r5
+    mv   r5, r6
+    j    loop
+done:
+    li   r3, 0
+    syscall
+""")
+        assert cpu.exit_code == 21
+
+    def test_collatz_steps(self):
+        cpu = run("""
+_start:
+    li   r4, 27          # notoriously long trajectory
+    li   r5, 0           # step counter
+loop:
+    li   r6, 1
+    beq  r4, r6, done
+    andi r7, r4, 1
+    beqz r7, even
+    li   r8, 3
+    mul  r4, r4, r8
+    addi r4, r4, 1
+    j    count
+even:
+    srli r4, r4, 1
+count:
+    addi r5, r5, 1
+    j    loop
+done:
+    li   r3, 0
+    mv   r4, r5
+    syscall
+""")
+        assert cpu.exit_code == 111
+
+    def test_integer_sqrt(self):
+        cpu = run("""
+_start:
+    li   r4, 1000000     # find floor(sqrt(x))
+    li   r5, 0
+loop:
+    addi r6, r5, 1
+    mul  r7, r6, r6
+    bltu r4, r7, done    # (r5+1)^2 > x
+    mv   r5, r6
+    j    loop
+done:
+    li   r3, 0
+    mv   r4, r5
+    syscall
+""")
+        assert cpu.exit_code == 1000
+
+
+class TestMemoryPrograms:
+    def test_bubble_sort(self):
+        source = """
+.data
+arr:    .word 9, 3, 7, 1, 8, 2, 6, 4, 5, 0
+.text
+_start:
+    li   r4, 10          # n
+    li   r14, arr
+outer:
+    li   r5, 1           # swapped = false -> use as flag
+    li   r6, 0           # i
+    li   r5, 0
+inner:
+    addi r7, r4, -1
+    bge  r6, r7, check
+    slli r8, r6, 2
+    add  r8, r8, r14
+    lw   r9, 0(r8)
+    lw   r10, 4(r8)
+    bge  r10, r9, next   # already ordered
+    sw   r10, 0(r8)
+    sw   r9, 4(r8)
+    li   r5, 1           # swapped
+next:
+    addi r6, r6, 1
+    j    inner
+check:
+    bnez r5, outer
+    # checksum: sum(arr[i] * (i+1))
+    li   r6, 0
+    li   r9, 0
+sum:
+    bge  r6, r4, done
+    slli r8, r6, 2
+    add  r8, r8, r14
+    lw   r10, 0(r8)
+    addi r11, r6, 1
+    mul  r10, r10, r11
+    add  r9, r9, r10
+    addi r6, r6, 1
+    j    sum
+done:
+    li   r3, 0
+    mv   r4, r9
+    syscall
+"""
+        cpu = run(source)
+        # sorted arr = 0..9; checksum = sum(i * (i+1)) for i in 0..9
+        assert cpu.exit_code == sum(i * (i + 1) for i in range(10))
+
+    def test_string_reverse(self):
+        source = """
+.data
+text:   .asciiz "reproduction"
+out:    .space 16
+.text
+_start:
+    li   r4, text
+    li   r5, 0           # length
+strlen:
+    add  r6, r4, r5
+    lbu  r7, 0(r6)
+    beqz r7, copy
+    addi r5, r5, 1
+    j    strlen
+copy:
+    li   r8, out
+    li   r6, 0
+rev:
+    bge  r6, r5, done
+    sub  r7, r5, r6
+    addi r7, r7, -1
+    add  r9, r4, r7
+    lbu  r10, 0(r9)
+    add  r9, r8, r6
+    sb   r10, 0(r9)
+    addi r6, r6, 1
+    j    rev
+done:
+    li   r3, 0
+    li   r4, 0
+    syscall
+"""
+        cpu = run(source)
+        out = cpu.memory.read_cstring(
+            cpu.program.address_of("out")
+        )
+        assert out == b"noitcudorper"
+
+
+class TestSubroutinePrograms:
+    def test_recursive_factorial_with_stack(self):
+        source = """
+_start:
+    li   r4, 10
+    call fact
+    li   r3, 0
+    mv   r4, r5
+    syscall
+
+fact:                     # r4 = n -> r5 = n!
+    li   r6, 2
+    bge  r4, r6, recurse
+    li   r5, 1
+    ret
+recurse:
+    addi sp, sp, -8
+    sw   ra, 0(sp)
+    sw   r4, 4(sp)
+    addi r4, r4, -1
+    call fact
+    lw   r4, 4(sp)
+    lw   ra, 0(sp)
+    addi sp, sp, 8
+    mul  r5, r5, r4
+    ret
+"""
+        cpu = run(source)
+        assert cpu.exit_code == 3628800
+
+    def test_mutual_calls_preserve_stack_discipline(self):
+        source = """
+_start:
+    li   r4, 6
+    call is_even          # parity of 6 -> 1
+    mv   r9, r5
+    li   r4, 7
+    call is_even          # parity of 7 -> 0
+    slli r9, r9, 1
+    or   r9, r9, r5       # encode both answers
+    li   r3, 0
+    mv   r4, r9
+    syscall
+
+is_even:                  # r4 = n -> r5 = (n % 2 == 0)
+    beqz r4, yes
+    addi sp, sp, -4
+    sw   ra, 0(sp)
+    addi r4, r4, -1
+    call is_odd
+    lw   ra, 0(sp)
+    addi sp, sp, 4
+    ret
+yes:
+    li   r5, 1
+    ret
+
+is_odd:                   # r4 = n -> r5 = (n % 2 == 1)
+    beqz r4, no
+    addi sp, sp, -4
+    sw   ra, 0(sp)
+    addi r4, r4, -1
+    call is_even
+    lw   ra, 0(sp)
+    addi sp, sp, 4
+    ret
+no:
+    li   r5, 0
+    ret
+"""
+        cpu = run(source)
+        assert cpu.exit_code == 0b10

@@ -1,0 +1,98 @@
+"""Virtual device tests: files, sockets, listeners, descriptor table."""
+
+from repro.machine.devices import (
+    DeviceTable,
+    ListeningSocket,
+    VirtualFile,
+    VirtualSocket,
+)
+
+
+class TestVirtualFile:
+    def test_read_advances_cursor(self):
+        file = VirtualFile("f", b"abcdef")
+        assert file.read(3) == b"abc"
+        assert file.read(3) == b"def"
+        assert file.read(3) == b""
+        assert file.exhausted
+
+    def test_short_read_at_end(self):
+        file = VirtualFile("f", b"xy")
+        assert file.read(10) == b"xy"
+
+    def test_write_appends(self):
+        file = VirtualFile("f", b"")
+        assert file.write(b"one") == 3
+        file.write(b"two")
+        assert bytes(file.written) == b"onetwo"
+
+    def test_tainted_default_true(self):
+        assert VirtualFile("f").tainted
+
+
+class TestVirtualSocket:
+    def test_recv_drains_one_message_at_a_time(self):
+        sock = VirtualSocket(peer="p", inbound=[b"first", b"second"])
+        assert sock.recv(64) == b"first"
+        assert sock.recv(64) == b"second"
+        assert sock.recv(64) == b""
+
+    def test_partial_recv_within_message(self):
+        sock = VirtualSocket(peer="p", inbound=[b"abcdef"])
+        assert sock.recv(2) == b"ab"
+        assert sock.recv(10) == b"cdef"
+
+    def test_recv_never_merges_messages(self):
+        sock = VirtualSocket(peer="p", inbound=[b"ab", b"cd"])
+        assert sock.recv(4) == b"ab"
+
+    def test_send_recorded(self):
+        sock = VirtualSocket(peer="p")
+        sock.send(b"reply")
+        assert sock.sent == [b"reply"]
+
+    def test_has_data(self):
+        sock = VirtualSocket(peer="p", inbound=[b"x"])
+        assert sock.has_data
+        sock.recv(1)
+        assert not sock.has_data
+
+
+class TestListeningSocket:
+    def test_accept_pops_in_order(self):
+        a, b = VirtualSocket(peer="a"), VirtualSocket(peer="b")
+        listener = ListeningSocket(name="l", pending=[a, b])
+        assert listener.accept() is a
+        assert listener.accept() is b
+        assert listener.accept() is None
+
+
+class TestDeviceTable:
+    def test_open_registered_file(self):
+        table = DeviceTable()
+        file = VirtualFile("data.txt", b"hi")
+        table.register_file(file)
+        fd = table.open_file("data.txt")
+        assert table.get(fd) is file
+
+    def test_unknown_file_raises(self):
+        table = DeviceTable()
+        try:
+            table.open_file("missing")
+            assert False
+        except KeyError:
+            pass
+
+    def test_fds_are_unique_and_nonzero(self):
+        table = DeviceTable()
+        fd1 = table.allocate(object())
+        fd2 = table.allocate(object())
+        assert fd1 != fd2
+        assert fd1 != DeviceTable.CONSOLE_FD
+
+    def test_close(self):
+        table = DeviceTable()
+        fd = table.allocate(object())
+        assert table.close(fd)
+        assert table.get(fd) is None
+        assert not table.close(fd)

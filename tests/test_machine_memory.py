@@ -1,0 +1,116 @@
+"""Paged-memory tests: sparse allocation, cross-page access, tracking."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine.memory import (
+    MemoryFault,
+    PAGE_SIZE,
+    PagedMemory,
+    page_base,
+    page_number,
+)
+
+
+class TestPageMath:
+    def test_page_number(self):
+        assert page_number(0) == 0
+        assert page_number(PAGE_SIZE - 1) == 0
+        assert page_number(PAGE_SIZE) == 1
+
+    def test_page_base(self):
+        assert page_base(0x1234) == 0x1000
+        assert page_base(0x1000) == 0x1000
+
+
+class TestReadWrite:
+    def test_read_unwritten_returns_zeroes(self):
+        memory = PagedMemory()
+        assert memory.read_bytes(0x5000, 8) == b"\x00" * 8
+
+    def test_write_then_read(self):
+        memory = PagedMemory()
+        memory.write_bytes(0x2000, b"hello")
+        assert memory.read_bytes(0x2000, 5) == b"hello"
+
+    def test_cross_page_write_and_read(self):
+        memory = PagedMemory()
+        address = PAGE_SIZE - 3
+        memory.write_bytes(address, b"abcdef")
+        assert memory.read_bytes(address, 6) == b"abcdef"
+        assert memory.resident_pages == 2
+
+    def test_uint_round_trip_little_endian(self):
+        memory = PagedMemory()
+        memory.write_uint(0x100, 0xDEADBEEF, 4)
+        assert memory.read_uint(0x100, 4) == 0xDEADBEEF
+        assert memory.read_bytes(0x100, 4) == b"\xef\xbe\xad\xde"
+
+    def test_uint_truncates_to_size(self):
+        memory = PagedMemory()
+        memory.write_uint(0, 0x1FF, 1)
+        assert memory.read_uint(0, 1) == 0xFF
+
+    def test_signed_read(self):
+        memory = PagedMemory()
+        memory.write_uint(0, 0xFF, 1)
+        assert memory.read_int(0, 1) == -1
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(MemoryFault):
+            PagedMemory().read_bytes(0, -1)
+
+    def test_address_wraps_at_32_bits(self):
+        memory = PagedMemory()
+        memory.write_bytes(0x1_0000_0010, b"x")
+        assert memory.read_bytes(0x10, 1) == b"x"
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFF_F000),
+        st.binary(min_size=1, max_size=64),
+    )
+    def test_write_read_roundtrip_property(self, address, payload):
+        memory = PagedMemory()
+        memory.write_bytes(address, payload)
+        assert memory.read_bytes(address, len(payload)) == payload
+
+
+class TestCString:
+    def test_read_cstring(self):
+        memory = PagedMemory()
+        memory.write_bytes(0x40, b"file.txt\x00junk")
+        assert memory.read_cstring(0x40) == b"file.txt"
+
+    def test_unterminated_raises(self):
+        memory = PagedMemory()
+        memory.write_bytes(0, b"a" * 16)
+        with pytest.raises(MemoryFault):
+            memory.read_cstring(0, max_length=16)
+
+
+class TestAccessTracking:
+    def test_reads_and_writes_tracked(self):
+        memory = PagedMemory()
+        memory.read_bytes(0x0000, 1)
+        memory.write_bytes(0x5000, b"z")
+        assert memory.accessed_pages == {0, 5}
+
+    def test_reset_tracking_keeps_data(self):
+        memory = PagedMemory()
+        memory.write_bytes(0x3000, b"q")
+        memory.reset_access_tracking()
+        assert memory.accessed_pages == set()
+        assert memory.read_bytes(0x3000, 1) == b"q"
+
+    def test_sparse_allocation(self):
+        memory = PagedMemory()
+        memory.read_bytes(0x9000, 4)  # read never allocates
+        assert memory.resident_pages == 0
+        memory.write_bytes(0x9000, b"1")
+        assert memory.resident_pages == 1
+
+    def test_iter_nonzero_pages_sorted(self):
+        memory = PagedMemory()
+        memory.write_bytes(0x7000, b"a")
+        memory.write_bytes(0x2000, b"b")
+        assert list(memory.iter_nonzero_pages()) == [2, 7]

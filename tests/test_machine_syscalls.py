@@ -1,0 +1,228 @@
+"""Syscall-layer tests: I/O semantics and the input/output event stream."""
+
+from repro.isa.assembler import assemble
+from repro.machine.cpu import CPU
+from repro.machine.devices import (
+    DeviceTable,
+    ListeningSocket,
+    VirtualFile,
+    VirtualSocket,
+)
+from repro.machine.events import Observer
+
+
+class Recorder(Observer):
+    def __init__(self):
+        self.inputs = []
+        self.outputs = []
+
+    def on_input(self, event):
+        self.inputs.append(event)
+
+    def on_output(self, event):
+        self.outputs.append(event)
+
+
+def run(source, devices=None, listener=None, max_steps=50_000):
+    cpu = CPU(assemble(source), devices=devices)
+    if listener is not None:
+        cpu.syscalls.register_listener(listener, listen_id=1)
+    recorder = Recorder()
+    cpu.attach(recorder)
+    cpu.run(max_steps)
+    return cpu, recorder
+
+
+class TestFileIO:
+    SOURCE = """
+    .data
+path: .asciiz "in.bin"
+buf:  .space 32
+    .text
+_start:
+    li r3, 3
+    li r4, path
+    syscall
+    mv r10, r3
+    li r3, 1
+    mv r4, r10
+    li r5, buf
+    li r6, 32
+    syscall
+    mv r11, r3
+    halt
+"""
+
+    def test_read_delivers_bytes_and_event(self):
+        devices = DeviceTable()
+        devices.register_file(VirtualFile("in.bin", b"payload!"))
+        cpu, recorder = run(self.SOURCE, devices)
+        assert cpu.registers[11] == 8
+        assert len(recorder.inputs) == 1
+        event = recorder.inputs[0]
+        assert event.data == b"payload!"
+        assert event.source_kind == "file"
+        assert event.tainted_hint
+
+    def test_untainted_file_hint(self):
+        devices = DeviceTable()
+        devices.register_file(VirtualFile("in.bin", b"ok", tainted=False))
+        cpu, recorder = run(self.SOURCE, devices)
+        assert not recorder.inputs[0].tainted_hint
+
+    def test_open_missing_file_returns_negative(self):
+        cpu, _ = run(self.SOURCE, DeviceTable())
+        # open failed, read on bad fd also fails
+        assert cpu.registers[11] & 0x8000_0000  # -1 as unsigned
+
+    def test_read_at_eof_returns_zero(self):
+        devices = DeviceTable()
+        devices.register_file(VirtualFile("in.bin", b""))
+        cpu, recorder = run(self.SOURCE, devices)
+        assert cpu.registers[11] == 0
+        assert recorder.inputs == []
+
+    def test_write_to_console(self):
+        source = """
+        .data
+msg: .ascii "hi there"
+        .text
+_start:
+    li r3, 2
+    li r4, 0
+    li r5, msg
+    li r6, 8
+    syscall
+    halt
+"""
+        cpu, recorder = run(source)
+        assert bytes(cpu.console) == b"hi there"
+        assert recorder.outputs[0].sink_kind == "console"
+
+    def test_write_to_file(self):
+        source = """
+        .data
+path: .asciiz "out.bin"
+msg:  .ascii "data"
+        .text
+_start:
+    li r3, 3
+    li r4, path
+    syscall
+    mv r10, r3
+    li r3, 2
+    mv r4, r10
+    li r5, msg
+    li r6, 4
+    syscall
+    halt
+"""
+        devices = DeviceTable()
+        out = VirtualFile("out.bin", b"", tainted=False)
+        devices.register_file(out)
+        run(source, devices)
+        assert bytes(out.written) == b"data"
+
+
+class TestSockets:
+    SOURCE = """
+    .data
+buf: .space 64
+    .text
+_start:
+    li r3, 5
+    li r4, 1
+    syscall
+    mv r10, r3
+    li r3, 6
+    mv r4, r10
+    syscall
+    mv r11, r3
+    li r3, 7
+    mv r4, r11
+    li r5, buf
+    li r6, 64
+    syscall
+    mv r12, r3
+    li r3, 8
+    mv r4, r11
+    li r5, buf
+    mv r6, r12
+    syscall
+    halt
+"""
+
+    def test_accept_recv_send(self):
+        connection = VirtualSocket(peer="client", inbound=[b"request"])
+        listener = ListeningSocket(name="svc", pending=[connection])
+        cpu, recorder = run(self.SOURCE, DeviceTable(), listener)
+        assert cpu.registers[12] == 7
+        assert recorder.inputs[0].source_kind == "socket"
+        assert recorder.inputs[0].tainted_hint  # untrusted by default
+        assert connection.sent == [b"request"]
+
+    def test_trusted_connection_hint(self):
+        connection = VirtualSocket(peer="lan", inbound=[b"x"], trusted=True)
+        listener = ListeningSocket(name="svc", pending=[connection])
+        _, recorder = run(self.SOURCE, DeviceTable(), listener)
+        assert not recorder.inputs[0].tainted_hint
+
+    def test_accept_with_empty_backlog_returns_negative(self):
+        listener = ListeningSocket(name="svc", pending=[])
+        cpu, _ = run(self.SOURCE, DeviceTable(), listener)
+        assert cpu.registers[11] & 0x8000_0000
+
+    def test_unknown_listener_id(self):
+        source = "li r3, 5\nli r4, 9\nsyscall\nmv r10, r3\nhalt"
+        cpu, _ = run(source)
+        assert cpu.registers[10] & 0x8000_0000
+
+
+class TestMiscSyscalls:
+    def test_rand_deterministic(self):
+        source = "li r3, 9\nsyscall\nmv r10, r3\nli r3, 9\nsyscall\nmv r11, r3\nhalt"
+        cpu1, _ = run(source)
+        cpu2, _ = run(source)
+        assert cpu1.registers[10] == cpu2.registers[10]
+        assert cpu1.registers[10] != cpu1.registers[11]
+
+    def test_gettime_returns_step_count(self):
+        source = "nop\nnop\nli r3, 10\nsyscall\nmv r10, r3\nhalt"
+        cpu, _ = run(source)
+        assert cpu.registers[10] == 4  # nop, nop, li(2 insns) committed before
+
+    def test_exit_sets_code_and_halts(self):
+        source = "li r3, 0\nli r4, 99\nsyscall\nnop"
+        cpu, _ = run(source)
+        assert cpu.halted
+        assert cpu.exit_code == 99
+
+    def test_close_syscall(self):
+        source = """
+    .data
+p: .asciiz "f"
+    .text
+_start:
+    li r3, 3
+    li r4, p
+    syscall
+    mv r5, r3
+    li r3, 4
+    mv r4, r5
+    syscall
+    mv r10, r3
+    li r3, 4
+    mv r4, r5
+    syscall
+    mv r11, r3
+    halt
+"""
+        devices = DeviceTable()
+        devices.register_file(VirtualFile("f", b""))
+        cpu, _ = run(source, devices)
+        assert cpu.registers[10] == 0
+        assert cpu.registers[11] & 0x8000_0000  # double close fails
+
+    def test_unknown_syscall_number(self):
+        cpu, _ = run("li r3, 77\nsyscall\nmv r10, r3\nhalt")
+        assert cpu.registers[10] & 0x8000_0000

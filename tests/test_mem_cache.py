@@ -1,0 +1,172 @@
+"""Set-associative cache model tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.cache import CacheStats, SetAssociativeCache
+
+
+class TestGeometry:
+    def test_capacity(self):
+        cache = SetAssociativeCache(num_sets=4, ways=2, line_size=16)
+        assert cache.capacity_lines == 8
+        assert cache.capacity_bytes == 128
+
+    def test_line_base(self):
+        cache = SetAssociativeCache(num_sets=1, ways=1, line_size=64)
+        assert cache.line_base(0x12F) == 0x100
+        assert cache.line_base(0x100) == 0x100
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(num_sets=0, ways=1, line_size=16)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(num_sets=1, ways=1, line_size=3)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(num_sets=1, ways=1, line_size=16, policy="mru")
+
+
+class TestHitsAndMisses:
+    def test_first_access_misses_second_hits(self):
+        cache = SetAssociativeCache(num_sets=1, ways=4, line_size=16)
+        assert not cache.access(0x100)
+        assert cache.access(0x100)
+        assert cache.access(0x10F)  # same line
+        assert not cache.access(0x110)  # next line
+
+    def test_stats_counted(self):
+        cache = SetAssociativeCache(num_sets=1, ways=2, line_size=16)
+        cache.access(0x00)
+        cache.access(0x00)
+        cache.access(0x10)
+        stats = cache.stats
+        assert (stats.accesses, stats.hits, stats.misses) == (3, 1, 2)
+        assert stats.hit_rate == pytest.approx(1 / 3)
+        assert stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_idle_rates_are_zero(self):
+        assert CacheStats().miss_rate == 0.0
+        assert CacheStats().hit_rate == 0.0
+
+    def test_loader_supplies_payload_on_miss(self):
+        cache = SetAssociativeCache(num_sets=1, ways=2, line_size=16)
+        cache.access(0x20, loader=lambda base: f"line@{base:#x}")
+        assert cache.probe(0x2F).payload == "line@0x20"
+
+    def test_write_marks_dirty(self):
+        cache = SetAssociativeCache(num_sets=1, ways=2, line_size=16)
+        cache.access(0x00, write=True)
+        assert cache.probe(0x00).dirty
+
+    def test_set_indexing_separates_conflicts(self):
+        cache = SetAssociativeCache(num_sets=2, ways=1, line_size=16)
+        cache.access(0x00)  # set 0
+        cache.access(0x10)  # set 1
+        assert cache.access(0x00)
+        assert cache.access(0x10)
+
+
+class TestReplacement:
+    def test_lru_evicts_least_recent(self):
+        cache = SetAssociativeCache(num_sets=1, ways=2, line_size=16)
+        cache.access(0x00)
+        cache.access(0x10)
+        cache.access(0x00)  # refresh line 0
+        cache.access(0x20)  # evicts line 1 (LRU)
+        assert cache.access(0x00)
+        assert not cache.access(0x10)
+
+    def test_fifo_evicts_oldest_insertion(self):
+        cache = SetAssociativeCache(num_sets=1, ways=2, line_size=16, policy="fifo")
+        cache.access(0x00)
+        cache.access(0x10)
+        cache.access(0x00)  # re-use does NOT protect under FIFO
+        cache.access(0x20)  # evicts line 0
+        assert not cache.access(0x00)
+
+    def test_random_policy_deterministic_with_seed(self):
+        def victims(seed):
+            cache = SetAssociativeCache(
+                num_sets=1, ways=2, line_size=16, policy="random", rng_seed=seed
+            )
+            evicted = []
+            cache.on_evict = lambda base, line: evicted.append(base)
+            for address in range(0, 0x100, 0x10):
+                cache.access(address)
+            return evicted
+
+        assert victims(1) == victims(1)
+
+    def test_eviction_callback_receives_base_address(self):
+        evicted = []
+        cache = SetAssociativeCache(
+            num_sets=1,
+            ways=1,
+            line_size=32,
+            on_evict=lambda base, line: evicted.append(base),
+        )
+        cache.access(0x40)
+        cache.access(0x80)
+        assert evicted == [0x40]
+
+    def test_writeback_counted_for_dirty_victims(self):
+        cache = SetAssociativeCache(num_sets=1, ways=1, line_size=16)
+        cache.access(0x00, write=True)
+        cache.access(0x10)
+        assert cache.stats.writebacks == 1
+
+
+class TestMutation:
+    def test_install_does_not_count_access(self):
+        cache = SetAssociativeCache(num_sets=1, ways=2, line_size=16)
+        cache.install(0x00, payload="p")
+        assert cache.stats.accesses == 0
+        assert cache.probe(0x00).payload == "p"
+
+    def test_install_updates_existing(self):
+        cache = SetAssociativeCache(num_sets=1, ways=2, line_size=16)
+        cache.access(0x00, loader=lambda b: "old")
+        cache.install(0x00, payload="new")
+        assert cache.probe(0x00).payload == "new"
+
+    def test_invalidate(self):
+        cache = SetAssociativeCache(num_sets=1, ways=2, line_size=16)
+        cache.access(0x00)
+        assert cache.invalidate(0x00)
+        assert not cache.invalidate(0x00)
+        assert 0x00 not in cache
+
+    def test_flush_keeps_stats(self):
+        cache = SetAssociativeCache(num_sets=1, ways=2, line_size=16)
+        cache.access(0x00)
+        cache.flush()
+        assert cache.resident_lines() == 0
+        assert cache.stats.accesses == 1
+
+
+class TestProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=0xFFFF), min_size=1, max_size=300),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_counters_are_consistent(self, addresses, sets, ways):
+        cache = SetAssociativeCache(num_sets=sets, ways=ways, line_size=16)
+        for address in addresses:
+            cache.access(address)
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses == len(addresses)
+        assert cache.resident_lines() <= cache.capacity_lines
+        assert stats.evictions == stats.misses - cache.resident_lines()
+
+    @given(st.lists(st.integers(min_value=0, max_value=0x1FF), min_size=2, max_size=100))
+    def test_repeat_of_previous_address_hits_with_enough_ways(self, addresses):
+        # A fully associative cache larger than the address universe
+        # never evicts, so any repeated line must hit.
+        cache = SetAssociativeCache(num_sets=1, ways=64, line_size=16)
+        seen = set()
+        for address in addresses:
+            line = cache.line_base(address)
+            expected_hit = line in seen
+            assert cache.access(address) == expected_hit
+            seen.add(line)

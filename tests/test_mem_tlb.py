@@ -1,0 +1,60 @@
+"""TLB model tests."""
+
+import pytest
+
+from repro.mem.tlb import TLB
+
+
+class TestTranslation:
+    def test_miss_then_hit(self):
+        tlb = TLB(entries=4)
+        tlb.access(0x1234)
+        assert tlb.stats.misses == 1
+        tlb.access(0x1FFF)  # same page
+        assert tlb.stats.hits == 1
+
+    def test_page_of(self):
+        tlb = TLB(page_size=4096)
+        assert tlb.page_of(0x1FFF) == 1
+        assert tlb.page_of(0x2000) == 2
+
+    def test_lru_eviction(self):
+        tlb = TLB(entries=2)
+        tlb.access(0x0000)
+        tlb.access(0x1000)
+        tlb.access(0x0000)  # refresh page 0
+        tlb.access(0x2000)  # evicts page 1
+        assert tlb.probe(0x0000) is not None
+        assert tlb.probe(0x1000) is None
+        assert tlb.stats.evictions == 1
+
+    def test_metadata_loader_called_on_miss_only(self):
+        calls = []
+
+        def loader(page):
+            calls.append(page)
+            return page * 10
+
+        tlb = TLB(entries=4, metadata_loader=loader)
+        entry = tlb.access(0x3000)
+        assert entry.metadata == 30
+        tlb.access(0x3008)
+        assert calls == [3]
+
+    def test_invalidate_page(self):
+        tlb = TLB(entries=4)
+        tlb.access(0x5000)
+        assert tlb.invalidate_page(5)
+        assert not tlb.invalidate_page(5)
+
+    def test_flush(self):
+        tlb = TLB(entries=4)
+        tlb.access(0x0)
+        tlb.flush()
+        assert tlb.resident_entries() == 0
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TLB(entries=0)
+        with pytest.raises(ValueError):
+            TLB(page_size=1000)

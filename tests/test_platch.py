@@ -1,0 +1,120 @@
+"""P-LATCH model tests: window localisation and the queue mechanism."""
+
+import pytest
+
+from repro.platch.lba import LBA_OPTIMIZED, LBA_SIMPLE, LbaParameters
+from repro.platch.model import analytic_platch
+from repro.platch.queue_sim import TwoCoreQueueSimulator
+from repro.workloads.profiles import get_profile
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.trace import Epoch, EpochStream
+
+
+def stream(*epochs, name="crafted"):
+    return EpochStream.from_epochs(
+        name, [Epoch(length=l, tainted_instructions=t) for l, t in epochs]
+    )
+
+
+class TestLbaParameters:
+    def test_reported_overheads(self):
+        assert LBA_SIMPLE.mean_overhead == pytest.approx(3.38)
+        assert LBA_OPTIMIZED.mean_overhead == pytest.approx(0.36)
+
+    def test_analysis_cost_derivation(self):
+        assert LBA_SIMPLE.analysis_cycles_per_event == pytest.approx(4.38)
+
+
+class TestAnalyticModel:
+    def test_taint_free_stream_no_overhead(self):
+        report = analytic_platch(stream((100_000, 0)))
+        assert report.monitored_fraction == 0.0
+        assert report.overhead == 0.0
+        assert report.speedup_vs_baseline == pytest.approx(1.0 + 3.38)
+
+    def test_single_window_for_small_epoch(self):
+        # One 100-instruction taint epoch inside one 1000-instr window.
+        report = analytic_platch(stream((500, 0), (100, 50), (10_000, 0)))
+        assert report.monitored_instructions == 1000
+
+    def test_epoch_spanning_window_boundary(self):
+        # Active epoch crosses a window boundary → two windows monitored.
+        report = analytic_platch(stream((900, 0), (200, 100), (10_000, 0)))
+        assert report.monitored_instructions == 2000
+
+    def test_adjacent_epochs_share_windows(self):
+        # Two active epochs falling in the same window count it once.
+        report = analytic_platch(
+            stream((100, 0), (50, 25), (100, 0), (50, 25), (10_000, 0))
+        )
+        assert report.monitored_instructions == 1000
+
+    def test_fully_tainted_capped_at_total(self):
+        report = analytic_platch(stream((600, 300)))
+        assert report.monitored_instructions == 600
+        assert report.monitored_fraction == 1.0
+        assert report.overhead == pytest.approx(3.38)
+
+    def test_overhead_scales_with_baseline(self):
+        epochs = stream((500, 0), (100, 50), (10_000, 0))
+        simple = analytic_platch(epochs, LBA_SIMPLE)
+        optimized = analytic_platch(epochs, LBA_OPTIMIZED)
+        assert simple.monitored_fraction == optimized.monitored_fraction
+        ratio = simple.overhead / optimized.overhead
+        assert ratio == pytest.approx(3.38 / 0.36)
+
+
+class TestQueueSimulation:
+    def test_unfiltered_saturates_to_lba_overhead(self):
+        # Long uniform stream: every instruction enqueued, monitor slower
+        # than producer → steady-state overhead equals the rate deficit.
+        epochs = stream(*[(10_000, 0)] * 100)
+        report = TwoCoreQueueSimulator(LBA_SIMPLE, filtered=False).run(epochs)
+        assert report.overhead == pytest.approx(3.38, rel=0.01)
+
+    def test_filtered_clean_stream_never_stalls(self):
+        epochs = stream(*[(10_000, 0)] * 50)
+        report = TwoCoreQueueSimulator(LBA_SIMPLE, filtered=True).run(epochs)
+        assert report.stall_cycles == 0
+        assert report.events_enqueued == 0
+
+    def test_filtered_overhead_below_baseline(self):
+        epochs = stream(
+            *([(5_000, 0), (500, 250)] * 50),
+        )
+        filtered = TwoCoreQueueSimulator(LBA_SIMPLE, filtered=True).run(epochs)
+        unfiltered = TwoCoreQueueSimulator(LBA_SIMPLE, filtered=False).run(epochs)
+        assert filtered.overhead < unfiltered.overhead
+
+    def test_queue_capacity_absorbs_short_bursts(self):
+        # A burst smaller than the queue does not stall the producer.
+        epochs = stream((100, 100), (100_000, 0))
+        report = TwoCoreQueueSimulator(
+            LbaParameters(name="x", mean_overhead=3.38, queue_entries=1024),
+            filtered=True,
+        ).run(epochs)
+        assert report.stall_cycles == 0
+
+    def test_fp_rate_adds_events(self):
+        epochs = stream((100_000, 0))
+        report = TwoCoreQueueSimulator(
+            LBA_SIMPLE, filtered=True, fp_rate=0.01
+        ).run(epochs)
+        assert report.events_enqueued == pytest.approx(1000, rel=0.05)
+
+
+class TestFigure15Shape:
+    def test_platch_beats_baseline_on_all_workloads(self):
+        for name in ("astar", "bzip2", "apache", "curl", "mySQL"):
+            generator = WorkloadGenerator(get_profile(name))
+            report = analytic_platch(generator.epoch_stream(5_000_000))
+            assert report.overhead < 3.38, name
+
+    def test_taint_fraction_orders_monitored_fraction(self):
+        def monitored(name):
+            generator = WorkloadGenerator(get_profile(name))
+            return analytic_platch(
+                generator.epoch_stream(5_000_000)
+            ).monitored_fraction
+
+        assert monitored("astar") > monitored("gcc") > monitored("gobmk")

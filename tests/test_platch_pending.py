@@ -1,0 +1,97 @@
+"""Pending-update FIFO tests (the Section 5.2 false-negative guard)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.platch.pending import PendingUpdateTracker
+
+
+class TestBasics:
+    def test_empty_covers_nothing(self):
+        tracker = PendingUpdateTracker()
+        assert not tracker.covers(0x1000, 4)
+        assert len(tracker) == 0
+
+    def test_push_makes_range_pending(self):
+        tracker = PendingUpdateTracker()
+        tracker.push(0x1000, 4)
+        assert tracker.covers(0x1000, 1)
+        assert tracker.covers(0x1003, 1)
+        assert not tracker.covers(0x1004, 1)
+
+    def test_overlap_detection(self):
+        tracker = PendingUpdateTracker()
+        tracker.push(0x1000, 4)
+        assert tracker.covers(0x0FFE, 4)  # straddles the start
+        assert not tracker.covers(0x0FFE, 2)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PendingUpdateTracker(capacity=0)
+
+
+class TestRetirement:
+    def test_retire_in_order(self):
+        tracker = PendingUpdateTracker()
+        first = tracker.push(0x1000, 4)
+        second = tracker.push(0x2000, 4)
+        assert tracker.retire(first) == 1
+        assert not tracker.covers(0x1000, 4)
+        assert tracker.covers(0x2000, 4)
+        assert tracker.retire(second) == 1
+
+    def test_retire_drains_head_run(self):
+        tracker = PendingUpdateTracker()
+        tracker.push(0x1000, 4)
+        tracker.push(0x2000, 4)
+        last = tracker.push(0x3000, 4)
+        assert tracker.retire(last) == 3
+        assert len(tracker) == 0
+
+    def test_retire_callback_invalidates_lines(self):
+        retired = []
+        tracker = PendingUpdateTracker(
+            on_retire=lambda address, size: retired.append((address, size))
+        )
+        sequence = tracker.push(0x1000, 8)
+        tracker.retire(sequence)
+        assert retired == [(0x1000, 8)]
+
+    def test_retire_all(self):
+        tracker = PendingUpdateTracker()
+        for offset in range(5):
+            tracker.push(0x1000 + offset * 16, 4)
+        assert tracker.retire_all() == 5
+        assert tracker.retire_all() == 0
+
+
+class TestBackpressure:
+    def test_full_fifo_stalls(self):
+        tracker = PendingUpdateTracker(capacity=2)
+        assert tracker.push(0, 4) is not None
+        assert tracker.push(16, 4) is not None
+        assert tracker.push(32, 4) is None
+        assert tracker.stalls == 1
+        tracker.retire_all()
+        assert tracker.push(32, 4) is not None
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=0xFFF),
+                st.integers(min_value=1, max_value=8),
+            ),
+            max_size=64,
+        )
+    )
+    def test_conservative_coverage_property(self, operations):
+        """While pending, every pushed byte is covered (no false
+        negatives from queue lag)."""
+        tracker = PendingUpdateTracker(capacity=128)
+        for address, size in operations:
+            tracker.push(address, size)
+        for address, size in operations:
+            assert tracker.covers(address, size)
+        tracker.retire_all()
+        for address, size in operations:
+            assert not tracker.covers(address, size)

@@ -1,0 +1,99 @@
+"""Report-formatting tests."""
+
+from repro.report.tables import (
+    format_comparison_table,
+    format_series,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["name", "value"], [["a", 1.23456]], precision=2)
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "1.23" in lines[2]
+
+    def test_title_and_rule(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert set(lines[1]) == {"="}
+
+    def test_alignment_with_wide_values(self):
+        text = format_table(["n", "v"], [["benchmark-name", 1], ["x", 22]])
+        lines = text.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestComparisonTable:
+    def test_ratio_column(self):
+        text = format_comparison_table(
+            ["x"], {"x": 2.0}, {"x": 1.0}, precision=1
+        )
+        assert "2.00x" in text
+
+    def test_missing_paper_value_leaves_blank_ratio(self):
+        text = format_comparison_table(["x"], {"x": 2.0}, {})
+        assert "x" in text and "2.0" in text
+
+    def test_missing_measured_row_skipped(self):
+        text = format_comparison_table(["x", "y"], {"x": 1.0}, {"x": 1.0})
+        assert "y" not in text.splitlines()[-1]
+
+
+class TestBarCharts:
+    def test_largest_value_fills_width(self):
+        from repro.report.figures import format_bar_chart
+
+        text = format_bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_unit_suffix(self):
+        from repro.report.figures import format_bar_chart
+
+        text = format_bar_chart({"x": 1.0}, unit="%")
+        assert "1.00%" in text
+
+    def test_explicit_scale(self):
+        from repro.report.figures import format_bar_chart
+
+        text = format_bar_chart({"x": 5.0}, width=10, max_value=10.0)
+        assert text.splitlines()[0].count("█") == 5
+
+    def test_empty_values(self):
+        from repro.report.figures import format_bar_chart
+
+        assert format_bar_chart({}, title="t") == "t"
+
+    def test_grouped_bars(self):
+        from repro.report.figures import format_grouped_bars
+
+        text = format_grouped_bars(
+            {"astar": {"libdft": 6.0, "slatch": 5.4}},
+            title="overheads",
+            unit="x",
+        )
+        assert "astar:" in text
+        assert "libdft" in text and "5.40x" in text
+
+
+class TestSeries:
+    def test_columns_from_union_of_x_values(self):
+        text = format_series(
+            {"a": {1: 0.5, 2: 0.6}, "b": {2: 0.7, 3: 0.8}},
+            x_label="L",
+        )
+        header = text.splitlines()[0]
+        for column in ("L", "1", "2", "3"):
+            assert column in header
+
+    def test_missing_points_render_as_nan(self):
+        text = format_series({"a": {1: 0.5}, "b": {2: 0.7}})
+        assert "nan" in text

@@ -1,0 +1,150 @@
+"""S-LATCH performance-model tests on hand-constructed epoch streams."""
+
+import pytest
+
+from repro.slatch.costs import SLatchCostModel
+from repro.slatch.simulator import HwRates, measure_hw_rates, simulate_slatch
+from repro.workloads.profiles import get_profile
+from repro.workloads.trace import Epoch, EpochStream
+from repro.workloads.generator import WorkloadGenerator
+
+COSTS = SLatchCostModel()
+
+
+def stream(*epochs):
+    return EpochStream.from_epochs(
+        "crafted", [Epoch(length=l, tainted_instructions=t) for l, t in epochs]
+    )
+
+
+def profile_with_slowdown(slowdown=5.0):
+    import dataclasses
+
+    return dataclasses.replace(get_profile("gcc"), libdft_slowdown=slowdown)
+
+
+class TestModeAccounting:
+    def test_taint_free_stream_runs_all_hardware(self):
+        report = simulate_slatch(
+            profile_with_slowdown(), stream((10_000, 0), (5_000, 0))
+        )
+        assert report.sw_instructions == 0
+        assert report.hw_instructions == 15_000
+        assert report.traps == 0
+        assert report.overhead == 0.0
+
+    def test_single_taint_epoch(self):
+        # 10k free, 100 tainted, 10k free.
+        report = simulate_slatch(
+            profile_with_slowdown(),
+            stream((10_000, 0), (100, 50), (10_000, 0)),
+        )
+        # Leading free epoch: hardware.  Tainted epoch: software.  The
+        # trailing run stays software for the timeout, then returns.
+        assert report.traps == 1
+        assert report.returns == 1
+        assert report.sw_instructions == 100 + COSTS.timeout_instructions
+        assert report.hw_instructions == 20_100 - report.sw_instructions
+
+    def test_short_gap_does_not_return_to_hardware(self):
+        # Two taint epochs separated by a free run below the timeout.
+        report = simulate_slatch(
+            profile_with_slowdown(),
+            stream((5_000, 0), (50, 25), (400, 0), (50, 25), (5_000, 0)),
+        )
+        assert report.traps == 1  # single software period
+        assert report.sw_instructions == 50 + 400 + 50 + COSTS.timeout_instructions
+
+    def test_long_gap_costs_a_round_trip(self):
+        report = simulate_slatch(
+            profile_with_slowdown(),
+            stream((5_000, 0), (50, 25), (8_000, 0), (50, 25), (5_000, 0)),
+        )
+        assert report.traps == 2
+        assert report.returns == 2
+
+    def test_overhead_formula(self):
+        slowdown = 5.0
+        report = simulate_slatch(
+            profile_with_slowdown(slowdown),
+            stream((10_000, 0), (100, 50), (10_000, 0)),
+        )
+        expected_sw_cycles = report.sw_instructions * (slowdown - 1.0)
+        expected_control = COSTS.trap_cycles + COSTS.return_cycles
+        assert report.libdft_cycles == pytest.approx(expected_sw_cycles)
+        assert report.control_transfer_cycles == pytest.approx(expected_control)
+        assert report.overhead == pytest.approx(
+            (expected_sw_cycles + expected_control) / 20_100
+        )
+
+    def test_breakdown_fractions_sum_to_one(self):
+        report = simulate_slatch(
+            profile_with_slowdown(),
+            stream((10_000, 0), (100, 50), (10_000, 0)),
+            rates=HwRates(0.001, 0.0005),
+        )
+        assert sum(report.breakdown().values()) == pytest.approx(1.0)
+        assert report.fp_check_cycles > 0
+        assert report.ctc_miss_cycles > 0
+
+    def test_speedup_vs_libdft(self):
+        report = simulate_slatch(
+            profile_with_slowdown(5.0), stream((100_000, 0))
+        )
+        assert report.speedup_vs_libdft == pytest.approx(5.0)
+
+    def test_empty_stream(self):
+        report = simulate_slatch(profile_with_slowdown(), stream())
+        assert report.overhead == 0.0
+
+
+class TestRateMeasurement:
+    def test_rates_zero_for_clean_workload(self):
+        generator = WorkloadGenerator(get_profile("gobmk"))
+        trace = generator.access_trace(50_000)
+        rates = measure_hw_rates(trace)
+        assert rates.fp_per_instruction >= 0.0
+        assert rates.ctc_miss_per_instruction >= 0.0
+
+    def test_fp_rate_higher_for_poor_spatial_locality(self):
+        astar = measure_hw_rates(
+            WorkloadGenerator(get_profile("astar")).access_trace(100_000)
+        )
+        gobmk = measure_hw_rates(
+            WorkloadGenerator(get_profile("gobmk")).access_trace(100_000)
+        )
+        assert astar.fp_per_instruction > gobmk.fp_per_instruction
+
+
+class TestEndToEndShape:
+    """The Figure 13 story on real generated workloads."""
+
+    def _overhead(self, name, scale=5_000_000):
+        profile = get_profile(name)
+        generator = WorkloadGenerator(profile)
+        report = simulate_slatch(profile, generator.epoch_stream(scale))
+        return report
+
+    def test_low_taint_benchmarks_are_cheap(self):
+        for name in ("bzip2", "gobmk", "hmmer", "sjeng"):
+            assert self._overhead(name).overhead < 0.10, name
+
+    def test_poor_locality_benchmarks_are_expensive(self):
+        for name in ("astar", "sphinx", "soplex"):
+            assert self._overhead(name).overhead > 1.0, name
+
+    def test_slatch_beats_libdft_everywhere(self):
+        for name in ("astar", "bzip2", "apache", "curl", "perlbench"):
+            report = self._overhead(name)
+            assert report.overhead <= report.libdft_only_overhead + 1e-9, name
+
+    def test_apache_trust_gradient(self):
+        overheads = [
+            self._overhead(name).overhead
+            for name in ("apache", "apache-25", "apache-50", "apache-75")
+        ]
+        assert overheads == sorted(overheads, reverse=True)
+
+    def test_web_clients_get_10x_class_speedups(self):
+        assert self._overhead("curl").speedup_vs_libdft > 5
+        assert self._overhead("wget").speedup_vs_libdft > 5

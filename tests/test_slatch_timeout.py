@@ -1,0 +1,163 @@
+"""Timeout-policy tests: fixed, adaptive, and correctness preservation."""
+
+import dataclasses
+
+import pytest
+
+from repro.dift.engine import DIFTEngine
+from repro.slatch.controller import SLatchSystem
+from repro.slatch.costs import SLatchCostModel
+from repro.slatch.timeout import AdaptiveTimeout, FixedTimeout
+from repro.workloads.programs import echo_server, file_filter
+
+
+class TestFixedTimeout:
+    def test_constant_threshold(self):
+        policy = FixedTimeout(500)
+        assert policy.threshold() == 500
+        policy.on_retrap(3)
+        assert policy.threshold() == 500
+
+
+class TestAdaptiveTimeout:
+    def test_quick_retrap_doubles(self):
+        policy = AdaptiveTimeout(initial=1000)
+        policy.on_retrap(hw_instructions=50)
+        assert policy.threshold() == 2000
+        assert policy.increases == 1
+
+    def test_long_span_halves(self):
+        policy = AdaptiveTimeout(initial=1000)
+        policy.on_retrap(hw_instructions=500_000)
+        assert policy.threshold() == 500
+        assert policy.decreases == 1
+
+    def test_medium_span_unchanged(self):
+        policy = AdaptiveTimeout(initial=1000)
+        policy.on_retrap(hw_instructions=50_000)
+        assert policy.threshold() == 1000
+
+    def test_clamped_at_bounds(self):
+        policy = AdaptiveTimeout(initial=1000, minimum=500, maximum=4000)
+        for _ in range(10):
+            policy.on_retrap(10)
+        assert policy.threshold() == 4000
+        for _ in range(10):
+            policy.on_retrap(10**9)
+        assert policy.threshold() == 500
+
+    def test_reset(self):
+        policy = AdaptiveTimeout(initial=1000)
+        policy.on_retrap(10)
+        policy.reset()
+        assert policy.threshold() == 1000
+        assert policy.increases == 0
+
+    def test_initial_must_be_in_bounds(self):
+        with pytest.raises(ValueError):
+            AdaptiveTimeout(initial=10, minimum=100)
+
+
+class TestAdaptiveInTheSystem:
+    @staticmethod
+    def _burst_gap_scenario(bursts=30, gap_iterations=60):
+        """Taint bursts separated by ~5-instruction/iteration clean gaps.
+
+        With a fixed timeout shorter than the gap, every burst costs a
+        full round trip; the adaptive policy learns the period and stops
+        bouncing.
+        """
+        from repro.isa.assembler import assemble
+        from repro.machine.devices import DeviceTable, VirtualFile
+        from repro.workloads.programs import Scenario
+
+        source = f"""
+        .data
+path:   .asciiz "stream.bin"
+buf:    .space 16
+        .text
+_start:
+    li   r3, 3
+    li   r4, path
+    syscall
+    mv   r10, r3
+    li   r14, {bursts}
+outer:
+    beqz r14, done
+    li   r3, 1              # taint burst: read 4 bytes
+    mv   r4, r10
+    li   r5, buf
+    li   r6, 4
+    syscall
+    li   r8, buf            # touch the tainted data
+    lw   r9, 0(r8)
+    add  r9, r9, r9
+    li   r7, 0              # clean gap
+gap:
+    addi r7, r7, 1
+    slli r11, r7, 1
+    xor  r11, r11, r7
+    slti r12, r7, {gap_iterations}
+    bnez r12, gap
+    addi r14, r14, -1
+    j    outer
+done:
+    li   r3, 0
+    li   r4, 0
+    syscall
+"""
+        devices = DeviceTable()
+        devices.register_file(
+            VirtualFile("stream.bin", bytes(range(1, 255)) * 2)
+        )
+        return Scenario(
+            name="burst-gap",
+            program=assemble(source),
+            devices=devices,
+        )
+
+    def _run(self, scenario, timeout_policy, timeout=120):
+        cpu = scenario.make_cpu()
+        costs = dataclasses.replace(
+            SLatchCostModel(), timeout_instructions=timeout
+        )
+        system = SLatchSystem(cpu, costs=costs, timeout_policy=timeout_policy)
+        cpu.run(2_000_000)
+        return system
+
+    def test_adaptive_reduces_switching_on_pathological_stream(self):
+        fixed = self._run(self._burst_gap_scenario(), FixedTimeout(120))
+        adaptive = self._run(
+            self._burst_gap_scenario(),
+            AdaptiveTimeout(initial=120, minimum=30, maximum=8000,
+                            punish_span=1000),
+        )
+        assert fixed.counters.traps > 5  # the fixed policy bounces
+        assert adaptive.counters.traps < fixed.counters.traps
+
+    def test_adaptive_preserves_taint_state(self):
+        cpu = self._burst_gap_scenario().make_cpu()
+        engine = DIFTEngine()
+        cpu.attach(engine)
+        cpu.run(2_000_000)
+
+        adaptive = self._run(
+            self._burst_gap_scenario(),
+            AdaptiveTimeout(initial=50, minimum=10, maximum=4000,
+                            punish_span=1000),
+            timeout=50,
+        )
+        assert (
+            list(adaptive.engine.shadow.iter_tainted_bytes())
+            == list(engine.shadow.iter_tainted_bytes())
+        )
+        assert [a.kind for a in adaptive.engine.alerts] == [
+            a.kind for a in engine.alerts
+        ]
+
+    def test_adaptive_on_quiet_workload_behaves_like_fixed(self):
+        fixed = self._run(file_filter(), FixedTimeout(1000), timeout=1000)
+        adaptive = self._run(
+            file_filter(), AdaptiveTimeout(initial=1000), timeout=1000
+        )
+        assert adaptive.counters.traps == fixed.counters.traps

@@ -1,0 +1,184 @@
+"""CLI tool tests: asm, disasm, run."""
+
+import json
+
+import pytest
+
+from repro.tools.asm import main as asm_main
+from repro.tools.disasm import main as disasm_main
+from repro.tools.run import main as run_main
+from repro.tools.trace import main as trace_main
+
+PROGRAM = """
+.data
+path:   .asciiz "in.txt"
+buf:    .space 32
+msg:    .ascii "done\\n"
+.text
+_start:
+    li   r3, 3
+    li   r4, path
+    syscall
+    mv   r7, r3
+    li   r3, 1
+    mv   r4, r7
+    li   r5, buf
+    li   r6, 32
+    syscall
+    li   r3, 2
+    li   r4, 0
+    li   r5, msg
+    li   r6, 5
+    syscall
+    li   r3, 0
+    li   r4, 7
+    syscall
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text(PROGRAM)
+    return path
+
+
+@pytest.fixture
+def payload_file(tmp_path):
+    path = tmp_path / "payload.bin"
+    path.write_bytes(b"external data")
+    return path
+
+
+class TestAsm:
+    def test_assemble_to_binary(self, source_file, tmp_path, capsys):
+        output = tmp_path / "prog.bin"
+        assert asm_main([str(source_file), "-o", str(output)]) == 0
+        blob = output.read_bytes()
+        assert len(blob) % 4 == 0 and len(blob) > 0
+        assert "instructions" in capsys.readouterr().out
+
+    def test_meta_sidecar(self, source_file, tmp_path):
+        meta = tmp_path / "prog.json"
+        asm_main([str(source_file), "-o", str(tmp_path / "p.bin"),
+                  "--meta", str(meta)])
+        payload = json.loads(meta.read_text())
+        assert "symbols" in payload and "_start" in payload["symbols"]
+        assert bytes.fromhex(payload["data"]).endswith(b"done\n")
+
+    def test_listing(self, source_file, tmp_path, capsys):
+        asm_main([str(source_file), "-o", str(tmp_path / "p.bin"), "--listing"])
+        out = capsys.readouterr().out
+        assert "syscall" in out
+
+    def test_syntax_error_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.s"
+        bad.write_text("frobnicate r1\n")
+        assert asm_main([str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, tmp_path):
+        assert asm_main([str(tmp_path / "missing.s")]) == 2
+
+
+class TestDisasm:
+    def test_roundtrip(self, source_file, tmp_path, capsys):
+        binary = tmp_path / "prog.bin"
+        asm_main([str(source_file), "-o", str(binary)])
+        capsys.readouterr()
+        assert disasm_main([str(binary)]) == 0
+        out = capsys.readouterr().out
+        assert "syscall" in out and "0x00001000" in out
+
+    def test_bad_binary(self, tmp_path, capsys):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"\x00\x01\x02")  # not a multiple of 4
+        assert disasm_main([str(path)]) == 1
+
+
+class TestRun:
+    def test_plain_run(self, source_file, payload_file, capsys):
+        code = run_main(
+            [str(source_file), "--file", f"in.txt={payload_file}"]
+        )
+        assert code == 7
+        out = capsys.readouterr().out
+        assert "done" in out and "exit code 7" in out
+
+    def test_dift_monitoring(self, source_file, payload_file, capsys):
+        run_main(
+            [str(source_file), "--monitor", "dift",
+             "--file", f"in.txt={payload_file}"]
+        )
+        out = capsys.readouterr().out
+        assert "tainted instructions" in out
+        assert "13 tainted bytes" in out
+
+    def test_untainted_flag(self, source_file, payload_file, capsys):
+        run_main(
+            [str(source_file), "--monitor", "dift",
+             "--file", f"in.txt={payload_file}:untainted"]
+        )
+        out = capsys.readouterr().out
+        assert "0 tainted bytes" in out
+
+    def test_slatch_monitoring(self, source_file, payload_file, capsys):
+        run_main(
+            [str(source_file), "--monitor", "slatch", "--timeout", "50",
+             "--file", f"in.txt={payload_file}"]
+        )
+        out = capsys.readouterr().out
+        assert "s-latch" in out and "traps" in out
+
+    def test_budget_exhaustion_exit_code(self, tmp_path, capsys):
+        loop = tmp_path / "loop.s"
+        loop.write_text("spin: j spin\n")
+        assert run_main([str(loop), "--max-steps", "100"]) == 124
+        assert "budget exhausted" in capsys.readouterr().out
+
+    def test_bad_file_spec(self, source_file, capsys):
+        assert run_main([str(source_file), "--file", "nonsense"]) == 2
+
+
+class TestTrace:
+    def test_trace_marks_tainted_instructions(
+        self, source_file, payload_file, capsys
+    ):
+        assert trace_main(
+            [str(source_file), "--file", f"in.txt={payload_file}"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "+ input 13 bytes" in out
+        assert "syscall" in out
+        assert "touched taint" in out
+
+    def test_only_tainted_filter(self, source_file, payload_file, capsys):
+        trace_main(
+            [str(source_file), "--only-tainted",
+             "--file", f"in.txt={payload_file}"]
+        )
+        out = capsys.readouterr().out
+        body = [
+            line for line in out.splitlines()
+            if line and line[0].isspace() is False and line.startswith(" ") is False
+        ]
+        # Every instruction line shown carries the taint marker.
+        instruction_lines = [
+            line for line in out.splitlines()
+            if line.strip() and line.lstrip()[0].isdigit()
+        ]
+        for line in instruction_lines:
+            assert " T " in line
+
+    def test_limit(self, source_file, payload_file, capsys):
+        trace_main(
+            [str(source_file), "--limit", "3",
+             "--file", f"in.txt={payload_file}"]
+        )
+        out = capsys.readouterr().out
+        assert "3 lines shown" in out
+
+    def test_trace_bad_source(self, tmp_path, capsys):
+        bad = tmp_path / "bad.s"
+        bad.write_text("bogus r1\n")
+        assert trace_main([str(bad)]) == 2

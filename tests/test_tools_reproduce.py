@@ -1,0 +1,59 @@
+"""Experiment-driver CLI tests."""
+
+import pytest
+
+from repro.tools.reproduce import EXPERIMENTS, ExperimentContext, main
+
+FAST = ["--epoch-scale", "300000", "--trace-window", "10000"]
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for identifier in ("table1", "fig13", "sec64"):
+            assert identifier in out
+
+    def test_no_experiments_is_error(self, capsys):
+        assert main([]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "fig99" in capsys.readouterr().err
+
+    def test_single_experiment(self, capsys):
+        assert main(["table2", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "apache-75" in out
+
+    def test_output_dir(self, tmp_path, capsys):
+        assert main(["sec64", *FAST, "-o", str(tmp_path)]) == 0
+        assert (tmp_path / "sec64.txt").exists()
+
+    def test_multiple_experiments_share_context(self, capsys):
+        assert main(["table1", "table3", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 3" in out
+
+
+class TestExperimentFunctions:
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        return ExperimentContext(epoch_scale=300_000, trace_window=10_000)
+
+    @pytest.mark.parametrize("identifier", sorted(EXPERIMENTS))
+    def test_every_experiment_renders(self, ctx, identifier):
+        text = EXPERIMENTS[identifier](ctx)
+        assert text.strip()
+        assert "\n" in text
+
+    def test_context_caches(self, ctx):
+        assert ctx.stream("gcc") is ctx.stream("gcc")
+        assert ctx.trace("gcc") is ctx.trace("gcc")
+        assert ctx.generator("gcc") is ctx.generator("gcc")
+
+    def test_names_filter(self, ctx):
+        assert len(ctx.names("spec")) == 20
+        assert len(ctx.names("network")) == 7
+        assert len(ctx.names()) == 27

@@ -1,0 +1,101 @@
+"""Property-based tests of the workload generator over random profiles.
+
+Hypothesis constructs arbitrary (valid) workload profiles; the generator
+must uphold its structural invariants for all of them — not just the 27
+calibrated ones.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.profiles import EPOCH_BUCKETS, WorkloadProfile
+from repro.workloads.trace import PAGE_SIZE
+
+
+@st.composite
+def profiles(draw):
+    """An arbitrary valid WorkloadProfile."""
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=len(EPOCH_BUCKETS),
+            max_size=len(EPOCH_BUCKETS),
+        ).filter(lambda values: sum(values) > 0.05)
+    )
+    total = sum(weights)
+    weights = tuple(value / total for value in weights)
+    # Renormalise exactly (float dust breaks the profile validator).
+    weights = weights[:-1] + (1.0 - sum(weights[:-1]),)
+    pages = draw(st.integers(min_value=4, max_value=2000))
+    tainted = draw(st.integers(min_value=0, max_value=pages))
+    run = draw(st.sampled_from([4, 16, 64, 256, 4096]))
+    gap = draw(st.sampled_from([0, 16, 128, 1024]))
+    return WorkloadProfile(
+        name=draw(st.sampled_from(["fuzz-a", "fuzz-b", "fuzz-c"])),
+        kind="spec",
+        taint_percent=draw(
+            st.floats(min_value=0.0, max_value=30.0).map(lambda v: round(v, 3))
+        ),
+        pages_accessed=pages,
+        pages_tainted=tainted,
+        epoch_weights=weights,
+        taint_run_bytes=run,
+        taint_gap_bytes=gap,
+        baseline_tcache_miss_percent=draw(
+            st.floats(min_value=0.5, max_value=40.0)
+        ),
+        libdft_slowdown=draw(st.floats(min_value=1.5, max_value=12.0)),
+        taint_density=draw(st.sampled_from([0.25, 0.5, 0.9])),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(profiles(), st.integers(min_value=10_000, max_value=500_000))
+def test_epoch_stream_invariants(profile, total):
+    stream = WorkloadGenerator(profile, seed=1).epoch_stream(total)
+    assert stream.total_instructions == total
+    assert (stream.lengths > 0).all()
+    assert (stream.tainted_counts >= 0).all()
+    assert (stream.tainted_counts <= stream.lengths).all()
+    # The realised taint fraction respects the ceiling implied by the
+    # generation (never wildly above the profile's target).
+    if profile.taint_percent == 0:
+        assert stream.tainted_instructions <= 1
+    else:
+        assert stream.tainted_fraction <= profile.taint_fraction * 3 + 1e-3
+
+
+@settings(max_examples=30, deadline=None)
+@given(profiles())
+def test_layout_invariants(profile):
+    layout = WorkloadGenerator(profile, seed=2).layout()
+    assert len(layout.accessed_pages) == profile.pages_accessed
+    assert len(layout.tainted_pages()) == profile.pages_tainted
+    previous_end = -1
+    for start, length in layout.extents:
+        assert length > 0
+        assert start > previous_end
+        previous_end = start + length - 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(profiles(), st.integers(min_value=5_000, max_value=60_000))
+def test_access_trace_invariants(profile, window):
+    trace = WorkloadGenerator(profile, seed=3).access_trace(window)
+    n = trace.access_count
+    if n == 0:
+        return
+    assert len(trace.tainted) == len(trace.active_epoch) == n
+    # Tainted accesses only in active epochs; all flags consistent with
+    # the layout (spot check a sample).
+    assert not (trace.tainted & ~trace.active_epoch).any()
+    layout = trace.layout
+    sample = np.random.default_rng(0).choice(n, size=min(n, 80), replace=False)
+    for index in sample:
+        address = int(trace.addresses[index])
+        assert layout.byte_is_tainted(address) == bool(trace.tainted[index])
+    # Addresses stay within the accessed footprint.
+    pages = layout.accessed_pages | layout.tainted_pages()
+    assert set((trace.addresses[sample] // PAGE_SIZE).tolist()) <= pages

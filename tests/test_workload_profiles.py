@@ -1,0 +1,127 @@
+"""Profile data tests: paper constants and validation rules."""
+
+import pytest
+
+from repro.workloads.profiles import (
+    EPOCH_BUCKETS,
+    NETWORK_PROFILES,
+    SPEC_PROFILES,
+    WorkloadProfile,
+    all_profiles,
+    get_profile,
+)
+
+# Spot values straight from the paper's tables.
+TABLE1_SPOT = {"astar": 21.73, "bzip2": 0.01, "perlbench": 2.67,
+               "soplex": 7.69, "sphinx": 13.53, "Xalan": 0.11}
+TABLE2_SPOT = {"curl": 1.13, "wget": 0.15, "mySQL": 0.19, "apache": 1.94,
+               "apache-25": 1.49, "apache-50": 0.95, "apache-75": 0.45}
+TABLE3_SPOT = {"astar": (2344, 2001), "lbm": (104766, 2), "sphinx": (7133, 4133)}
+TABLE4_SPOT = {"curl": (600, 33), "apache": (1113, 238), "mySQL": (10483, 435)}
+
+
+class TestSuiteContents:
+    def test_twenty_spec_benchmarks(self):
+        assert len(SPEC_PROFILES) == 20
+        assert all(p.kind == "spec" for p in SPEC_PROFILES)
+
+    def test_seven_network_benchmarks(self):
+        assert len(NETWORK_PROFILES) == 7
+        assert all(p.kind == "network" for p in NETWORK_PROFILES)
+
+    def test_all_profiles_order(self):
+        names = [p.name for p in all_profiles()]
+        assert names[0] == "astar"
+        assert names[20] == "curl"
+        assert len(names) == len(set(names)) == 27
+
+    def test_get_profile(self):
+        assert get_profile("sphinx").taint_percent == 13.53
+        with pytest.raises(KeyError):
+            get_profile("nonexistent")
+
+
+class TestPaperConstants:
+    @pytest.mark.parametrize("name,value", sorted(TABLE1_SPOT.items()))
+    def test_table1_taint_percent(self, name, value):
+        assert get_profile(name).taint_percent == value
+
+    @pytest.mark.parametrize("name,value", sorted(TABLE2_SPOT.items()))
+    def test_table2_taint_percent(self, name, value):
+        assert get_profile(name).taint_percent == value
+
+    @pytest.mark.parametrize("name,pages", sorted(TABLE3_SPOT.items()))
+    def test_table3_pages(self, name, pages):
+        profile = get_profile(name)
+        assert (profile.pages_accessed, profile.pages_tainted) == pages
+
+    @pytest.mark.parametrize("name,pages", sorted(TABLE4_SPOT.items()))
+    def test_table4_pages(self, name, pages):
+        profile = get_profile(name)
+        assert (profile.pages_accessed, profile.pages_tainted) == pages
+
+    def test_apache_taint_declines_linearly_with_trust(self):
+        values = [get_profile(f"apache-{p}").taint_percent for p in (25, 50, 75)]
+        assert get_profile("apache").taint_percent > values[0] > values[1] > values[2]
+
+    def test_page_aligned_benchmarks_have_no_gaps(self):
+        for name in ("bzip2", "gobmk", "lbm"):
+            profile = get_profile(name)
+            assert profile.taint_gap_bytes == 0 or (
+                profile.taint_run_bytes >= 4096
+            ), name
+
+
+class TestValidation:
+    def _valid_kwargs(self, **overrides):
+        kwargs = dict(
+            name="x",
+            kind="spec",
+            taint_percent=1.0,
+            pages_accessed=100,
+            pages_tainted=10,
+            epoch_weights=(0.2, 0.2, 0.2, 0.2, 0.1, 0.1),
+            taint_run_bytes=64,
+            taint_gap_bytes=64,
+            baseline_tcache_miss_percent=10.0,
+            libdft_slowdown=5.0,
+        )
+        kwargs.update(overrides)
+        return kwargs
+
+    def test_valid_profile_accepted(self):
+        WorkloadProfile(**self._valid_kwargs())
+
+    def test_percent_range_enforced(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(**self._valid_kwargs(taint_percent=101))
+
+    def test_epoch_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(
+                **self._valid_kwargs(epoch_weights=(0.5, 0.1, 0.1, 0.1, 0.1, 0.0))
+            )
+
+    def test_epoch_weights_arity(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(**self._valid_kwargs(epoch_weights=(1.0,)))
+
+    def test_tainted_pages_bounded(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(
+                **self._valid_kwargs(pages_accessed=5, pages_tainted=6)
+            )
+
+    def test_density_range(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(**self._valid_kwargs(taint_density=0.0))
+
+    def test_all_shipped_profiles_validate(self):
+        for profile in all_profiles():
+            assert abs(sum(profile.epoch_weights) - 1.0) < 1e-6
+            assert profile.pages_tainted <= profile.pages_accessed
+
+    def test_bucket_boundaries_cover_fig5_thresholds(self):
+        boundaries = {lo for lo, _ in EPOCH_BUCKETS} | {hi for _, hi in EPOCH_BUCKETS}
+        for threshold in (100, 1_000, 10_000, 100_000, 1_000_000):
+            assert threshold in boundaries

@@ -1,0 +1,145 @@
+"""Tests for the runnable toy-ISA scenarios and attacks."""
+
+import pytest
+
+from repro.dift.engine import DIFTEngine
+from repro.dift.events import AlertKind
+from repro.dift.policy import leak_detection_policy
+from repro.workloads import attacks, programs
+
+
+def run_with_dift(scenario, policy=None, max_steps=300_000):
+    cpu = scenario.make_cpu()
+    engine = DIFTEngine(policy)
+    cpu.attach(engine)
+    try:
+        cpu.run(max_steps)
+    except Exception:
+        pass
+    return cpu, engine
+
+
+class TestFileFilter:
+    def test_output_is_uppercased(self):
+        scenario = programs.file_filter(payload=b"abc xyz 123")
+        cpu, _ = run_with_dift(scenario)
+        assert cpu.halted and cpu.exit_code == 0
+        out = scenario.devices.lookup_file("output.dat").written
+        assert bytes(out) == b"ABC XYZ 123"
+
+    def test_taint_flows_to_output_buffer(self):
+        scenario = programs.file_filter()
+        _, engine = run_with_dift(scenario)
+        assert engine.shadow.tainted_byte_count > 0
+        assert engine.stats.tainted_fraction > 0
+
+    def test_untainted_input_produces_no_taint(self):
+        scenario = programs.file_filter(tainted=False)
+        _, engine = run_with_dift(scenario)
+        assert engine.shadow.tainted_byte_count == 0
+        assert engine.stats.tainted_instructions == 0
+
+
+class TestChecksum:
+    def test_checksum_register_tainted(self):
+        cpu, engine = run_with_dift(programs.checksum())
+        assert cpu.halted
+        # The exit code is the checksum, computed from tainted bytes.
+        assert engine.stats.tainted_fraction > 0.2
+
+    def test_checksum_deterministic(self):
+        cpu1, _ = run_with_dift(programs.checksum(payload=b"abc"))
+        cpu2, _ = run_with_dift(programs.checksum(payload=b"abc"))
+        assert cpu1.exit_code == cpu2.exit_code
+        cpu3, _ = run_with_dift(programs.checksum(payload=b"abd"))
+        assert cpu1.exit_code != cpu3.exit_code
+
+
+class TestSubstitutionCipher:
+    def test_output_not_tainted(self):
+        """The bzip2/TLS pattern: table lookups strip taint."""
+        scenario = programs.substitution_cipher()
+        cpu, engine = run_with_dift(scenario)
+        assert cpu.halted
+        out = scenario.devices.lookup_file("cipher.out")
+        assert len(out.written) > 0
+        output_base = scenario.program.address_of("obuf")
+        assert not engine.shadow.any_tainted(output_base, 64)
+
+    def test_input_buffer_is_tainted(self):
+        scenario = programs.substitution_cipher()
+        _, engine = run_with_dift(scenario)
+        input_base = scenario.program.address_of("buf")
+        assert engine.shadow.any_tainted(input_base, 8)
+
+    def test_cipher_actually_translates(self):
+        scenario = programs.substitution_cipher(payload=b"\x00\x01")
+        cpu, _ = run_with_dift(scenario)
+        out = scenario.devices.lookup_file("cipher.out").written
+        assert bytes(out) == bytes([(0 * 7 + 13) % 256, (1 * 7 + 13) % 256])
+
+
+class TestEchoServer:
+    def test_all_requests_echoed(self):
+        scenario = programs.echo_server(requests=[b"aa", b"bb"])
+        cpu, _ = run_with_dift(scenario)
+        assert cpu.halted
+
+    def test_trusted_connections_leave_no_taint(self):
+        scenario = programs.echo_server(
+            requests=[b"hello"], trusted_flags=[True]
+        )
+        _, engine = run_with_dift(scenario)
+        assert engine.shadow.tainted_byte_count == 0
+
+    def test_untrusted_connections_taint_buffer(self):
+        scenario = programs.echo_server(
+            requests=[b"hello"], trusted_flags=[False]
+        )
+        _, engine = run_with_dift(scenario)
+        assert engine.shadow.tainted_byte_count > 0
+
+    def test_mismatched_flags_rejected(self):
+        with pytest.raises(ValueError):
+            programs.echo_server(requests=[b"a"], trusted_flags=[True, False])
+
+
+class TestPhasedCompute:
+    def test_taint_cleared_at_end(self):
+        _, engine = run_with_dift(programs.phased_compute())
+        assert engine.shadow.tainted_byte_count == 0
+
+    def test_low_overall_taint_fraction(self):
+        _, engine = run_with_dift(programs.phased_compute(clean_iterations=800))
+        assert engine.stats.tainted_fraction < 0.05
+
+
+class TestAttacks:
+    def test_hijack_detected_benign_not(self):
+        _, malicious = run_with_dift(attacks.buffer_overflow(hijack=True))
+        _, benign = run_with_dift(attacks.buffer_overflow(hijack=False))
+        assert AlertKind.TAINTED_JUMP in [a.kind for a in malicious.alerts]
+        assert benign.alerts == []
+
+    def test_overflow_payload_shapes(self):
+        benign = attacks.overflow_payload(False, 16)
+        evil = attacks.overflow_payload(True, 16)
+        assert len(benign) < 16
+        assert len(evil) == 20
+        assert evil[16:] == attacks.HIJACK_TARGET.to_bytes(4, "little")
+
+    def test_leak_detected_benign_not(self):
+        _, leaking = run_with_dift(
+            attacks.data_leak(leak=True), leak_detection_policy()
+        )
+        _, clean = run_with_dift(
+            attacks.data_leak(leak=False), leak_detection_policy()
+        )
+        assert AlertKind.TAINTED_OUTPUT in [a.kind for a in leaking.alerts]
+        assert clean.alerts == []
+
+    def test_hijack_diverts_control_flow(self):
+        scenario = attacks.buffer_overflow(hijack=True)
+        cpu, _ = run_with_dift(scenario)
+        # The hijacked program never reaches the clean exit path.
+        assert not (cpu.halted and cpu.exit_code == 0)

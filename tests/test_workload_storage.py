@@ -1,0 +1,100 @@
+"""Trace persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.profiles import get_profile
+from repro.workloads.storage import (
+    load_access_trace,
+    load_epoch_stream,
+    save_access_trace,
+    save_epoch_stream,
+)
+
+
+class TestAccessTraceRoundTrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        trace = WorkloadGenerator(get_profile("gcc")).access_trace(30_000)
+        path = tmp_path / "gcc.npz"
+        save_access_trace(trace, path)
+        loaded = load_access_trace(path)
+        assert loaded.name == trace.name
+        assert (loaded.addresses == trace.addresses).all()
+        assert (loaded.sizes == trace.sizes).all()
+        assert (loaded.is_write == trace.is_write).all()
+        assert (loaded.tainted == trace.tainted).all()
+        assert (loaded.gap_before == trace.gap_before).all()
+        assert (loaded.active_epoch == trace.active_epoch).all()
+        assert loaded.layout.extents == trace.layout.extents
+        assert loaded.layout.accessed_pages == trace.layout.accessed_pages
+
+    def test_loaded_trace_feeds_simulations(self, tmp_path):
+        from repro.hlatch import run_hlatch
+
+        trace = WorkloadGenerator(get_profile("curl")).access_trace(20_000)
+        path = tmp_path / "curl.npz"
+        save_access_trace(trace, path)
+        original = run_hlatch(trace)
+        replayed = run_hlatch(load_access_trace(path))
+        assert replayed.ctc_misses == original.ctc_misses
+        assert replayed.tcache_misses == original.tcache_misses
+
+    def test_recorded_trace_roundtrip(self, tmp_path):
+        """TraceRecorder output survives persistence too."""
+        from repro.dift.engine import DIFTEngine
+        from repro.machine.tracing import TraceRecorder
+        from repro.workloads.programs import file_filter
+
+        scenario = file_filter()
+        cpu = scenario.make_cpu()
+        engine = DIFTEngine()
+        recorder = TraceRecorder(engine)
+        cpu.attach(engine)
+        cpu.attach(recorder)
+        cpu.run(100_000)
+        trace = recorder.access_trace()
+        path = tmp_path / "recorded.npz"
+        save_access_trace(trace, path)
+        loaded = load_access_trace(path)
+        assert loaded.tainted_access_count == trace.tainted_access_count
+
+
+class TestEpochStreamRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        stream = WorkloadGenerator(get_profile("apache")).epoch_stream(500_000)
+        path = tmp_path / "apache.npz"
+        save_epoch_stream(stream, path)
+        loaded = load_epoch_stream(path)
+        assert loaded.name == stream.name
+        assert (loaded.lengths == stream.lengths).all()
+        assert (loaded.tainted_counts == stream.tainted_counts).all()
+        assert loaded.tainted_fraction == stream.tainted_fraction
+
+
+class TestFormatGuards:
+    def test_kind_mismatch_rejected(self, tmp_path):
+        stream = WorkloadGenerator(get_profile("gcc")).epoch_stream(100_000)
+        path = tmp_path / "stream.npz"
+        save_epoch_stream(stream, path)
+        with pytest.raises(ValueError):
+            load_access_trace(path)
+
+    def test_garbage_archive_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, whatever=np.arange(3))
+        with pytest.raises(ValueError):
+            load_epoch_stream(path)
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "future.npz"
+        np.savez(
+            path,
+            format_version=np.int64(999),
+            kind=np.bytes_(b"epoch-stream"),
+            name=np.bytes_(b"x"),
+            lengths=np.array([1]),
+            tainted_counts=np.array([0]),
+        )
+        with pytest.raises(ValueError):
+            load_epoch_stream(path)
