@@ -62,6 +62,7 @@ from repro.core import (
     LatchModule,
     TlbTaintBits,
 )
+from repro.obs import MetricsRegistry, StatsSnapshot, Tracer
 from repro.slatch import SLatchCostModel, SLatchSystem, simulate_slatch
 from repro.platch import analytic_platch, TwoCoreQueueSimulator
 from repro.hlatch import HLatchSystem, run_baseline, run_hlatch
@@ -88,6 +89,7 @@ __all__ = [
     "LatchConfig",
     "LatchModule",
     "MemoryAccess",
+    "MetricsRegistry",
     "Opcode",
     "OutputEvent",
     "PagedMemory",
@@ -96,11 +98,13 @@ __all__ = [
     "SLatchSystem",
     "SecurityAlert",
     "ShadowMemory",
+    "StatsSnapshot",
     "StepEvent",
     "Syscall",
     "TaintPolicy",
     "TaintRegisterFile",
     "TlbTaintBits",
+    "Tracer",
     "TwoCoreQueueSimulator",
     "VirtualFile",
     "VirtualSocket",

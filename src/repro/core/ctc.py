@@ -75,6 +75,44 @@ class CoarseTaintCache:
         """Hit/miss statistics of the underlying cache."""
         return self._cache.stats
 
+    def publish_metrics(self, registry) -> None:
+        """Publish CTC counters into a :class:`repro.obs.MetricsRegistry`.
+
+        Metric names and units are catalogued in
+        ``docs/OBSERVABILITY.md``; the hot path keeps its native integer
+        counters, so publication is pull-based and free until called.
+        """
+        stats = self._cache.stats
+        registry.counter(
+            "ctc.accesses", unit="accesses",
+            description="CTC lookups (checks + write-through updates)",
+        ).set(stats.accesses)
+        registry.counter(
+            "ctc.hits", unit="accesses", description="CTC lookups that hit"
+        ).set(stats.hits)
+        registry.counter(
+            "ctc.misses", unit="accesses",
+            description="CTC lookups that filled from the CTT",
+        ).set(stats.misses)
+        registry.counter(
+            "ctc.evictions", unit="lines", description="CTC lines evicted"
+        ).set(stats.evictions)
+        registry.counter(
+            "ctc.clear_bit_evictions", unit="lines",
+            description="Evictions of lines with asserted clear bits "
+                        "(Section 5.1.4 reconcile exceptions)",
+        ).set(self.clear_bit_evictions)
+        registry.gauge(
+            "ctc.hit_rate", unit="fraction",
+            description="CTC hits / accesses (Tables 6/7)",
+            callback=lambda: self._cache.stats.hit_rate,
+        )
+        registry.gauge(
+            "ctc.miss_rate", unit="fraction",
+            description="CTC misses / accesses (Tables 6/7)",
+            callback=lambda: self._cache.stats.miss_rate,
+        )
+
     @property
     def entries(self) -> int:
         """Line capacity."""

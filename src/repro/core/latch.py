@@ -267,12 +267,71 @@ class LatchModule:
         """``strf`` semantics: reload the TRF from a per-register mask."""
         self.trf.load_register_mask(mask)
 
+    # ------------------------------------------------------------- metrics
+
+    def publish_metrics(self, registry) -> None:
+        """Publish the check-path counters into an obs registry.
+
+        Covers the module's own :class:`LatchStats` plus the CTC and
+        TLB taint-bit structures beneath it; see
+        ``docs/OBSERVABILITY.md`` for the catalogue.
+        """
+        stats = self.stats
+        registry.counter(
+            "latch.steps_checked", unit="instructions",
+            description="Committed instructions checked in hardware mode",
+        ).set(stats.steps_checked)
+        registry.counter(
+            "latch.memory_checks", unit="accesses",
+            description="Memory operands coarse-checked",
+        ).set(stats.memory_checks)
+        registry.counter(
+            "latch.register_positives", unit="instructions",
+            description="Instructions reading a tainted TRF register",
+        ).set(stats.register_positives)
+        registry.counter(
+            "latch.coarse_positives", unit="instructions",
+            description="Instructions trapping to the precise layer",
+        ).set(stats.coarse_positives)
+        registry.counter(
+            "latch.resolved_by_tlb", unit="accesses",
+            description="Accesses screened by clean TLB taint bits",
+        ).set(stats.resolved_by_tlb)
+        registry.counter(
+            "latch.resolved_by_ctc", unit="accesses",
+            description="Accesses resolved clean at the CTC",
+        ).set(stats.resolved_by_ctc)
+        registry.counter(
+            "latch.sent_to_precise", unit="accesses",
+            description="Coarse-positive accesses sent to the precise layer",
+        ).set(stats.sent_to_precise)
+        registry.gauge(
+            "tlb.screened_frac", unit="fraction",
+            description="Accesses screened before the CTC (Figure 16)",
+            callback=lambda: self.stats.level_fractions()["tlb"],
+        )
+        registry.gauge(
+            "ctc.resolved_frac", unit="fraction",
+            description="Accesses resolved clean at the CTC (Figure 16)",
+            callback=lambda: self.stats.level_fractions()["ctc"],
+        )
+        registry.gauge(
+            "latch.precise_frac", unit="fraction",
+            description="Accesses escalated to the precise layer (Figure 16)",
+            callback=lambda: self.stats.level_fractions()["precise"],
+        )
+        self.ctc.publish_metrics(registry)
+        if self.tlb_bits is not None:
+            self.tlb_bits.publish_metrics(registry)
+
     def reset_stats(self) -> None:
         """Zero the module's counters (structures keep their contents)."""
         self.stats = LatchStats()
         self.ctc.stats.reset()
         if self.tlb_bits is not None:
             self.tlb_bits.stats.reset()
+            self.tlb_bits.checks = 0
+            self.tlb_bits.hot_checks = 0
 
 
 def _page_domain_parts(

@@ -44,6 +44,8 @@ class TlbTaintBits:
             page_size=geometry.page_size,
             metadata_loader=self._load_bits,
         )
+        self.checks = 0
+        self.hot_checks = 0
 
     def _load_bits(self, page_number: int) -> int:
         return self.ctt.page_taint_bits(page_number)
@@ -70,7 +72,43 @@ class TlbTaintBits:
         """
         entry = self.tlb.access(address)
         bit = 1 << self.geometry.page_domain_index(address)
-        return bool(entry.metadata & bit)
+        hot = bool(entry.metadata & bit)
+        self.checks += 1
+        self.hot_checks += hot
+        return hot
+
+    # ------------------------------------------------------------- metrics
+
+    def publish_metrics(self, registry) -> None:
+        """Publish TLB taint-bit counters into an obs registry.
+
+        ``tlb.screened_frac`` (the Figure 16 access-level fraction) is
+        published by :meth:`repro.core.latch.LatchModule.publish_metrics`,
+        which owns the per-access resolution counters; the counters here
+        are per page-domain *check*.
+        """
+        registry.counter(
+            "tlb.checks", unit="checks",
+            description="Page-domain taint-bit consultations",
+        ).set(self.checks)
+        registry.counter(
+            "tlb.hot_checks", unit="checks",
+            description="Consultations finding a possibly tainted "
+                        "page-domain (forwarded to the CTC)",
+        ).set(self.hot_checks)
+        registry.counter(
+            "tlb.accesses", unit="accesses",
+            description="TLB translations performed",
+        ).set(self.tlb.stats.accesses)
+        registry.counter(
+            "tlb.misses", unit="accesses",
+            description="TLB misses (taint bits rebuilt from the CTT)",
+        ).set(self.tlb.stats.misses)
+        registry.gauge(
+            "tlb.hit_rate", unit="fraction",
+            description="TLB hits / accesses",
+            callback=lambda: self.tlb.stats.hit_rate,
+        )
 
     # ------------------------------------------------------------ updates
 

@@ -76,6 +76,38 @@ class DIFTEngine(Observer):
         self.colors = ColorAllocator()
         self._tag_listeners: List[TagListener] = []
 
+    # ------------------------------------------------------------- metrics
+
+    def publish_metrics(self, registry) -> None:
+        """Publish the precise tracker's counters into an obs registry."""
+        stats = self.stats
+        registry.counter(
+            "dift.instructions", unit="instructions",
+            description="Instructions propagated by the precise engine",
+        ).set(stats.instructions)
+        registry.counter(
+            "dift.tainted_instructions", unit="instructions",
+            description="Instructions touching tainted data (Tables 1/2)",
+        ).set(stats.tainted_instructions)
+        registry.counter(
+            "dift.taint_source_bytes", unit="bytes",
+            description="Bytes tainted at input sources",
+        ).set(stats.taint_source_bytes)
+        registry.counter(
+            "dift.alerts", unit="alerts",
+            description="Security alerts raised",
+        ).set(stats.alert_count)
+        registry.gauge(
+            "dift.tainted_fraction", unit="fraction",
+            description="Tainted-instruction fraction (Tables 1/2)",
+            callback=lambda: self.stats.tainted_fraction,
+        )
+        registry.gauge(
+            "dift.tainted_bytes_live", unit="bytes",
+            description="Shadow-memory bytes currently tainted",
+            callback=lambda: self.shadow.tainted_byte_count,
+        )
+
     # ----------------------------------------------------------- listeners
 
     def add_tag_listener(self, listener: TagListener) -> None:

@@ -19,6 +19,7 @@ from typing import Dict, Optional
 
 from repro.core.latch import CheckLevel, LatchConfig, LatchModule
 from repro.dift.tags import ShadowMemory
+from repro.obs import MetricsRegistry, StatsSnapshot
 from repro.hlatch.taint_cache import (
     HLATCH_TAINT_CACHE,
     PreciseTaintCache,
@@ -85,6 +86,24 @@ class HLatchReport:
         avoided = baseline_misses - (self.ctc_misses + self.tcache_misses)
         return avoided / baseline_misses * 100.0
 
+    @classmethod
+    def from_snapshot(cls, name: str, snapshot: StatsSnapshot) -> "HLatchReport":
+        """Build a report row from a :class:`repro.obs.StatsSnapshot`.
+
+        This is the Tables 6/7 ↔ obs bridge: the report consumes the
+        published metrics rather than re-counting from the structures.
+        """
+        return cls(
+            name=name,
+            accesses=int(snapshot.get("latch.memory_checks", 0)),
+            ctc_misses=int(snapshot.get("ctc.misses", 0)),
+            tcache_accesses=int(snapshot.get("hlatch.tcache.accesses", 0)),
+            tcache_misses=int(snapshot.get("hlatch.tcache.misses", 0)),
+            resolved_by_tlb=int(snapshot.get("latch.resolved_by_tlb", 0)),
+            resolved_by_ctc=int(snapshot.get("latch.resolved_by_ctc", 0)),
+            sent_to_precise=int(snapshot.get("latch.sent_to_precise", 0)),
+        )
+
 
 class HLatchSystem:
     """LATCH-filtered hardware taint checking.
@@ -135,19 +154,25 @@ class HLatchSystem:
             clean_oracle=self.shadow.region_clean,
         )
 
+    # ------------------------------------------------------------- metrics
+
+    def publish_metrics(self, registry: MetricsRegistry) -> MetricsRegistry:
+        """Publish the full H-LATCH stack into an obs registry."""
+        self.latch.publish_metrics(registry)
+        self.tcache.publish_metrics(registry)
+        return registry
+
+    def snapshot(self) -> StatsSnapshot:
+        """Freeze the stack's counters into a fresh snapshot."""
+        return self.publish_metrics(MetricsRegistry()).snapshot()
+
     def report(self, name: str) -> HLatchReport:
-        """Snapshot the counters into a benchmark report."""
-        stats = self.latch.stats
-        return HLatchReport(
-            name=name,
-            accesses=stats.memory_checks,
-            ctc_misses=self.latch.ctc.stats.misses,
-            tcache_accesses=self.tcache.stats.accesses,
-            tcache_misses=self.tcache.stats.misses,
-            resolved_by_tlb=stats.resolved_by_tlb,
-            resolved_by_ctc=stats.resolved_by_ctc,
-            sent_to_precise=stats.sent_to_precise,
-        )
+        """Snapshot the counters into a benchmark report.
+
+        Goes through :meth:`snapshot`, so the report rows are exactly
+        the published ``docs/OBSERVABILITY.md`` metrics.
+        """
+        return HLatchReport.from_snapshot(name, self.snapshot())
 
 
 def run_hlatch(

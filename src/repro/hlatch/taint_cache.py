@@ -84,6 +84,27 @@ class PreciseTaintCache:
         """Hit/miss statistics."""
         return self._cache.stats
 
+    def publish_metrics(self, registry) -> None:
+        """Publish the precise taint-cache counters into an obs registry."""
+        stats = self._cache.stats
+        registry.counter(
+            "hlatch.tcache.accesses", unit="accesses",
+            description="Precise taint-cache lookups",
+        ).set(stats.accesses)
+        registry.counter(
+            "hlatch.tcache.hits", unit="accesses",
+            description="Precise taint-cache hits",
+        ).set(stats.hits)
+        registry.counter(
+            "hlatch.tcache.misses", unit="accesses",
+            description="Precise taint-cache misses (tag fetch from memory)",
+        ).set(stats.misses)
+        registry.gauge(
+            "hlatch.tcache.miss_rate", unit="fraction",
+            description="Precise taint-cache miss rate (Tables 6/7)",
+            callback=lambda: self._cache.stats.miss_rate,
+        )
+
     def access(self, address: int, size: int = 1, write: bool = False) -> bool:
         """Look up the taint tags for a memory operand.
 

@@ -90,6 +90,7 @@ class CPU:
         self.halted = False
         self.exit_code = 0
         self.step_count = 0
+        self.syscall_count = 0
         self.console = bytearray()
         self.latch_port: LatchPort = LatchPort()
         self._observers: List[Observer] = []
@@ -161,6 +162,29 @@ class CPU:
             self.step()
         return self.step_count - start
 
+    # ------------------------------------------------------------- metrics
+
+    def publish_metrics(self, registry) -> None:
+        """Publish execution counters into an obs registry.
+
+        The machine keeps plain integer counters on the hot path;
+        publication copies them out, so attaching observability costs
+        nothing per instruction.
+        """
+        registry.counter(
+            "cpu.instructions", unit="instructions",
+            description="Instructions committed",
+        ).set(self.step_count)
+        registry.counter(
+            "cpu.syscalls", unit="syscalls",
+            description="SYSCALL instructions dispatched",
+        ).set(self.syscall_count)
+        registry.gauge(
+            "cpu.halted", unit="bool",
+            description="1 when the machine has halted",
+            callback=lambda: int(self.halted),
+        )
+
     # ----------------------------------------------------------- semantics
 
     def _execute(self, instruction: Instruction) -> StepEvent:
@@ -183,6 +207,7 @@ class CPU:
             self.halt(exit_code=regs[3])
         elif op == Opcode.SYSCALL:
             syscall_number = regs[3]
+            self.syscall_count += 1
             regs_read = (3, 4, 5, 6)
             result = self.syscalls.dispatch(self, syscall_number)
             regs[3] = result & _MASK32

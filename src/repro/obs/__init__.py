@@ -1,0 +1,70 @@
+"""repro.obs — the unified observability layer.
+
+The paper's whole argument is quantitative — CTC hit rates (Tables
+6/7), TLB screening fractions (Figure 16), epoch durations (Figure 5),
+queue occupancy (Section 5.2) — so the reproduction carries a
+first-class metrics/tracing layer instead of ad-hoc counters:
+
+* :class:`MetricsRegistry` with four primitives — :class:`Counter`,
+  :class:`Gauge` (direct or callback-derived), :class:`Histogram`
+  (exact percentiles), :class:`Timer` — all cheap enough that the
+  per-instruction hot paths stay untouched (subsystems keep their
+  native integer counters and *publish* them into a registry at
+  snapshot time).
+* :class:`Tracer` — a structured JSONL event/span stream for the
+  low-frequency control events (traps, timeout fires, reconciles).
+* :class:`StatsSnapshot` — the frozen, serialisable export model that
+  the ``repro-stats`` CLI emits and the report tables consume.
+
+Every instrumented subsystem exposes ``publish_metrics(registry)``;
+the canonical metric names, units, and the paper artefact each one
+backs are catalogued in ``docs/OBSERVABILITY.md``.
+
+Usage::
+
+    from repro.obs import MetricsRegistry
+    from repro.core import LatchModule
+
+    latch = LatchModule()
+    latch.check_memory(0x1000, 4)
+
+    registry = MetricsRegistry()
+    latch.publish_metrics(registry)
+    snapshot = registry.snapshot()
+    print(snapshot.get("ctc.hit_rate"))
+    print(snapshot.to_markdown("LATCH check path"))
+
+Tracing the S-LATCH mode switches::
+
+    from repro.obs import Tracer
+
+    tracer = Tracer()                    # or Tracer(path="run.jsonl")
+    system = SLatchSystem(cpu, tracer=tracer)
+    cpu.run()
+    [event["name"] for event in tracer.events()]
+    # ['slatch.trap', 'slatch.return', ...]
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+    Timer,
+)
+from repro.obs.snapshot import MetricRecord, StatsSnapshot
+from repro.obs.tracer import Tracer, read_jsonl
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricRecord",
+    "MetricsRegistry",
+    "StatsSnapshot",
+    "Timer",
+    "Tracer",
+    "read_jsonl",
+]

@@ -1,0 +1,377 @@
+"""Metric primitives and the :class:`MetricsRegistry`.
+
+Four metric kinds, chosen to cover everything the LATCH evaluation
+counts:
+
+* :class:`Counter` — monotonically increasing event count (CTC hits,
+  traps, stall cycles).  ``inc()`` is a single integer add, cheap enough
+  for the per-instruction hot path.
+* :class:`Gauge` — a point-in-time value, either set directly or backed
+  by a zero-argument callback evaluated at snapshot time (hit rates,
+  screening fractions).  Callback gauges make *derived* metrics free:
+  nothing runs until a snapshot is taken.
+* :class:`Histogram` — a value distribution with exact count/sum/min/
+  max and exact percentiles (epoch durations, queue occupancy).
+* :class:`Timer` — a context manager recording wall-clock durations
+  into a histogram of seconds.
+
+The registry is the namespace: metrics are addressed by dotted names
+(``ctc.hit_rate``, ``slatch.epoch.hw_duration``) documented in
+``docs/OBSERVABILITY.md``.  ``counter()`` / ``gauge()`` /
+``histogram()`` / ``timer()`` are get-or-create, so instrumented
+subsystems can share one registry without coordination.
+
+Usage::
+
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    hits = registry.counter("ctc.hits", unit="accesses",
+                            description="CTC lookups that hit")
+    hits.inc()
+    registry.gauge("ctc.hit_rate", unit="fraction",
+                   callback=lambda: hits.value / 1.0)
+    snapshot = registry.snapshot()
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+#: Percentiles included in histogram snapshots.
+SNAPSHOT_PERCENTILES: Sequence[float] = (50.0, 90.0, 95.0, 99.0)
+
+
+class Metric:
+    """Common identity shared by all metric kinds."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, unit: str = "", description: str = "") -> None:
+        self.name = name
+        self.unit = unit
+        self.description = description
+
+    def value_dict(self) -> Dict[str, object]:
+        """Serialisable value payload (overridden per kind)."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Zero the metric."""
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing event count.
+
+    ``inc`` is the hot-path entry point; ``set`` exists for pull-style
+    publication, where a subsystem that already accumulates its own
+    counters (e.g. :class:`repro.mem.cache.CacheStats`) copies the
+    current totals into the registry at snapshot time.
+    """
+
+    kind = "counter"
+
+    def __init__(self, name: str, unit: str = "", description: str = "") -> None:
+        super().__init__(name, unit, description)
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (default 1) to the count."""
+        self.value += amount
+
+    def set(self, value: Number) -> None:
+        """Publish an externally accumulated total."""
+        self.value = value
+
+    def value_dict(self) -> Dict[str, object]:
+        return {"value": self.value}
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge(Metric):
+    """A point-in-time value, direct or computed by a callback."""
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        unit: str = "",
+        description: str = "",
+        callback: Optional[Callable[[], Number]] = None,
+    ) -> None:
+        super().__init__(name, unit, description)
+        self.callback = callback
+        self._value: Number = 0
+
+    def set(self, value: Number) -> None:
+        """Set the gauge directly (detaches any callback)."""
+        self.callback = None
+        self._value = value
+
+    @property
+    def value(self) -> Number:
+        """Current value (callback gauges evaluate on read)."""
+        if self.callback is not None:
+            return self.callback()
+        return self._value
+
+    def value_dict(self) -> Dict[str, object]:
+        return {"value": self.value}
+
+    def reset(self) -> None:
+        if self.callback is None:
+            self._value = 0
+
+
+class Histogram(Metric):
+    """An exact value distribution.
+
+    Values are retained, so ``percentile`` is exact (nearest-rank with
+    linear interpolation, matching ``numpy.percentile``'s default).
+    Recording is a list append; intended volumes are one value per
+    *event* (epoch transition, queue sample), not per instruction.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, unit: str = "", description: str = "") -> None:
+        super().__init__(name, unit, description)
+        self._values: List[float] = []
+        self._sorted: Optional[List[float]] = None
+
+    def record(self, value: Number) -> None:
+        """Record one observation."""
+        self._values.append(float(value))
+        self._sorted = None
+
+    def record_many(self, values) -> None:
+        """Record an iterable of observations (bulk import)."""
+        self._values.extend(float(value) for value in values)
+        self._sorted = None
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        """Sum of observations."""
+        return math.fsum(self._values)
+
+    @property
+    def min(self) -> float:
+        """Smallest observation (nan when empty)."""
+        return min(self._values) if self._values else math.nan
+
+    @property
+    def max(self) -> float:
+        """Largest observation (nan when empty)."""
+        return max(self._values) if self._values else math.nan
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (nan when empty)."""
+        return self.total / self.count if self._values else math.nan
+
+    def percentile(self, p: float) -> float:
+        """Exact p-th percentile, 0 ≤ p ≤ 100 (nan when empty)."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be within [0, 100]")
+        if not self._values:
+            return math.nan
+        if self._sorted is None:
+            self._sorted = sorted(self._values)
+        ordered = self._sorted
+        rank = (len(ordered) - 1) * (p / 100.0)
+        lower = math.floor(rank)
+        upper = math.ceil(rank)
+        if lower == upper:
+            return ordered[int(rank)]
+        weight = rank - lower
+        return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+    def values(self) -> List[float]:
+        """Copy of the raw observations."""
+        return list(self._values)
+
+    def value_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "count": self.count,
+            "sum": self.total if self._values else 0.0,
+            "min": None if not self._values else self.min,
+            "max": None if not self._values else self.max,
+            "mean": None if not self._values else self.mean,
+        }
+        payload["percentiles"] = {
+            f"p{int(p) if float(p).is_integer() else p}": (
+                None if not self._values else self.percentile(p)
+            )
+            for p in SNAPSHOT_PERCENTILES
+        }
+        return payload
+
+    def reset(self) -> None:
+        self._values.clear()
+        self._sorted = None
+
+
+class Timer(Metric):
+    """Wall-clock span timer backed by a histogram of seconds.
+
+    Usage::
+
+        with registry.timer("report.render_seconds"):
+            render()
+    """
+
+    kind = "timer"
+
+    def __init__(
+        self,
+        name: str,
+        unit: str = "seconds",
+        description: str = "",
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        super().__init__(name, unit, description)
+        self.histogram = Histogram(name, unit, description)
+        self._clock = clock
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._start is not None:
+            self.histogram.record(self._clock() - self._start)
+            self._start = None
+
+    def record(self, seconds: Number) -> None:
+        """Record an externally measured duration."""
+        self.histogram.record(seconds)
+
+    @property
+    def count(self) -> int:
+        """Number of completed spans."""
+        return self.histogram.count
+
+    @property
+    def total(self) -> float:
+        """Total seconds across spans."""
+        return self.histogram.total
+
+    def value_dict(self) -> Dict[str, object]:
+        return self.histogram.value_dict()
+
+    def reset(self) -> None:
+        self.histogram.reset()
+
+
+class MetricsRegistry:
+    """Named collection of metrics with get-or-create accessors.
+
+    The accessors are idempotent: requesting an existing name returns
+    the existing instance (and raises :class:`TypeError` if the kind
+    differs), so independent subsystems can publish into one registry.
+    Iteration order is insertion order, which the snapshot and the
+    rendered tables preserve.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    # ------------------------------------------------------------ creation
+
+    def _get_or_create(self, cls, name: str, **kwargs) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+        metric = cls(name, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, unit: str = "count", description: str = ""
+    ) -> Counter:
+        """Get or create a counter."""
+        return self._get_or_create(
+            Counter, name, unit=unit, description=description
+        )
+
+    def gauge(
+        self,
+        name: str,
+        unit: str = "",
+        description: str = "",
+        callback: Optional[Callable[[], Number]] = None,
+    ) -> Gauge:
+        """Get or create a gauge; ``callback`` re-binds a derived value."""
+        gauge = self._get_or_create(
+            Gauge, name, unit=unit, description=description
+        )
+        if callback is not None:
+            gauge.callback = callback
+        return gauge
+
+    def histogram(
+        self, name: str, unit: str = "", description: str = ""
+    ) -> Histogram:
+        """Get or create a histogram."""
+        return self._get_or_create(
+            Histogram, name, unit=unit, description=description
+        )
+
+    def timer(
+        self, name: str, unit: str = "seconds", description: str = ""
+    ) -> Timer:
+        """Get or create a timer."""
+        return self._get_or_create(
+            Timer, name, unit=unit, description=description
+        )
+
+    # ------------------------------------------------------------- access
+
+    def get(self, name: str) -> Metric:
+        """Look up a metric; raises :class:`KeyError` if absent."""
+        return self._metrics[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> List[str]:
+        """Registered names in insertion order."""
+        return list(self._metrics)
+
+    def metrics(self) -> List[Metric]:
+        """Registered metrics in insertion order."""
+        return list(self._metrics.values())
+
+    # ------------------------------------------------------------ lifecycle
+
+    def reset(self) -> None:
+        """Zero every metric (callback gauges are left bound)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def snapshot(self):
+        """Freeze every metric into a :class:`repro.obs.StatsSnapshot`."""
+        from repro.obs.snapshot import StatsSnapshot
+
+        return StatsSnapshot.from_registry(self)

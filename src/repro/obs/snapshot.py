@@ -1,0 +1,205 @@
+"""The :class:`StatsSnapshot` export model.
+
+A snapshot is the frozen, serialisable view of a
+:class:`~repro.obs.metrics.MetricsRegistry` at one instant: every
+metric's name, kind, unit, description, and value payload (plain value
+for counters/gauges, a count/sum/min/max/mean/percentiles summary for
+histograms and timers).  Snapshots are what crosses subsystem
+boundaries — the ``repro-stats`` CLI emits them as JSON, the report
+tables render them, and tests round-trip them.
+
+Usage::
+
+    snapshot = registry.snapshot()
+    snapshot.get("ctc.hit_rate")              # scalar value
+    snapshot.get("slatch.epoch.hw_duration")  # summary dict
+    text = snapshot.to_json()
+    again = StatsSnapshot.from_json(text)
+    assert again == snapshot
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Serialisation format version, bumped on incompatible layout changes.
+SNAPSHOT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class MetricRecord:
+    """One metric frozen at snapshot time."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram" | "timer"
+    unit: str
+    description: str
+    data: Dict[str, object]
+
+    @property
+    def is_scalar(self) -> bool:
+        """True for counters and gauges (single ``value`` payload)."""
+        return "value" in self.data
+
+    @property
+    def value(self) -> object:
+        """Scalar value, or the summary dict for distributions."""
+        if self.is_scalar:
+            return self.data["value"]
+        return dict(self.data)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-ready)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "unit": self.unit,
+            "description": self.description,
+            "data": self.data,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "MetricRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=payload["name"],
+            kind=payload["kind"],
+            unit=payload.get("unit", ""),
+            description=payload.get("description", ""),
+            data=payload["data"],
+        )
+
+
+@dataclass
+class StatsSnapshot:
+    """An ordered, serialisable collection of :class:`MetricRecord`.
+
+    Equality compares records only (not metadata), so a snapshot
+    survives a JSON round-trip intact.
+    """
+
+    records: List[MetricRecord] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ building
+
+    @classmethod
+    def from_registry(cls, registry) -> "StatsSnapshot":
+        """Freeze every metric of a registry, in insertion order."""
+        records = [
+            MetricRecord(
+                name=metric.name,
+                kind=metric.kind,
+                unit=metric.unit,
+                description=metric.description,
+                data=metric.value_dict(),
+            )
+            for metric in registry.metrics()
+        ]
+        return cls(records=records)
+
+    # ------------------------------------------------------------- access
+
+    def names(self) -> List[str]:
+        """Metric names in order."""
+        return [record.name for record in self.records]
+
+    def record(self, name: str) -> MetricRecord:
+        """Full record for ``name``; raises :class:`KeyError` if absent."""
+        for rec in self.records:
+            if rec.name == name:
+                return rec
+        raise KeyError(name)
+
+    def get(self, name: str, default=None):
+        """Value for ``name`` (scalar or summary dict), or ``default``."""
+        for rec in self.records:
+            if rec.name == name:
+                return rec.value
+        return default
+
+    def __contains__(self, name: str) -> bool:
+        return any(rec.name == name for rec in self.records)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StatsSnapshot):
+            return NotImplemented
+        return self.records == other.records
+
+    # ------------------------------------------------------- serialisation
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dict, including the format version."""
+        return {
+            "version": SNAPSHOT_VERSION,
+            "meta": self.meta,
+            "metrics": [record.to_dict() for record in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "StatsSnapshot":
+        """Inverse of :meth:`to_dict`."""
+        version = payload.get("version", SNAPSHOT_VERSION)
+        if version != SNAPSHOT_VERSION:
+            raise ValueError(f"unsupported snapshot version {version}")
+        return cls(
+            records=[
+                MetricRecord.from_dict(item) for item in payload["metrics"]
+            ],
+            meta=dict(payload.get("meta", {})),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "StatsSnapshot":
+        """Parse a snapshot back from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    # ----------------------------------------------------------- rendering
+
+    def to_markdown(self, title: Optional[str] = None) -> str:
+        """Render as a GitHub-flavoured markdown table."""
+        lines: List[str] = []
+        if title:
+            lines.append(f"## {title}")
+            lines.append("")
+        lines.append("| metric | kind | unit | value |")
+        lines.append("|---|---|---|---|")
+        for rec in self.records:
+            lines.append(
+                f"| `{rec.name}` | {rec.kind} | {rec.unit} "
+                f"| {_format_payload(rec)} |"
+            )
+        return "\n".join(lines)
+
+
+def _format_number(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _format_payload(record: MetricRecord) -> str:
+    if record.is_scalar:
+        return _format_number(record.data["value"])
+    data = record.data
+    if data.get("count", 0) == 0:
+        return "count=0"
+    parts = [
+        f"count={data['count']}",
+        f"mean={_format_number(data['mean'])}",
+        f"min={_format_number(data['min'])}",
+        f"max={_format_number(data['max'])}",
+    ]
+    percentiles = data.get("percentiles") or {}
+    parts.extend(
+        f"{label}={_format_number(value)}"
+        for label, value in percentiles.items()
+        if value is not None
+    )
+    return " ".join(parts)

@@ -1,0 +1,141 @@
+"""Structured JSONL event/span tracer.
+
+Where the metrics registry answers "how many / how long on average",
+the tracer answers "what happened, in order": mode switches, epoch
+boundaries, timeout fires, reconciles.  Each record is one JSON object
+per line — trivially greppable, loadable with ``jq`` or
+``json.loads`` per line, and append-only so a crashed run keeps its
+prefix.
+
+Records carry:
+
+* ``ts`` — seconds since the tracer was created (monotonic clock);
+* ``type`` — ``"event"``, ``"span_start"``, or ``"span_end"``;
+* ``name`` — dotted event name (``slatch.trap``, ``slatch.return``);
+* ``span_id`` / ``duration`` for spans;
+* any keyword fields the instrumentation site supplies.
+
+Usage::
+
+    from repro.obs import Tracer
+
+    tracer = Tracer()                      # in-memory
+    tracer.event("slatch.trap", pc=0x1048)
+    with tracer.span("report.render"):
+        ...
+    for record in tracer.records():
+        print(record["name"], record["ts"])
+
+    Tracer(path="run.jsonl")               # streamed to disk instead
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+
+class Tracer:
+    """Append-only JSONL tracer, in-memory or file-backed.
+
+    Args:
+        path: destination file; ``None`` keeps records in memory
+            (retrievable via :meth:`records`).
+        clock: monotonic time source (overridable for tests).
+    """
+
+    def __init__(self, path: Optional[str] = None, clock=time.monotonic) -> None:
+        self.path = path
+        self._clock = clock
+        self._epoch = clock()
+        self._records: List[Dict] = []
+        self._file = open(path, "a", encoding="utf-8") if path else None
+        self._next_span_id = 0
+
+    # ------------------------------------------------------------- writing
+
+    def _emit(self, record: Dict) -> None:
+        if self._file is not None:
+            self._file.write(json.dumps(record, sort_keys=True) + "\n")
+        else:
+            self._records.append(record)
+
+    def _now(self) -> float:
+        return self._clock() - self._epoch
+
+    def event(self, name: str, **fields) -> None:
+        """Record one point-in-time event."""
+        record = {"ts": self._now(), "type": "event", "name": name}
+        record.update(fields)
+        self._emit(record)
+
+    @contextmanager
+    def span(self, name: str, **fields) -> Iterator[int]:
+        """Record a start/end record pair around a block.
+
+        Yields the span id shared by the two records; the ``span_end``
+        record carries the wall-clock ``duration`` in seconds.
+        """
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        start = self._now()
+        record = {"ts": start, "type": "span_start", "name": name,
+                  "span_id": span_id}
+        record.update(fields)
+        self._emit(record)
+        try:
+            yield span_id
+        finally:
+            end = self._now()
+            self._emit({
+                "ts": end,
+                "type": "span_end",
+                "name": name,
+                "span_id": span_id,
+                "duration": end - start,
+            })
+
+    # ------------------------------------------------------------- reading
+
+    def records(self) -> List[Dict]:
+        """In-memory records (empty when file-backed; read the file)."""
+        return list(self._records)
+
+    def events(self, name: Optional[str] = None) -> List[Dict]:
+        """In-memory event records, optionally filtered by name."""
+        return [
+            r for r in self._records
+            if r["type"] == "event" and (name is None or r["name"] == name)
+        ]
+
+    # ----------------------------------------------------------- lifecycle
+
+    def flush(self) -> None:
+        """Flush the backing file (no-op in memory)."""
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        """Close the backing file (in-memory records stay readable)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def read_jsonl(path: str) -> List[Dict]:
+    """Load every record of a JSONL trace file."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -52,6 +52,29 @@ class QueueReport:
             return 0.0
         return self.events_enqueued / self.total_instructions
 
+    def publish_metrics(self, registry) -> None:
+        """Publish the queue accounting into an obs registry."""
+        registry.counter(
+            "platch.queue.events_enqueued", unit="events",
+            description="Events handed to the monitor core",
+        ).set(self.events_enqueued)
+        registry.counter(
+            "platch.queue.stall_cycles", unit="cycles",
+            description="Producer cycles lost to a full queue",
+        ).set(self.stall_cycles)
+        registry.counter(
+            "platch.instructions", unit="instructions",
+            description="Monitored-core instructions simulated",
+        ).set(self.total_instructions)
+        registry.gauge(
+            "platch.queue.enqueue_frac", unit="fraction",
+            description="Instructions producing a monitored event (§5.2)",
+        ).set(self.enqueue_fraction)
+        registry.gauge(
+            "platch.overhead", unit="fraction",
+            description="Producer stall overhead over native (Figure 15)",
+        ).set(self.overhead)
+
 
 class TwoCoreQueueSimulator:
     """Producer/consumer FIFO between monitored and monitor cores.
@@ -76,10 +99,24 @@ class TwoCoreQueueSimulator:
         self.filtered = filtered
         self.fp_rate = fp_rate
 
-    def run(self, stream: EpochStream) -> QueueReport:
-        """Simulate the stream; returns the stall accounting."""
+    def run(self, stream: EpochStream, obs=None) -> QueueReport:
+        """Simulate the stream; returns the stall accounting.
+
+        With an ``obs`` :class:`repro.obs.MetricsRegistry`, the
+        simulator additionally records the ``platch.queue.occupancy``
+        histogram (end-of-epoch queue entries in use) and publishes the
+        stall/enqueue counters; without one, the loop is untouched.
+        """
         analysis = self.baseline.analysis_cycles_per_event
         capacity_cycles = self.baseline.queue_entries * analysis
+        occupancy = (
+            obs.histogram(
+                "platch.queue.occupancy", unit="entries",
+                description="Monitor-queue entries in use at epoch ends",
+            )
+            if obs is not None
+            else None
+        )
 
         lengths = stream.lengths.astype(np.float64)
         marks = stream.tainted_counts.astype(np.float64)
@@ -105,11 +142,13 @@ class TwoCoreQueueSimulator:
                 # Producer stalls until the backlog fits the queue again.
                 stall += backlog - capacity_cycles
                 backlog = capacity_cycles
+            if occupancy is not None:
+                occupancy.record(backlog / analysis)
         # Whatever backlog remains delays completion of monitoring, but
         # not the producer; the paper charges producer-visible overhead
         # only, so it is not added to the stall count.
 
-        return QueueReport(
+        report = QueueReport(
             name=stream.name,
             baseline=self.baseline.name,
             total_instructions=stream.total_instructions,
@@ -117,3 +156,6 @@ class TwoCoreQueueSimulator:
             stall_cycles=int(stall),
             filtered=self.filtered,
         )
+        if obs is not None:
+            report.publish_metrics(obs)
+        return report

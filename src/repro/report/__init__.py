@@ -6,6 +6,7 @@ the paper states numbers.
 """
 
 from repro.report.figures import format_bar_chart, format_grouped_bars
+from repro.report.obs_report import format_snapshot, snapshot_diff
 from repro.report.tables import (
     format_comparison_table,
     format_series,
@@ -17,5 +18,7 @@ __all__ = [
     "format_comparison_table",
     "format_grouped_bars",
     "format_series",
+    "format_snapshot",
     "format_table",
+    "snapshot_diff",
 ]

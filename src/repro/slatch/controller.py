@@ -37,6 +37,7 @@ from repro.dift.engine import DIFTEngine
 from repro.dift.policy import TaintPolicy
 from repro.machine.cpu import CPU, LatchPort
 from repro.machine.events import InputEvent, Observer, OutputEvent, StepEvent
+from repro.obs import MetricsRegistry, StatsSnapshot, Tracer
 from repro.slatch.costs import SLatchCostModel
 
 
@@ -79,6 +80,11 @@ class SLatchSystem(Observer, LatchPort):
         latch_config: LATCH structural parameters (paper defaults).
         costs: cycle cost model (drives the cycle estimate only; the
             functional behaviour depends only on ``timeout_instructions``).
+        obs: metrics registry to record into (a private one is created
+            when omitted); epoch-duration histograms live here and the
+            counters are published on :meth:`snapshot`.
+        tracer: optional :class:`repro.obs.Tracer` receiving a
+            ``slatch.trap`` / ``slatch.return`` event per mode switch.
     """
 
     def __init__(
@@ -88,6 +94,8 @@ class SLatchSystem(Observer, LatchPort):
         latch_config: Optional[LatchConfig] = None,
         costs: Optional[SLatchCostModel] = None,
         timeout_policy=None,
+        obs: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         from repro.slatch.timeout import FixedTimeout
 
@@ -105,6 +113,17 @@ class SLatchSystem(Observer, LatchPort):
         self.extra_cycles = 0
         self._quiet_streak = 0
         self._hw_span = 0
+        self._sw_span = 0
+        self.obs = obs if obs is not None else MetricsRegistry()
+        self.tracer = tracer
+        self._hw_epochs = self.obs.histogram(
+            "slatch.epoch.hw_duration", unit="instructions",
+            description="Completed hardware-mode epoch lengths (Figure 5)",
+        )
+        self._sw_epochs = self.obs.histogram(
+            "slatch.epoch.sw_duration", unit="instructions",
+            description="Completed software-mode epoch lengths",
+        )
         self.engine.add_tag_listener(self._on_tag_write)
         cpu.attach(self)
         cpu.latch_port = self
@@ -173,7 +192,14 @@ class SLatchSystem(Observer, LatchPort):
         self.counters.traps += 1
         self.extra_cycles += self.costs.trap_cycles
         self.timeout_policy.on_retrap(self._hw_span)
+        self._hw_epochs.record(self._hw_span)
+        if self.tracer is not None:
+            self.tracer.event(
+                "slatch.trap", pc=event.pc, step=event.index,
+                hw_span=self._hw_span,
+            )
         self._hw_span = 0
+        self._sw_span = 0
         self.mode = Mode.SOFTWARE
         self._quiet_streak = 0
         self._software_step(event)
@@ -188,6 +214,7 @@ class SLatchSystem(Observer, LatchPort):
 
     def _software_step(self, event: StepEvent) -> None:
         self.counters.sw_instructions += 1
+        self._sw_span += 1
         self.engine.on_step(event)
         result = self.engine.last_result
         if result is not None and result.touched_taint:
@@ -200,18 +227,73 @@ class SLatchSystem(Observer, LatchPort):
     def _return_to_hardware(self) -> None:
         self.counters.returns += 1
         self.extra_cycles += self.costs.return_cycles
-        self.counters.reconciled_domains += self.latch.reconcile_clears(
-            self.engine.shadow.region_clean
-        )
+        reconciled = self.latch.reconcile_clears(self.engine.shadow.region_clean)
+        self.counters.reconciled_domains += reconciled
+        self._sw_epochs.record(self._sw_span)
+        if self.tracer is not None:
+            self.tracer.event(
+                "slatch.return", sw_span=self._sw_span,
+                reconciled_domains=reconciled,
+            )
         # strf: reload the hardware TRF from the precise register taint.
         self.latch.set_trf_mask(self.engine.trf.register_mask())
         self.timeout_policy.on_return()
         self.mode = Mode.HARDWARE
         self._quiet_streak = 0
         self._hw_span = 0
+        self._sw_span = 0
 
     def _on_tag_write(self, address: int, tags: bytes) -> None:
         self.latch.update_memory_tags(address, tags)
+
+    # ------------------------------------------------------------ metrics
+
+    def publish_metrics(self, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+        """Publish the system's counters into ``registry``.
+
+        Defaults to the system's own :attr:`obs` registry (where the
+        epoch-duration histograms already live).  Also publishes the
+        LATCH module beneath and the CPU's execution counters, so one
+        snapshot covers the whole stack.
+        """
+        registry = registry if registry is not None else self.obs
+        counters = self.counters
+        registry.counter(
+            "slatch.hw_instructions", unit="instructions",
+            description="Instructions committed in hardware mode",
+        ).set(counters.hw_instructions)
+        registry.counter(
+            "slatch.sw_instructions", unit="instructions",
+            description="Instructions committed under software DIFT",
+        ).set(counters.sw_instructions)
+        registry.counter(
+            "slatch.traps", unit="events",
+            description="HW→SW control transfers (coarse true positives)",
+        ).set(counters.traps)
+        registry.counter(
+            "slatch.timeout_fires", unit="events",
+            description="SW→HW returns after the quiet-streak timeout",
+        ).set(counters.returns)
+        registry.counter(
+            "slatch.false_positives", unit="events",
+            description="Coarse exceptions dismissed against precise state",
+        ).set(counters.false_positives)
+        registry.counter(
+            "slatch.reconciled_domains", unit="domains",
+            description="Domains cleared by clear-bit reconciles (§5.1.4)",
+        ).set(counters.reconciled_domains)
+        registry.gauge(
+            "slatch.sw_fraction", unit="fraction",
+            description="Instructions under software monitoring (Fig. 13)",
+            callback=lambda: self.counters.sw_fraction,
+        )
+        self.latch.publish_metrics(registry)
+        self.cpu.publish_metrics(registry)
+        return registry
+
+    def snapshot(self) -> StatsSnapshot:
+        """Publish all counters and freeze :attr:`obs` into a snapshot."""
+        return self.publish_metrics().snapshot()
 
     # ------------------------------------------------------------ reports
 

@@ -91,6 +91,47 @@ class SLatchReport:
             return 0.0
         return self.sw_instructions / self.total_instructions
 
+    def publish_metrics(self, registry) -> None:
+        """Publish the model's estimates into an obs registry.
+
+        Names live under ``slatch.model.*`` so a functional
+        :class:`~repro.slatch.controller.SLatchSystem` run and the
+        Section 6.1 analytical model can share one registry.
+        """
+        registry.counter(
+            "slatch.model.instructions", unit="instructions",
+            description="Instructions covered by the performance model",
+        ).set(self.total_instructions)
+        registry.counter(
+            "slatch.model.sw_instructions", unit="instructions",
+            description="Modelled instructions under software monitoring",
+        ).set(self.sw_instructions)
+        registry.counter(
+            "slatch.model.traps", unit="events",
+            description="Modelled HW→SW transfers",
+        ).set(self.traps)
+        registry.counter(
+            "slatch.model.timeout_fires", unit="events",
+            description="Modelled SW→HW returns (timeout expiries)",
+        ).set(self.returns)
+        registry.gauge(
+            "slatch.model.sw_fraction", unit="fraction",
+            description="Modelled software-mode share (Figure 13)",
+        ).set(self.sw_fraction)
+        registry.gauge(
+            "slatch.model.overhead", unit="fraction",
+            description="Modelled overhead over native (Figure 13)",
+        ).set(self.overhead)
+        registry.gauge(
+            "slatch.model.speedup_vs_libdft", unit="ratio",
+            description="Modelled speedup over always-on DIFT (Figure 13)",
+        ).set(self.speedup_vs_libdft)
+        for source, share in self.breakdown().items():
+            registry.gauge(
+                f"slatch.model.breakdown.{source}", unit="fraction",
+                description="Share of extra cycles by source (Figure 14)",
+            ).set(share)
+
     def breakdown(self) -> Dict[str, float]:
         """Figure 14: overhead share per source (fractions of extra cycles)."""
         extra = self.extra_cycles
@@ -108,14 +149,21 @@ class SLatchReport:
 def measure_hw_rates(
     trace: AccessTrace,
     latch_config: Optional[LatchConfig] = None,
+    latch: Optional[LatchModule] = None,
 ) -> HwRates:
     """Measure hardware-mode FP and CTC-miss rates from an access trace.
 
     Only the accesses of taint-free epochs are replayed (taint-active
     epochs run in software mode, where the CTC is written through but
     its check path is idle).
+
+    A caller that wants the measurement module's counters afterwards
+    (e.g. ``repro-stats`` publishing ``ctc.hit_rate``) can pass its own
+    ``latch``; it is bulk-loaded and replayed exactly as the internally
+    constructed one would be.
     """
-    latch = LatchModule(latch_config)
+    if latch is None:
+        latch = LatchModule(latch_config)
     latch.bulk_load_from_shadow(trace.layout.to_shadow())
 
     hw_mask = ~trace.active_epoch

@@ -1,0 +1,246 @@
+"""``repro-stats`` — run a workload and emit an observability report.
+
+Two modes, one output model (:class:`repro.obs.StatsSnapshot`):
+
+**Program mode** — execute a toy-ISA program under a monitor and report
+the full stack's metrics::
+
+    repro-stats program.s --monitor slatch --file in.txt=payload.bin
+    repro-stats program.s --monitor dift --format json -o stats.json
+
+**Profile mode** — replay one of the 27 calibrated workload profiles
+through the same measurement pipeline the benchmark harness uses
+(``measure_hw_rates`` + ``simulate_slatch``) and report CTC hit rate,
+TLB screening fraction, the taint-free epoch-duration histogram, and
+the Section 6.1 model estimates::
+
+    repro-stats --profile sphinx
+    repro-stats --profile wget --epoch-scale 5000000 --format json
+
+``--format markdown`` (default) renders a table via the report layer;
+``--format json`` emits the snapshot itself, loadable with
+``StatsSnapshot.from_json``.  ``--trace PATH`` additionally streams
+JSONL mode-switch events (program mode under ``--monitor slatch``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from pathlib import Path
+
+from repro.core.latch import LatchConfig, LatchModule
+from repro.dift.engine import DIFTEngine
+from repro.isa.assembler import AssemblyError, assemble
+from repro.machine.cpu import CPU, ExecutionError
+from repro.machine.devices import DeviceTable, VirtualFile
+from repro.obs import MetricsRegistry, StatsSnapshot, Tracer
+from repro.report import format_snapshot
+from repro.slatch.controller import SLatchSystem
+from repro.slatch.costs import SLatchCostModel
+from repro.slatch.simulator import measure_hw_rates, simulate_slatch
+from repro.workloads import WorkloadGenerator, all_profiles, get_profile
+
+#: Profile-mode defaults: laptop-friendly fractions of the benchmark
+#: harness scales (REPRO_BENCH_EPOCH_SCALE / REPRO_BENCH_TRACE_WINDOW).
+DEFAULT_EPOCH_SCALE = 2_000_000
+DEFAULT_TRACE_WINDOW = 50_000
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-stats",
+        description="Run a workload and emit a metrics report.",
+    )
+    parser.add_argument(
+        "source", nargs="?", type=Path,
+        help="assembly source file (program mode)",
+    )
+    parser.add_argument(
+        "--profile", metavar="NAME",
+        help="calibrated workload profile name (profile mode); "
+             "use --list-profiles to enumerate",
+    )
+    parser.add_argument(
+        "--list-profiles", action="store_true",
+        help="list available workload profiles and exit",
+    )
+    parser.add_argument(
+        "--monitor", choices=["slatch", "dift"], default="slatch",
+        help="program mode: monitoring system to attach (default slatch)",
+    )
+    parser.add_argument(
+        "--file", action="append", default=[],
+        metavar="NAME=PATH[:untainted]",
+        help="program mode: register a virtual file backed by a host file",
+    )
+    parser.add_argument(
+        "--timeout", type=int, default=1000,
+        help="S-LATCH return-to-hardware timeout in instructions",
+    )
+    parser.add_argument(
+        "--max-steps", type=int, default=5_000_000,
+        help="program mode: instruction budget (default 5M)",
+    )
+    parser.add_argument(
+        "--epoch-scale", type=int, default=DEFAULT_EPOCH_SCALE,
+        help=f"profile mode: instructions in the epoch stream "
+             f"(default {DEFAULT_EPOCH_SCALE})",
+    )
+    parser.add_argument(
+        "--trace-window", type=int, default=DEFAULT_TRACE_WINDOW,
+        help=f"profile mode: memory-access window for rate measurement "
+             f"(default {DEFAULT_TRACE_WINDOW})",
+    )
+    parser.add_argument(
+        "--format", choices=["markdown", "json"], default="markdown",
+        help="output format (default markdown)",
+    )
+    parser.add_argument(
+        "-o", "--output", type=Path,
+        help="write the report to a file instead of stdout",
+    )
+    parser.add_argument(
+        "--trace", type=Path,
+        help="stream JSONL trap/return events to this file "
+             "(program mode, --monitor slatch)",
+    )
+    return parser
+
+
+def _parse_file_spec(spec: str) -> VirtualFile:
+    name, _, rest = spec.partition("=")
+    if not rest:
+        raise ValueError(f"bad --file spec {spec!r} (expected NAME=PATH)")
+    path, _, flag = rest.partition(":")
+    tainted = flag.strip().lower() != "untainted"
+    return VirtualFile(name, Path(path).read_bytes(), tainted=tainted)
+
+
+# ---------------------------------------------------------------- modes
+
+
+def run_program(args) -> StatsSnapshot:
+    """Program mode: execute under a monitor, return the stack snapshot."""
+    program = assemble(args.source.read_text())
+    devices = DeviceTable()
+    for spec in args.file:
+        devices.register_file(_parse_file_spec(spec))
+    cpu = CPU(program, devices=devices)
+
+    tracer = Tracer(path=str(args.trace)) if args.trace else None
+    if args.monitor == "slatch":
+        costs = dataclasses.replace(
+            SLatchCostModel(), timeout_instructions=args.timeout
+        )
+        system = SLatchSystem(cpu, costs=costs, tracer=tracer)
+        try:
+            cpu.run(args.max_steps)
+        finally:
+            if tracer is not None:
+                tracer.close()
+        snapshot = system.snapshot()
+    else:
+        engine = DIFTEngine()
+        cpu.attach(engine)
+        cpu.run(args.max_steps)
+        registry = MetricsRegistry()
+        engine.publish_metrics(registry)
+        cpu.publish_metrics(registry)
+        snapshot = registry.snapshot()
+
+    snapshot.meta.update({
+        "mode": "program",
+        "source": str(args.source),
+        "monitor": args.monitor,
+        "exit_code": cpu.exit_code,
+        "halted": cpu.halted,
+    })
+    return snapshot
+
+
+def run_profile(args) -> StatsSnapshot:
+    """Profile mode: the benchmark-harness pipeline, published to obs."""
+    profile = get_profile(args.profile)
+    generator = WorkloadGenerator(profile)
+    trace = generator.access_trace(args.trace_window)
+    stream = generator.epoch_stream(args.epoch_scale)
+
+    registry = MetricsRegistry()
+
+    # Hardware-mode rates, measured exactly as the Figure 13/14 harness
+    # does — same function, same module, counters published afterwards.
+    latch = LatchModule(LatchConfig())
+    rates = measure_hw_rates(trace, latch=latch)
+    latch.publish_metrics(registry)
+
+    registry.gauge(
+        "workload.tainted_fraction", unit="fraction",
+        description="Instructions touching tainted data (Tables 1/2)",
+    ).set(stream.tainted_fraction)
+    registry.histogram(
+        "workload.epoch.taint_free_duration", unit="instructions",
+        description="Taint-free epoch lengths (Figure 5)",
+    ).record_many(stream.taint_free_lengths().tolist())
+
+    report = simulate_slatch(profile, stream, rates)
+    report.publish_metrics(registry)
+
+    snapshot = registry.snapshot()
+    snapshot.meta.update({
+        "mode": "profile",
+        "profile": profile.name,
+        "epoch_scale": args.epoch_scale,
+        "trace_window": args.trace_window,
+    })
+    return snapshot
+
+
+# ----------------------------------------------------------------- main
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_profiles:
+        for profile in all_profiles():
+            print(f"{profile.name}  ({profile.kind})")
+        return 0
+    if bool(args.source) == bool(args.profile):
+        print("error: give either a source file or --profile (not both)",
+              file=sys.stderr)
+        return 2
+
+    try:
+        if args.profile:
+            snapshot = run_profile(args)
+        else:
+            snapshot = run_program(args)
+    except KeyError as error:
+        print(f"error: unknown profile {error}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError, AssemblyError, ExecutionError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        text = snapshot.to_json(indent=2)
+    else:
+        subject = snapshot.meta.get("profile") or snapshot.meta.get("source")
+        text = format_snapshot(snapshot, title=f"repro-stats · {subject}")
+
+    if args.output:
+        args.output.write_text(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cli() -> None:  # pragma: no cover - console-script shim
+    raise SystemExit(main())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

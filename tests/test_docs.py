@@ -13,16 +13,24 @@ def python_blocks(path: pathlib.Path):
     return re.findall(r"```python\n(.*?)```", text, re.S)
 
 
+def run_blocks(path: pathlib.Path, namespace=None):
+    """Execute every fenced python block of ``path`` in one namespace."""
+    namespace = {} if namespace is None else namespace
+    blocks = python_blocks(path)
+    assert blocks, f"{path.name} contains no python blocks"
+    for index, block in enumerate(blocks):
+        try:
+            exec(block, namespace)
+        except Exception as error:  # pragma: no cover - failure detail
+            pytest.fail(f"{path.name} block {index} failed: {error}")
+    return namespace
+
+
 class TestTutorial:
     def test_all_blocks_execute_in_order(self):
-        namespace = {}
         blocks = python_blocks(ROOT / "docs" / "TUTORIAL.md")
         assert len(blocks) >= 6
-        for index, block in enumerate(blocks):
-            try:
-                exec(block, namespace)
-            except Exception as error:  # pragma: no cover - failure detail
-                pytest.fail(f"tutorial block {index} failed: {error}")
+        namespace = run_blocks(ROOT / "docs" / "TUTORIAL.md")
         # The S-LATCH walkthrough actually gated execution.
         slatch = namespace["slatch"]
         assert slatch.counters.traps >= 1
@@ -36,12 +44,99 @@ class TestTutorial:
         assert engine.stats.tainted_fraction > 0
         assert engine.shadow.tainted_byte_count > 0
 
+    def test_tutorial_observability_section(self):
+        namespace = run_blocks(ROOT / "docs" / "TUTORIAL.md")
+        snapshot = namespace["snapshot"]
+        assert snapshot.get("slatch.traps") >= 1
+        assert 0.0 <= snapshot.get("ctc.hit_rate") <= 1.0
+
 
 class TestReadme:
-    def test_quickstart_block_executes(self):
-        blocks = python_blocks(ROOT / "README.md")
-        assert blocks, "README must contain a python quickstart"
-        namespace = {}
-        exec(blocks[0], namespace)
+    def test_every_block_executes(self):
+        namespace = run_blocks(ROOT / "README.md")
         assert namespace["engine"].stats.tainted_fraction > 0
         assert namespace["slatch"].counters.total_instructions > 0
+
+
+class TestObservability:
+    def test_every_block_executes(self):
+        namespace = run_blocks(ROOT / "docs" / "OBSERVABILITY.md")
+        snapshot = namespace["snapshot"]
+        assert snapshot.get("slatch.traps") >= 1
+
+    def test_catalog_names_exist(self):
+        """Every metric named in the catalog tables is published by the
+        subsystem the table attributes it to (no doc drift)."""
+        from repro import (
+            CPU, DIFTEngine, DeviceTable, SLatchSystem, VirtualFile,
+            assemble,
+        )
+        from repro.obs import MetricsRegistry
+
+        text = (ROOT / "docs" / "OBSERVABILITY.md").read_text()
+        documented = set(re.findall(r"\| `([a-z_.]+\.[a-z_.]+)` \|", text))
+        assert len(documented) >= 50
+
+        source = """
+.data
+path: .asciiz "in.txt"
+buf:  .space 8
+.text
+_start:
+    li r3, 3
+    li r4, path
+    syscall
+    mv r7, r3
+    li r3, 1
+    mv r4, r7
+    li r5, buf
+    li r6, 8
+    syscall
+    li r8, buf
+    lbu r9, 0(r8)
+    halt
+"""
+        devices = DeviceTable()
+        devices.register_file(VirtualFile("in.txt", b"x" * 8))
+        cpu = CPU(assemble(source), devices=devices)
+        slatch = SLatchSystem(cpu)
+        cpu.run()
+        registry = slatch.publish_metrics()
+
+        cpu2 = CPU(assemble(source), devices=DeviceTable())
+        engine = DIFTEngine()
+        cpu2.attach(engine)
+        engine.publish_metrics(registry)
+
+        import numpy as np
+
+        from repro.hlatch import HLatchSystem
+        from repro.platch import TwoCoreQueueSimulator
+        from repro.slatch import measure_hw_rates, simulate_slatch
+        from repro.workloads import WorkloadGenerator, get_profile
+        from repro.workloads.trace import EpochStream
+
+        hlatch = HLatchSystem()
+        hlatch.access(0x1000, 4)
+        hlatch.publish_metrics(registry)
+
+        stream = EpochStream(
+            name="s",
+            lengths=np.array([10, 10], dtype=np.int64),
+            tainted_counts=np.array([0, 5], dtype=np.int64),
+        )
+        TwoCoreQueueSimulator().run(stream, obs=registry)
+
+        profile = get_profile("wget")
+        generator = WorkloadGenerator(profile)
+        simulate_slatch(
+            profile,
+            generator.epoch_stream(50_000),
+            measure_hw_rates(generator.access_trace(2_000)),
+        ).publish_metrics(registry)
+        registry.gauge("workload.tainted_fraction")
+        registry.histogram("workload.epoch.taint_free_duration")
+
+        published = set(registry.names())
+        missing = sorted(documented - published)
+        assert not missing, f"documented but never published: {missing}"

@@ -1,4 +1,4 @@
-"""CLI tool tests: asm, disasm, run."""
+"""CLI tool tests: asm, disasm, run, trace, stats."""
 
 import json
 
@@ -7,6 +7,7 @@ import pytest
 from repro.tools.asm import main as asm_main
 from repro.tools.disasm import main as disasm_main
 from repro.tools.run import main as run_main
+from repro.tools.stats import main as stats_main
 from repro.tools.trace import main as trace_main
 
 PROGRAM = """
@@ -182,3 +183,174 @@ class TestTrace:
         bad = tmp_path / "bad.s"
         bad.write_text("bogus r1\n")
         assert trace_main([str(bad)]) == 2
+
+
+#: Like PROGRAM, but touches the tainted buffer after reading it so the
+#: S-LATCH monitor actually traps and the LATCH module performs checks.
+STATS_PROGRAM = """
+.data
+path:   .asciiz "in.txt"
+buf:    .space 32
+.text
+_start:
+    li   r3, 3
+    li   r4, path
+    syscall
+    mv   r7, r3
+    li   r3, 1
+    mv   r4, r7
+    li   r5, buf
+    li   r6, 32
+    syscall
+    li   r8, buf
+    lbu  r9, 0(r8)
+    addi r9, r9, 1
+    sb   r9, 1(r8)
+    lbu  r10, 2(r8)
+    halt
+"""
+
+
+@pytest.fixture
+def stats_source_file(tmp_path):
+    path = tmp_path / "stats_prog.s"
+    path.write_text(STATS_PROGRAM)
+    return path
+
+
+class TestStats:
+    def test_program_markdown(self, stats_source_file, payload_file, capsys):
+        code = stats_main(
+            [str(stats_source_file), "--file", f"in.txt={payload_file}"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("slatch.traps", "ctc.hit_rate", "cpu.instructions",
+                     "slatch.epoch.hw_duration"):
+            assert name in out, name
+
+    def test_program_json_snapshot(self, stats_source_file, payload_file, capsys):
+        from repro.obs import StatsSnapshot
+
+        assert stats_main(
+            [str(stats_source_file), "--format", "json",
+             "--file", f"in.txt={payload_file}"]
+        ) == 0
+        snapshot = StatsSnapshot.from_json(capsys.readouterr().out)
+        assert snapshot.meta["mode"] == "program"
+        assert snapshot.meta["monitor"] == "slatch"
+        assert snapshot.meta["halted"] is True
+        assert snapshot.get("cpu.instructions") > 0
+        assert snapshot.get("latch.memory_checks") > 0
+
+    def test_dift_monitor(self, stats_source_file, payload_file, capsys):
+        from repro.obs import StatsSnapshot
+
+        assert stats_main(
+            [str(stats_source_file), "--monitor", "dift", "--format", "json",
+             "--file", f"in.txt={payload_file}"]
+        ) == 0
+        snapshot = StatsSnapshot.from_json(capsys.readouterr().out)
+        assert snapshot.get("dift.taint_source_bytes") == 13
+        assert snapshot.get("dift.instructions") == snapshot.get(
+            "cpu.instructions"
+        )
+
+    def test_output_file_and_trace(
+        self, stats_source_file, payload_file, tmp_path, capsys
+    ):
+        from repro.obs import read_jsonl
+
+        out_path = tmp_path / "stats.md"
+        trace_path = tmp_path / "trace.jsonl"
+        assert stats_main(
+            [str(stats_source_file), "--file", f"in.txt={payload_file}",
+             "--timeout", "5", "-o", str(out_path),
+             "--trace", str(trace_path)]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert "slatch.traps" in out_path.read_text()
+        events = read_jsonl(str(trace_path))
+        assert any(e["name"] == "slatch.trap" for e in events)
+
+    def test_profile_mode_json(self, capsys):
+        from repro.obs import StatsSnapshot
+
+        assert stats_main(
+            ["--profile", "wget", "--epoch-scale", "200000",
+             "--trace-window", "5000", "--format", "json"]
+        ) == 0
+        snapshot = StatsSnapshot.from_json(capsys.readouterr().out)
+        assert snapshot.meta == {
+            "mode": "profile", "profile": "wget",
+            "epoch_scale": 200000, "trace_window": 5000,
+        }
+        for name in ("ctc.hit_rate", "tlb.screened_frac",
+                     "workload.tainted_fraction",
+                     "workload.epoch.taint_free_duration",
+                     "slatch.model.overhead"):
+            assert name in snapshot, name
+
+    def test_list_profiles(self, capsys):
+        assert stats_main(["--list-profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "wget" in out and "astar" in out and "(network)" in out
+
+    def test_usage_errors(self, stats_source_file, capsys):
+        assert stats_main([]) == 2
+        assert stats_main([str(stats_source_file), "--profile", "wget"]) == 2
+        assert stats_main(["--profile", "no-such-profile"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_console_entry_point_declared(self):
+        import pathlib
+
+        text = (
+            pathlib.Path(__file__).parent.parent / "pyproject.toml"
+        ).read_text()
+        assert 'repro-stats = "repro.tools.stats:cli"' in text
+
+    def test_profile_agrees_with_harness_pipeline(self, capsys):
+        """repro-stats output matches the benchmark-harness measurement
+        recomputed independently, to within 1e-9."""
+        import math
+
+        from repro.core.latch import LatchConfig, LatchModule
+        from repro.obs import StatsSnapshot
+        from repro.slatch.simulator import measure_hw_rates
+        from repro.workloads import WorkloadGenerator, get_profile
+
+        epoch_scale, trace_window = 200000, 5000
+        assert stats_main(
+            ["--profile", "sphinx", "--epoch-scale", str(epoch_scale),
+             "--trace-window", str(trace_window), "--format", "json"]
+        ) == 0
+        snapshot = StatsSnapshot.from_json(capsys.readouterr().out)
+
+        # Recompute with the same deterministic pipeline the Figure 13/14
+        # harness uses.
+        profile = get_profile("sphinx")
+        generator = WorkloadGenerator(profile)
+        trace = generator.access_trace(trace_window)
+        stream = generator.epoch_stream(epoch_scale)
+        latch = LatchModule(LatchConfig())
+        measure_hw_rates(trace, latch=latch)
+
+        ctc = latch.ctc.stats
+        assert snapshot.get("ctc.hit_rate") == pytest.approx(
+            ctc.hits / ctc.accesses, abs=1e-9
+        )
+        fractions = latch.stats.level_fractions()
+        assert snapshot.get("tlb.screened_frac") == pytest.approx(
+            fractions["tlb"], abs=1e-9
+        )
+        assert snapshot.get("workload.tainted_fraction") == pytest.approx(
+            stream.tainted_fraction, abs=1e-9
+        )
+        lengths = stream.taint_free_lengths().tolist()
+        hist = snapshot.get("workload.epoch.taint_free_duration")
+        assert hist["count"] == len(lengths)
+        assert hist["sum"] == pytest.approx(math.fsum(lengths), abs=1e-9)
+        assert hist["mean"] == pytest.approx(
+            math.fsum(lengths) / len(lengths), abs=1e-9
+        )
