@@ -2,13 +2,25 @@
 
 Every benchmark regenerates one of the paper's tables or figures and
 prints it (measured next to the paper's value where the paper states
-one).  Scale knobs:
+one).  Scale knobs (validated at collection time — a non-positive or
+non-integer value fails fast with the variable's name):
 
 * ``REPRO_BENCH_EPOCH_SCALE`` — instructions per benchmark for the
   temporal analyses and performance models (default 20 M; the paper
   used 500 M-instruction windows).
 * ``REPRO_BENCH_TRACE_WINDOW`` — memory-access window for the cache
   simulations (default 150 K instructions).
+* ``REPRO_BENCH_WORKERS`` — worker processes for the runner-backed
+  table benchmarks (default 1: in-process execution).
+* ``REPRO_BENCH_CACHE_DIR`` — result/trace cache directory (default
+  ``benchmarks/.cache``; delete it or run ``repro-run --clear-cache
+  --cache-dir benchmarks/.cache`` to force recomputation).
+
+Workload generation goes through :class:`repro.runner.TraceCache`, and
+the table benchmarks go through the :class:`repro.runner.Runner` job
+engine, so one generation pass feeds every consumer (the tables, the
+figures, the ``repro-run`` CLI) and a re-run recomputes only cells
+whose spec changed.
 
 Rendered tables are also written to ``benchmarks/out/`` so they survive
 pytest's output capture.
@@ -18,15 +30,46 @@ from __future__ import annotations
 
 import os
 import pathlib
+from typing import Dict, Sequence
 
 import pytest
 
+from repro.obs import StatsSnapshot
+from repro.runner import (
+    JobSpec,
+    ResultCache,
+    Runner,
+    RunnerConfig,
+    TraceCache,
+    positive_int_env,
+)
 from repro.workloads import WorkloadGenerator, all_profiles
 
-EPOCH_SCALE = int(os.environ.get("REPRO_BENCH_EPOCH_SCALE", 20_000_000))
-TRACE_WINDOW = int(os.environ.get("REPRO_BENCH_TRACE_WINDOW", 150_000))
 
-_OUT_DIR = pathlib.Path(__file__).resolve().parent / "out"
+def _scale_env(name: str, default: int) -> int:
+    """Validated environment knob (clear failure instead of a deep crash)."""
+    try:
+        return positive_int_env(name, default)
+    except ValueError as error:
+        raise pytest.UsageError(str(error))
+
+
+EPOCH_SCALE = _scale_env("REPRO_BENCH_EPOCH_SCALE", 20_000_000)
+TRACE_WINDOW = _scale_env("REPRO_BENCH_TRACE_WINDOW", 150_000)
+BENCH_WORKERS = _scale_env("REPRO_BENCH_WORKERS", 1)
+
+_HERE = pathlib.Path(__file__).resolve().parent
+_OUT_DIR = _HERE / "out"
+_CACHE_DIR = pathlib.Path(
+    os.environ.get("REPRO_BENCH_CACHE_DIR", str(_HERE / ".cache"))
+)
+
+_TRACE_CACHE = TraceCache(_CACHE_DIR)
+_RUNNER = Runner(
+    cache=ResultCache(_CACHE_DIR),
+    trace_cache=_TRACE_CACHE,
+    config=RunnerConfig(max_workers=BENCH_WORKERS),
+)
 
 _GENERATORS = {}
 _EPOCH_STREAMS = {}
@@ -43,17 +86,54 @@ def generator_for(name: str) -> WorkloadGenerator:
 
 
 def epoch_stream_for(name: str):
-    """Session-cached full-scale epoch stream."""
+    """Full-scale epoch stream, cached in memory and on disk."""
     if name not in _EPOCH_STREAMS:
-        _EPOCH_STREAMS[name] = generator_for(name).epoch_stream(EPOCH_SCALE)
+        _EPOCH_STREAMS[name] = _TRACE_CACHE.epoch_stream(
+            generator_for(name), EPOCH_SCALE
+        )
     return _EPOCH_STREAMS[name]
 
 
 def access_trace_for(name: str):
-    """Session-cached access-trace window."""
+    """Access-trace window, cached in memory and on disk."""
     if name not in _ACCESS_TRACES:
-        _ACCESS_TRACES[name] = generator_for(name).access_trace(TRACE_WINDOW)
+        _ACCESS_TRACES[name] = _TRACE_CACHE.access_trace(
+            generator_for(name), TRACE_WINDOW
+        )
     return _ACCESS_TRACES[name]
+
+
+#: Scale parameters stamped into each job kind's specs (and cache keys).
+_JOB_PARAMS = {
+    "taint_fraction": lambda: {"epoch_scale": EPOCH_SCALE},
+    "page_taint": lambda: {},
+    "hlatch": lambda: {"trace_window": TRACE_WINDOW},
+    "slatch": lambda: {
+        "epoch_scale": EPOCH_SCALE, "trace_window": TRACE_WINDOW,
+    },
+}
+
+
+def run_jobs(kind: str, names: Sequence[str]) -> Dict[str, StatsSnapshot]:
+    """Run one ``kind`` job per benchmark through the shared runner.
+
+    Returns ``{benchmark name: snapshot}``; raises if any job failed so
+    a benchmark never silently asserts against missing data.
+    """
+    specs = [
+        JobSpec.make(kind, name, **_JOB_PARAMS[kind]()) for name in names
+    ]
+    results = _RUNNER.run(specs)
+    failed = {
+        result.spec.workload: result.error
+        for result in results.values()
+        if not result.ok
+    }
+    if failed:
+        raise RuntimeError(f"runner jobs failed: {failed}")
+    return {
+        result.spec.workload: result.snapshot for result in results.values()
+    }
 
 
 def spec_names():
@@ -76,3 +156,9 @@ def emit(artifact_name: str, text: str) -> None:
 def bench_scales():
     """Expose the active scales to benchmarks (and their reports)."""
     return {"epoch_scale": EPOCH_SCALE, "trace_window": TRACE_WINDOW}
+
+
+@pytest.fixture(scope="session")
+def bench_runner():
+    """The shared runner (its registry exposes cache/job counters)."""
+    return _RUNNER

@@ -1,0 +1,59 @@
+"""End-to-end runner smoke suite (the CI `bench_smoke` job).
+
+Drives the ``repro-run`` CLI through the 6-job ``smoke`` suite twice
+against a fresh cache directory: a cold parallel run that computes
+every cell, then a warm serial run that must serve all of them from
+the cache — with bit-identical snapshots, proving both the
+incremental-recompute guarantee and serial/parallel determinism at
+tiny scale.
+"""
+
+import json
+
+import pytest
+
+from conftest import EPOCH_SCALE, TRACE_WINDOW
+from repro.runner.cli import main
+
+pytestmark = pytest.mark.bench_smoke
+
+SMOKE_JOBS = 6
+
+
+def _run(tmp_path, out_name, extra):
+    out = tmp_path / out_name
+    argv = [
+        "smoke",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--epoch-scale", str(min(EPOCH_SCALE, 500_000)),
+        "--trace-window", str(min(TRACE_WINDOW, 20_000)),
+        "--format", "json",
+        "-o", str(out),
+        "--quiet",
+    ] + extra
+    assert main(argv) == 0
+    return json.loads(out.read_text())
+
+
+def test_smoke_suite_cold_then_warm(tmp_path):
+    cold = _run(tmp_path, "cold.json", ["--workers", "2"])
+    assert len(cold["jobs"]) == SMOKE_JOBS
+    assert all(job["status"] == "ok" for job in cold["jobs"].values())
+    assert not any(job["from_cache"] for job in cold["jobs"].values())
+
+    warm = _run(tmp_path, "warm.json", ["--serial"])
+    assert all(job["from_cache"] for job in warm["jobs"].values())
+
+    hits = next(
+        record["data"]["value"] for record in warm["runner"]["metrics"]
+        if record["name"] == "runner.cache.hits"
+    )
+    completed = next(
+        record["data"]["value"] for record in warm["runner"]["metrics"]
+        if record["name"] == "runner.jobs.completed"
+    )
+    assert hits == SMOKE_JOBS and completed == 0
+
+    # Cached snapshots are bit-identical to the parallel cold run's.
+    for job_id, job in cold["jobs"].items():
+        assert warm["jobs"][job_id]["snapshot"] == job["snapshot"], job_id

@@ -1,18 +1,20 @@
 """Table 1: percentage of instructions touching tainted data (SPEC).
 
-Regenerates each SPEC benchmark's epoch stream and measures the tainted
-instruction fraction, printed against the paper's Table 1 values.
+Runs one ``taint_fraction`` job per SPEC benchmark through the shared
+:mod:`repro.runner` engine and measures the tainted instruction
+fraction, printed against the paper's Table 1 values.  Re-runs hit the
+result cache under ``benchmarks/.cache`` and recompute nothing.
 """
 
-from conftest import emit, epoch_stream_for, spec_names
-from repro.analysis import tainted_instruction_fraction
+from conftest import emit, run_jobs, spec_names
 from repro.report import format_comparison_table
 from repro.report.paper_data import TABLE1_TAINT_PERCENT
 
 
 def regenerate_table1():
+    snapshots = run_jobs("taint_fraction", spec_names())
     return {
-        name: 100.0 * tainted_instruction_fraction(epoch_stream_for(name))
+        name: snapshots[name].get("workload.taint_percent")
         for name in spec_names()
     }
 

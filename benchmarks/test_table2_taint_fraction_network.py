@@ -1,14 +1,14 @@
 """Table 2: percentage of instructions touching tainted data (network)."""
 
-from conftest import emit, epoch_stream_for, network_names
-from repro.analysis import tainted_instruction_fraction
+from conftest import emit, network_names, run_jobs
 from repro.report import format_comparison_table
 from repro.report.paper_data import TABLE2_TAINT_PERCENT
 
 
 def regenerate_table2():
+    snapshots = run_jobs("taint_fraction", network_names())
     return {
-        name: 100.0 * tainted_instruction_fraction(epoch_stream_for(name))
+        name: snapshots[name].get("workload.taint_percent")
         for name in network_names()
     }
 

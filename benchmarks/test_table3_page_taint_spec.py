@@ -1,17 +1,20 @@
 """Table 3: distribution of taint at page granularity (SPEC)."""
 
-from conftest import emit, generator_for, spec_names
-from repro.analysis import page_taint_distribution
+from conftest import emit, run_jobs, spec_names
 from repro.report import format_table
 from repro.report.paper_data import TABLE3_PAGES
 
 
 def regenerate_table3():
+    snapshots = run_jobs("page_taint", spec_names())
     rows = {}
     for name in spec_names():
-        stats = page_taint_distribution(generator_for(name).layout())
-        rows[name] = (stats.pages_accessed, stats.pages_tainted,
-                      stats.tainted_percent)
+        snap = snapshots[name]
+        rows[name] = (
+            int(snap.get("layout.pages_accessed")),
+            int(snap.get("layout.pages_tainted")),
+            snap.get("layout.tainted_percent"),
+        )
     return rows
 
 

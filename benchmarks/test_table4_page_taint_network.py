@@ -1,17 +1,20 @@
 """Table 4: distribution of taint at page granularity (network)."""
 
-from conftest import emit, generator_for, network_names
-from repro.analysis import page_taint_distribution
+from conftest import emit, network_names, run_jobs
 from repro.report import format_table
 from repro.report.paper_data import TABLE4_PAGES
 
 
 def regenerate_table4():
+    snapshots = run_jobs("page_taint", network_names())
     rows = {}
     for name in network_names():
-        stats = page_taint_distribution(generator_for(name).layout())
-        rows[name] = (stats.pages_accessed, stats.pages_tainted,
-                      stats.tainted_percent)
+        snap = snapshots[name]
+        rows[name] = (
+            int(snap.get("layout.pages_accessed")),
+            int(snap.get("layout.pages_tainted")),
+            snap.get("layout.tainted_percent"),
+        )
     return rows
 
 

@@ -3,39 +3,36 @@
 Replays each SPEC access trace through the 320-byte H-LATCH stack
 (128-entry TLB taint bits → 16-entry CTC → 128 B precise taint cache)
 and through the conventional 4 KB taint cache, reporting the paper's
-five rows per benchmark.
+five rows per benchmark.  One ``hlatch`` job per benchmark runs on the
+shared :mod:`repro.runner` engine, so the access traces and results are
+cached alongside every other consumer's.
 """
 
 import numpy as np
 
-from conftest import access_trace_for, emit, spec_names
-from repro.hlatch import run_baseline, run_hlatch
+from conftest import emit, run_jobs, spec_names
 from repro.report import format_table
 from repro.report.paper_data import TABLE6_HLATCH
 
 
 def regenerate_table6():
-    results = {}
-    for name in spec_names():
-        trace = access_trace_for(name)
-        results[name] = (run_hlatch(trace), run_baseline(trace))
-    return results
+    return run_jobs("hlatch", spec_names())
 
 
 def test_table6_hlatch_spec(benchmark):
-    results = benchmark.pedantic(regenerate_table6, rounds=1, iterations=1)
+    snapshots = benchmark.pedantic(regenerate_table6, rounds=1, iterations=1)
     rows = []
     for name in spec_names():
-        hlatch, baseline = results[name]
+        snap = snapshots[name]
         paper = TABLE6_HLATCH.get(name, ("", "", "", "", ""))
         rows.append(
             [
                 name,
-                hlatch.ctc_miss_percent,
-                hlatch.tcache_miss_percent,
-                hlatch.combined_miss_percent,
-                baseline.miss_percent,
-                hlatch.misses_avoided_percent(baseline.misses),
+                snap.get("hlatch.ctc_miss_percent"),
+                snap.get("hlatch.tcache_miss_percent"),
+                snap.get("hlatch.combined_miss_percent"),
+                snap.get("baseline.miss_percent"),
+                snap.get("hlatch.avoided_percent"),
                 paper[3],
                 paper[4],
             ]
@@ -50,9 +47,12 @@ def test_table6_hlatch_spec(benchmark):
         ),
     )
 
-    combined = {n: r[0].combined_miss_percent for n, r in results.items()}
+    combined = {
+        n: snapshots[n].get("hlatch.combined_miss_percent")
+        for n in spec_names()
+    }
     avoided = {
-        n: r[0].misses_avoided_percent(r[1].misses) for n, r in results.items()
+        n: snapshots[n].get("hlatch.avoided_percent") for n in spec_names()
     }
     # "This value did not exceed 1% for any SPEC benchmark, except astar
     # and sphinx" — allow the calibrated reproduction a slightly wider
@@ -66,7 +66,9 @@ def test_table6_hlatch_spec(benchmark):
     worst_two = sorted(avoided, key=avoided.get)[:2]
     assert set(worst_two) <= {"astar", "sphinx", "perlbench", "soplex"}
     # The H-LATCH stack (320 B) always beats the 4 KB cache it replaces.
-    for name, (hlatch, baseline) in results.items():
+    for name in spec_names():
+        snap = snapshots[name]
         assert (
-            hlatch.ctc_misses + hlatch.tcache_misses <= baseline.misses
+            snap.get("hlatch.ctc_misses") + snap.get("hlatch.tcache_misses")
+            <= snap.get("baseline.misses")
         ), name

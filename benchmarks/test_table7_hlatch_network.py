@@ -2,34 +2,29 @@
 
 import numpy as np
 
-from conftest import access_trace_for, emit, network_names
-from repro.hlatch import run_baseline, run_hlatch
+from conftest import emit, network_names, run_jobs
 from repro.report import format_table
 from repro.report.paper_data import TABLE7_HLATCH
 
 
 def regenerate_table7():
-    results = {}
-    for name in network_names():
-        trace = access_trace_for(name)
-        results[name] = (run_hlatch(trace), run_baseline(trace))
-    return results
+    return run_jobs("hlatch", network_names())
 
 
 def test_table7_hlatch_network(benchmark):
-    results = benchmark.pedantic(regenerate_table7, rounds=1, iterations=1)
+    snapshots = benchmark.pedantic(regenerate_table7, rounds=1, iterations=1)
     rows = []
     for name in network_names():
-        hlatch, baseline = results[name]
+        snap = snapshots[name]
         paper = TABLE7_HLATCH.get(name, ("", "", "", "", ""))
         rows.append(
             [
                 name,
-                hlatch.ctc_miss_percent,
-                hlatch.tcache_miss_percent,
-                hlatch.combined_miss_percent,
-                baseline.miss_percent,
-                hlatch.misses_avoided_percent(baseline.misses),
+                snap.get("hlatch.ctc_miss_percent"),
+                snap.get("hlatch.tcache_miss_percent"),
+                snap.get("hlatch.combined_miss_percent"),
+                snap.get("baseline.miss_percent"),
+                snap.get("hlatch.avoided_percent"),
                 paper[3],
                 paper[4],
             ]
@@ -45,7 +40,7 @@ def test_table7_hlatch_network(benchmark):
     )
 
     avoided = {
-        n: r[0].misses_avoided_percent(r[1].misses) for n, r in results.items()
+        n: snapshots[n].get("hlatch.avoided_percent") for n in network_names()
     }
     # "As a result of filtering, H-LATCH eliminated ... more than 98% for
     # network applications" — the reproduction lands in the >90% band.
@@ -53,5 +48,9 @@ def test_table7_hlatch_network(benchmark):
     for name, value in avoided.items():
         assert value > 75.0, name
     # Combined misses stay a small fraction of the unfiltered baseline.
-    for name, (hlatch, baseline) in results.items():
-        assert hlatch.combined_miss_percent < baseline.miss_percent / 3, name
+    for name in network_names():
+        snap = snapshots[name]
+        assert (
+            snap.get("hlatch.combined_miss_percent")
+            < snap.get("baseline.miss_percent") / 3
+        ), name

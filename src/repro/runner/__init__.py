@@ -1,0 +1,71 @@
+"""repro.runner — the parallel, fault-tolerant, cache-aware engine.
+
+Every paper artefact is a grid of (workload × experiment) cells, and at
+the paper's 500 M-instruction scale regenerating those cells serially
+is the dominant wall-clock cost of the reproduction.  This subsystem
+turns the grid into a *job graph* and executes it the way HardTaint
+(arXiv:2402.17241) and PAGURUS (arXiv:1912.11153) offload taint work —
+fan out across cores, reuse everything reusable, survive worker loss:
+
+* :class:`JobSpec` — one (kind × workload × scales × seed) cell, with a
+  content-addressed cache key covering the spec, the format versions,
+  the package version, and the workload's calibrated profile.
+* :class:`ResultCache` / :class:`TraceCache` — atomic on-disk stores
+  for finished snapshots and for the expensive intermediate artefacts
+  (epoch streams, access traces) shared by workers, the benchmark
+  harness, and the CLI.
+* :class:`Runner` + :class:`RunnerConfig` — a ``multiprocessing`` pool
+  scheduler with per-job timeouts, retry with exponential backoff,
+  worker-death recovery, and graceful degradation to serial execution;
+  instrumented through :mod:`repro.obs`.
+* ``repro-run`` (:mod:`repro.runner.cli`) — console entry point running
+  the named suites of :data:`repro.workloads.suites.EXPERIMENT_SUITES`.
+
+Usage::
+
+    from repro.runner import (
+        JobSpec, ResultCache, Runner, RunnerConfig, TraceCache, suite_jobs,
+    )
+
+    runner = Runner(
+        cache=ResultCache(".repro-cache"),
+        trace_cache=TraceCache(".repro-cache"),
+        config=RunnerConfig(max_workers=4, job_timeout=120.0),
+    )
+    results = runner.run(suite_jobs("smoke", epoch_scale=500_000))
+    results["taint_fraction:gcc"].snapshot.get("workload.taint_percent")
+    runner.registry.snapshot().get("runner.cache.hits")
+
+Job model, cache keying, failure semantics and CLI usage are documented
+in ``docs/RUNNER.md``; the metric catalogue in
+``docs/OBSERVABILITY.md``.
+"""
+
+from repro.runner.cache import (
+    RESULT_FORMAT_VERSION,
+    ResultCache,
+    TraceCache,
+)
+from repro.runner.scheduler import Runner, RunnerConfig
+from repro.runner.specs import (
+    JOB_KINDS,
+    JobResult,
+    JobSpec,
+    positive_int_env,
+    suite_jobs,
+)
+from repro.runner.worker import execute_job
+
+__all__ = [
+    "JOB_KINDS",
+    "JobResult",
+    "JobSpec",
+    "RESULT_FORMAT_VERSION",
+    "ResultCache",
+    "Runner",
+    "RunnerConfig",
+    "TraceCache",
+    "execute_job",
+    "positive_int_env",
+    "suite_jobs",
+]

@@ -1,0 +1,215 @@
+"""Content-addressed on-disk caches for the experiment runner.
+
+Two layers, both keyed by sha256 content hashes and both safe against
+concurrent writers (atomic ``os.replace`` of a temp file) and against
+killed runs (a partial write never becomes visible, so a resumed sweep
+recomputes only the cells that never landed):
+
+* :class:`ResultCache` — finished job results as
+  ``<key>.json`` documents carrying the spec, the format/package
+  versions, and the job's :class:`~repro.obs.StatsSnapshot`.  Any
+  mismatch (corrupt JSON, stale version, spec collision) reads as a
+  miss, never as an error.
+* :class:`TraceCache` — the expensive intermediate artefacts (epoch
+  streams and access traces) as ``.npz`` archives via
+  :mod:`repro.workloads.storage`, shared between pool workers, the
+  benchmark harness, and the ``repro-run`` CLI so one generation pass
+  feeds every consumer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.obs.snapshot import StatsSnapshot
+from repro.runner.specs import JobSpec, _package_version
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.storage import (
+    _FORMAT_VERSION as TRACE_FORMAT_VERSION,
+    StorageFormatError,
+    load_access_trace,
+    load_epoch_stream,
+    save_access_trace,
+    save_epoch_stream,
+)
+from repro.workloads.trace import AccessTrace, EpochStream
+
+#: Bumped on incompatible result-document layout changes.
+RESULT_FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` without exposing partial content."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class ResultCache:
+    """On-disk store of finished job snapshots, keyed by spec content."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root) / "results"
+
+    def path_for(self, spec: JobSpec) -> Path:
+        """The document path a spec's result lives at."""
+        return self.root / f"{spec.key()}.json"
+
+    def get(self, spec: JobSpec) -> Optional[StatsSnapshot]:
+        """Load a cached snapshot, or ``None`` on miss/corruption/staleness."""
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("result_format_version") != RESULT_FORMAT_VERSION:
+            return None
+        if payload.get("package_version") != _package_version():
+            return None
+        if payload.get("spec") != spec.to_dict():
+            return None
+        try:
+            return StatsSnapshot.from_dict(payload["snapshot"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, spec: JobSpec, snapshot: StatsSnapshot) -> Path:
+        """Persist a result document atomically; returns its path."""
+        path = self.path_for(spec)
+        document = {
+            "result_format_version": RESULT_FORMAT_VERSION,
+            "package_version": _package_version(),
+            "spec": spec.to_dict(),
+            "snapshot": snapshot.to_dict(),
+        }
+        _atomic_write_text(path, json.dumps(document, indent=2))
+        return path
+
+    def clear(self) -> int:
+        """Delete every cached result; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+
+class TraceCache:
+    """On-disk store of generated workload artefacts (.npz).
+
+    Keys digest the profile's calibrated parameters, the generator
+    seed, the artefact kind and scale, the storage format version, and
+    the package version — so a recalibrated profile or a format bump
+    regenerates exactly the affected artefacts.  Unreadable or stale
+    archives are regenerated in place, never fatal.
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root) / "traces"
+
+    def _key(self, generator: WorkloadGenerator, kind: str, scale: int) -> str:
+        import dataclasses
+
+        payload = {
+            "trace_format_version": TRACE_FORMAT_VERSION,
+            "package_version": _package_version(),
+            "profile": dataclasses.asdict(generator.profile),
+            "seed": generator.seed,
+            "kind": kind,
+            "scale": scale,
+        }
+        blob = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def path_for(
+        self, generator: WorkloadGenerator, kind: str, scale: int
+    ) -> Path:
+        """The archive path one artefact lives at."""
+        name = f"{generator.profile.name}-{kind}-{self._key(generator, kind, scale)[:16]}.npz"
+        return self.root / name
+
+    def _load_or_build(self, path: Path, loader, builder, saver):
+        try:
+            return loader(path)
+        except (FileNotFoundError, StorageFormatError, ValueError):
+            pass
+        artefact = builder()
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.root), prefix=path.stem, suffix=".npz"
+        )
+        os.close(fd)
+        try:
+            saver(artefact, tmp)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return artefact
+
+    def epoch_stream(
+        self, generator: WorkloadGenerator, total_instructions: int
+    ) -> EpochStream:
+        """Cached :meth:`WorkloadGenerator.epoch_stream`."""
+        path = self.path_for(generator, "epochs", total_instructions)
+        return self._load_or_build(
+            path,
+            load_epoch_stream,
+            lambda: generator.epoch_stream(total_instructions),
+            save_epoch_stream,
+        )
+
+    def access_trace(
+        self, generator: WorkloadGenerator, total_instructions: int
+    ) -> AccessTrace:
+        """Cached :meth:`WorkloadGenerator.access_trace`."""
+        path = self.path_for(generator, "trace", total_instructions)
+        return self._load_or_build(
+            path,
+            load_access_trace,
+            lambda: generator.access_trace(total_instructions),
+            save_access_trace,
+        )
+
+    def clear(self) -> int:
+        """Delete every cached artefact; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.npz"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.npz"))

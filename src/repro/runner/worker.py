@@ -1,0 +1,232 @@
+"""Job execution — the code that runs inside pool workers.
+
+:func:`execute_job` is a module-level function (so it pickles under any
+multiprocessing start method) taking a plain-dict payload and returning
+a plain-dict result: the job's :class:`~repro.obs.StatsSnapshot` as a
+dict plus the measured duration.  Wall-clock timings never enter the
+snapshot itself, so a job's snapshot is bit-identical whether it ran
+serially, in a pool worker, or came out of the cache — which is what
+lets the scheduler verify parallel runs against serial ones.
+
+Determinism: every kind builds its own
+:class:`~repro.workloads.WorkloadGenerator` from ``(workload, seed)``,
+so results do not depend on which process executes the job or in what
+order.  Generated artefacts are shared through an optional
+:class:`~repro.runner.cache.TraceCache` (the benchmark harness points
+workers at the same directory it reads, so one generation pass feeds
+every consumer).
+
+The ``chaos`` kind is deliberate fault injection for exercising the
+scheduler's failure paths (worker death, timeout, flaky retry); it is
+what the fault-tolerance tests and the docs' failure-semantics examples
+use.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.analysis import page_taint_distribution, tainted_instruction_fraction
+from repro.hlatch import run_baseline, run_hlatch
+from repro.obs import MetricsRegistry
+from repro.runner.specs import JobSpec
+from repro.slatch.simulator import measure_hw_rates, simulate_slatch
+from repro.workloads import WorkloadGenerator, get_profile
+
+#: Default scales for specs that omit them (same laptop-friendly values
+#: as ``repro-stats`` profile mode).
+DEFAULT_EPOCH_SCALE = 2_000_000
+DEFAULT_TRACE_WINDOW = 50_000
+
+
+def _generator(spec: JobSpec) -> WorkloadGenerator:
+    return WorkloadGenerator(get_profile(spec.workload), seed=spec.seed)
+
+
+def _epoch_stream(spec: JobSpec, generator, trace_cache):
+    scale = int(spec.param("epoch_scale", DEFAULT_EPOCH_SCALE))
+    if trace_cache is not None:
+        return trace_cache.epoch_stream(generator, scale)
+    return generator.epoch_stream(scale)
+
+
+def _access_trace(spec: JobSpec, generator, trace_cache):
+    window = int(spec.param("trace_window", DEFAULT_TRACE_WINDOW))
+    if trace_cache is not None:
+        return trace_cache.access_trace(generator, window)
+    return generator.access_trace(window)
+
+
+# ------------------------------------------------------------- job kinds
+
+
+def _job_taint_fraction(spec, registry, trace_cache, in_subprocess) -> None:
+    """Tables 1/2: fraction of instructions touching tainted data."""
+    stream = _epoch_stream(spec, _generator(spec), trace_cache)
+    registry.gauge(
+        "workload.taint_percent", unit="percent",
+        description="Instructions touching tainted data (Tables 1/2)",
+    ).set(100.0 * tainted_instruction_fraction(stream))
+    registry.gauge(
+        "workload.epochs", unit="epochs",
+        description="Epoch count of the generated stream",
+    ).set(stream.epoch_count)
+    registry.gauge(
+        "workload.total_instructions", unit="instructions",
+        description="Instructions represented by the stream",
+    ).set(stream.total_instructions)
+
+
+def _job_page_taint(spec, registry, trace_cache, in_subprocess) -> None:
+    """Tables 3/4: distribution of taint at page granularity."""
+    stats = page_taint_distribution(_generator(spec).layout())
+    registry.gauge(
+        "layout.pages_accessed", unit="pages",
+        description="Pages the workload touches (Tables 3/4)",
+    ).set(stats.pages_accessed)
+    registry.gauge(
+        "layout.pages_tainted", unit="pages",
+        description="Pages containing tainted bytes (Tables 3/4)",
+    ).set(stats.pages_tainted)
+    registry.gauge(
+        "layout.tainted_percent", unit="percent",
+        description="Tainted pages as % of accessed pages (Tables 3/4)",
+    ).set(stats.tainted_percent)
+
+
+def _job_hlatch(spec, registry, trace_cache, in_subprocess) -> None:
+    """Tables 6/7 + Figure 16: the filtered and baseline taint caches."""
+    trace = _access_trace(spec, _generator(spec), trace_cache)
+    hlatch = run_hlatch(trace)
+    baseline = run_baseline(trace)
+    gauges = {
+        "hlatch.ctc_miss_percent": (
+            hlatch.ctc_miss_percent, "percent",
+            "CTC misses as % of accesses (Tables 6/7)",
+        ),
+        "hlatch.tcache_miss_percent": (
+            hlatch.tcache_miss_percent, "percent",
+            "Precise taint-cache misses as % of accesses (Tables 6/7)",
+        ),
+        "hlatch.combined_miss_percent": (
+            hlatch.combined_miss_percent, "percent",
+            "CTC + precise misses as % of accesses (Tables 6/7)",
+        ),
+        "hlatch.ctc_misses": (
+            hlatch.ctc_misses, "accesses", "CTC miss count",
+        ),
+        "hlatch.tcache_misses": (
+            hlatch.tcache_misses, "accesses", "Precise taint-cache miss count",
+        ),
+        "hlatch.avoided_percent": (
+            hlatch.misses_avoided_percent(baseline.misses), "percent",
+            "Baseline misses the LATCH stack filtered away (Tables 6/7)",
+        ),
+        "baseline.miss_percent": (
+            baseline.miss_percent, "percent",
+            "Conventional 4 KB taint-cache miss rate (Tables 6/7)",
+        ),
+        "baseline.misses": (
+            baseline.misses, "accesses", "Conventional taint-cache miss count",
+        ),
+    }
+    for name, (value, unit, description) in gauges.items():
+        registry.gauge(name, unit=unit, description=description).set(value)
+    for level, fraction in hlatch.resolution_split().items():
+        registry.gauge(
+            f"hlatch.resolved.{level}", unit="fraction",
+            description=f"Accesses resolved at the {level} level (Figure 16)",
+        ).set(fraction)
+
+
+def _job_slatch(spec, registry, trace_cache, in_subprocess) -> None:
+    """Figures 13/14: the S-LATCH performance model."""
+    generator = _generator(spec)
+    profile = generator.profile
+    stream = _epoch_stream(spec, generator, trace_cache)
+    trace = _access_trace(spec, generator, trace_cache)
+    rates = measure_hw_rates(trace)
+    report = simulate_slatch(profile, stream, rates)
+    report.publish_metrics(registry)
+
+
+def _job_chaos(spec, registry, trace_cache, in_subprocess) -> None:
+    """Fault injection: crash, die, stall, or fail on demand.
+
+    Parameters (all optional):
+
+    * ``crash_once`` — path of a sentinel file; the first execution
+      creates it and then dies, every later execution succeeds.  With
+      ``crash_mode="exit"`` the death is a hard ``os._exit`` (a worker
+      process kill — exercises BrokenProcessPool recovery); in-process
+      executions always downgrade to an exception so a serial run
+      cannot take the host down.
+    * ``fail_always`` — raise on every execution (retry exhaustion).
+    * ``sleep`` — stall for N seconds (timeout handling).
+    * ``value`` — published as the ``chaos.value`` gauge on success.
+    """
+    crash_once = spec.param("crash_once")
+    if crash_once is not None:
+        sentinel = Path(str(crash_once))
+        if not sentinel.exists():
+            sentinel.parent.mkdir(parents=True, exist_ok=True)
+            sentinel.touch()
+            if spec.param("crash_mode", "raise") == "exit" and in_subprocess:
+                os._exit(17)
+            raise RuntimeError(f"chaos: first-attempt crash ({spec.job_id})")
+    if spec.param("fail_always", False):
+        raise RuntimeError(f"chaos: fail_always ({spec.job_id})")
+    sleep = spec.param("sleep")
+    if sleep:
+        time.sleep(float(sleep))
+    registry.gauge(
+        "chaos.value", unit="", description="Fault-injection payload value",
+    ).set(spec.param("value", 0))
+
+
+_KINDS = {
+    "taint_fraction": _job_taint_fraction,
+    "page_taint": _job_page_taint,
+    "hlatch": _job_hlatch,
+    "slatch": _job_slatch,
+    "chaos": _job_chaos,
+}
+
+
+def execute_job(payload: Dict[str, object]) -> Dict[str, object]:
+    """Run one job described by a plain-dict payload.
+
+    Payload fields: ``spec`` (a :meth:`JobSpec.to_dict` dict),
+    ``trace_cache_dir`` (optional shared artefact cache directory), and
+    ``in_subprocess`` (whether a hard crash may kill this process).
+
+    Returns ``{"snapshot": <StatsSnapshot dict>, "duration": seconds,
+    "pid": worker pid}``.  Raises on job failure — the scheduler turns
+    exceptions into retries.
+    """
+    spec = JobSpec.from_dict(payload["spec"])
+    try:
+        run_kind = _KINDS[spec.kind]
+    except KeyError:
+        raise ValueError(f"unknown job kind {spec.kind!r}") from None
+
+    trace_cache = None
+    cache_dir: Optional[str] = payload.get("trace_cache_dir")
+    if cache_dir:
+        from repro.runner.cache import TraceCache
+
+        trace_cache = TraceCache(cache_dir)
+
+    started = time.perf_counter()
+    registry = MetricsRegistry()
+    run_kind(spec, registry, trace_cache, bool(payload.get("in_subprocess")))
+    snapshot = registry.snapshot()
+    snapshot.meta.update({"job": spec.to_dict()})
+    return {
+        "snapshot": snapshot.to_dict(),
+        "duration": time.perf_counter() - started,
+        "pid": os.getpid(),
+    }

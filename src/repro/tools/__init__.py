@@ -2,6 +2,10 @@
 
 * ``python -m repro.tools.asm``     — assemble toy-ISA source to machine code.
 * ``python -m repro.tools.disasm``  — disassemble machine code.
-* ``python -m repro.tools.run``     — run a program, optionally under
-  DIFT or S-LATCH monitoring, with virtual files as taint sources.
+* ``python -m repro.tools.run``     — run a toy-ISA program
+  (``repro-exec``), optionally under DIFT or S-LATCH monitoring, with
+  virtual files as taint sources.
+
+Experiment *suites* are run by the separate ``repro-run`` entry point
+(:mod:`repro.runner.cli`).
 """

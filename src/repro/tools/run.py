@@ -31,7 +31,7 @@ from repro.slatch.costs import SLatchCostModel
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro-run", description="Run a toy-ISA program."
+        prog="repro-exec", description="Run a toy-ISA program."
     )
     parser.add_argument("source", type=Path, help="assembly source file")
     parser.add_argument(

@@ -27,6 +27,7 @@ from repro.workloads.profiles import (
 )
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.storage import (
+    StorageFormatError,
     load_access_trace,
     load_epoch_stream,
     save_access_trace,
@@ -39,6 +40,7 @@ __all__ = [
     "EpochStream",
     "NETWORK_PROFILES",
     "SPEC_PROFILES",
+    "StorageFormatError",
     "TaintLayout",
     "WorkloadGenerator",
     "WorkloadProfile",

@@ -5,12 +5,19 @@ and load :class:`~repro.workloads.trace.AccessTrace` and
 :class:`~repro.workloads.trace.EpochStream` objects as compressed numpy
 archives, so a sweep can be generated once and replayed many times
 (or shared between machines for reproducibility).
+
+Loads are integrity-checked: a truncated download, a stale format, or
+an archive written by an incompatible build raises
+:class:`StorageFormatError` (a :class:`ValueError` subclass) with a
+message naming the file and the problem, instead of surfacing as a bare
+numpy/zipfile error deep inside a consumer.
 """
 
 from __future__ import annotations
 
+import zipfile
 from pathlib import Path
-from typing import Union
+from typing import Sequence, Union
 
 import numpy as np
 
@@ -19,6 +26,10 @@ from repro.workloads.trace import AccessTrace, EpochStream, TaintLayout
 _FORMAT_VERSION = 1
 
 PathLike = Union[str, Path]
+
+
+class StorageFormatError(ValueError):
+    """An archive is unreadable, truncated, or from an incompatible build."""
 
 
 def save_access_trace(trace: AccessTrace, path: PathLike) -> None:
@@ -45,12 +56,40 @@ def save_access_trace(trace: AccessTrace, path: PathLike) -> None:
     )
 
 
+#: Arrays an access-trace archive must carry, all row-aligned.
+_TRACE_ARRAYS = (
+    "addresses", "sizes", "is_write", "tainted", "gap_before", "active_epoch",
+)
+
+
 def load_access_trace(path: PathLike) -> AccessTrace:
-    """Read an access trace written by :func:`save_access_trace`."""
-    with np.load(path) as archive:
+    """Read an access trace written by :func:`save_access_trace`.
+
+    Raises:
+        StorageFormatError: unreadable archive, wrong kind or format
+            version, missing fields, or inconsistent array lengths.
+        FileNotFoundError: ``path`` does not exist.
+    """
+    with _open_archive(path) as archive:
         _check(archive, b"access-trace", path)
+        _require(
+            archive, ("name", "extents", "accessed_pages") + _TRACE_ARRAYS,
+            path, "access-trace",
+        )
+        lengths = {name: len(archive[name]) for name in _TRACE_ARRAYS}
+        if len(set(lengths.values())) > 1:
+            raise StorageFormatError(
+                f"{path}: access-trace arrays are misaligned "
+                f"({lengths}); the archive is truncated or corrupt"
+            )
+        extents = archive["extents"]
+        if extents.ndim != 2 or (len(extents) and extents.shape[1] != 2):
+            raise StorageFormatError(
+                f"{path}: extents must be an (N, 2) array, "
+                f"got shape {extents.shape}"
+            )
         layout = TaintLayout(
-            extents=[tuple(row) for row in archive["extents"].tolist()],
+            extents=[tuple(row) for row in extents.tolist()],
             accessed_pages=set(archive["accessed_pages"].tolist()),
         )
         return AccessTrace(
@@ -78,24 +117,68 @@ def save_epoch_stream(stream: EpochStream, path: PathLike) -> None:
 
 
 def load_epoch_stream(path: PathLike) -> EpochStream:
-    """Read an epoch stream written by :func:`save_epoch_stream`."""
-    with np.load(path) as archive:
+    """Read an epoch stream written by :func:`save_epoch_stream`.
+
+    Raises:
+        StorageFormatError: unreadable archive, wrong kind or format
+            version, missing fields, or ``lengths``/``tainted_counts``
+            length mismatch.
+        FileNotFoundError: ``path`` does not exist.
+    """
+    with _open_archive(path) as archive:
         _check(archive, b"epoch-stream", path)
+        _require(
+            archive, ("name", "lengths", "tainted_counts"),
+            path, "epoch-stream",
+        )
+        lengths = archive["lengths"]
+        tainted_counts = archive["tainted_counts"]
+        if len(lengths) != len(tainted_counts):
+            raise StorageFormatError(
+                f"{path}: epoch-stream arrays are misaligned "
+                f"(lengths has {len(lengths)} entries, tainted_counts "
+                f"{len(tainted_counts)}); the archive is truncated or corrupt"
+            )
         return EpochStream(
             name=bytes(archive["name"]).decode(),
-            lengths=archive["lengths"],
-            tainted_counts=archive["tainted_counts"],
+            lengths=lengths,
+            tainted_counts=tainted_counts,
+        )
+
+
+def _open_archive(path: PathLike):
+    """``np.load`` with unreadable archives mapped to StorageFormatError."""
+    try:
+        return np.load(path)
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, EOFError, OSError, ValueError) as error:
+        raise StorageFormatError(
+            f"{path}: not a readable .npz archive ({error})"
+        ) from error
+
+
+def _require(
+    archive, keys: Sequence[str], path: PathLike, kind: str
+) -> None:
+    missing = [key for key in keys if key not in archive]
+    if missing:
+        raise StorageFormatError(
+            f"{path}: {kind} archive is missing field(s) "
+            f"{', '.join(missing)} — truncated file or incompatible writer"
         )
 
 
 def _check(archive, expected_kind: bytes, path: PathLike) -> None:
     if "kind" not in archive or bytes(archive["kind"]) != expected_kind:
-        raise ValueError(
+        raise StorageFormatError(
             f"{path}: not a {expected_kind.decode()} archive"
         )
+    if "format_version" not in archive:
+        raise StorageFormatError(f"{path}: archive has no format_version")
     version = int(archive["format_version"])
     if version != _FORMAT_VERSION:
-        raise ValueError(
+        raise StorageFormatError(
             f"{path}: unsupported format version {version} "
             f"(this build reads {_FORMAT_VERSION})"
         )

@@ -45,6 +45,35 @@ APACHE_SWEEP: Tuple[str, ...] = (
     "apache", "apache-25", "apache-50", "apache-75",
 )
 
+#: Named experiment suites for the :mod:`repro.runner` engine and the
+#: ``repro-run`` CLI: suite name → groups of ``(job kind, workloads)``.
+#: Kinds are the executors of :mod:`repro.runner.worker`; scales and
+#: seeds are supplied at expansion time by
+#: :func:`repro.runner.specs.suite_jobs`.
+EXPERIMENT_SUITES: Dict[str, Tuple[Tuple[str, Tuple[str, ...]], ...]] = {
+    # The paper's table groupings, one suite per table.
+    "table1": (("taint_fraction", SPEC_SUITE),),
+    "table2": (("taint_fraction", NETWORK_SUITE),),
+    "table3": (("page_taint", SPEC_SUITE),),
+    "table4": (("page_taint", NETWORK_SUITE),),
+    "table6": (("hlatch", SPEC_SUITE),),
+    "table7": (("hlatch", NETWORK_SUITE),),
+    # Everything the table benchmarks need, in one sweep.
+    "tables": (
+        ("taint_fraction", FULL_SUITE),
+        ("page_taint", FULL_SUITE),
+        ("hlatch", FULL_SUITE),
+    ),
+    # The Figure 13/14 performance model over the full suite.
+    "overhead": (("slatch", FULL_SUITE),),
+    # A 6-job end-to-end exercise of every table kind (CI smoke).
+    "smoke": (
+        ("taint_fraction", ("gcc", "curl")),
+        ("page_taint", ("gcc", "curl")),
+        ("hlatch", ("gcc", "curl")),
+    ),
+}
+
 
 def profiles_for(names: Sequence[str]) -> List[WorkloadProfile]:
     """Resolve benchmark names to profiles (KeyError on unknown)."""

@@ -58,6 +58,40 @@ class TestReadme:
         assert namespace["slatch"].counters.total_instructions > 0
 
 
+class TestRunnerDoc:
+    def test_every_block_executes(self):
+        namespace = run_blocks(ROOT / "docs" / "RUNNER.md")
+        assert namespace["results"]["chaos:ok-cell"].ok
+
+    def test_catalog_names_exist(self):
+        """Job-kind snapshot metrics documented in RUNNER.md are
+        actually published by the corresponding executor."""
+        from repro.runner import JobSpec, Runner, RunnerConfig
+
+        text = (ROOT / "docs" / "RUNNER.md").read_text()
+        documented = set(
+            re.findall(
+                r"`((?:workload|layout|hlatch|baseline|chaos|runner)"
+                r"\.[a-z_]+(?:\.[a-z_]+)*)`",
+                text,
+            )
+        )
+        assert "workload.taint_percent" in documented
+
+        runner = Runner(config=RunnerConfig(max_workers=1))
+        results = runner.run([
+            JobSpec.make("taint_fraction", "wget", epoch_scale=50_000),
+            JobSpec.make("page_taint", "wget"),
+            JobSpec.make("hlatch", "wget", trace_window=2_000),
+            JobSpec.make("chaos", "demo", value=1),
+        ])
+        published = set(runner.registry.names())
+        for result in results.values():
+            published.update(result.snapshot.names())
+        missing = sorted(documented - published)
+        assert not missing, f"documented but never published: {missing}"
+
+
 class TestObservability:
     def test_every_block_executes(self):
         namespace = run_blocks(ROOT / "docs" / "OBSERVABILITY.md")
@@ -136,6 +170,10 @@ _start:
         ).publish_metrics(registry)
         registry.gauge("workload.tainted_fraction")
         registry.histogram("workload.epoch.taint_free_duration")
+
+        from repro.runner import Runner
+
+        Runner(registry=registry)  # registers runner.* eagerly
 
         published = set(registry.names())
         missing = sorted(documented - published)

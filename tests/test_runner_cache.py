@@ -1,0 +1,137 @@
+"""Result and trace cache behaviour: hits, misses, corruption, staleness."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.runner import JobSpec, ResultCache, TraceCache
+from repro.workloads import WorkloadGenerator, get_profile
+
+
+def _snapshot(value=1.0):
+    registry = MetricsRegistry()
+    registry.gauge("test.value", unit="").set(value)
+    return registry.snapshot()
+
+
+class TestResultCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = JobSpec.make("chaos", "cell", value=1)
+        assert cache.get(spec) is None
+        cache.put(spec, _snapshot(3.5))
+        loaded = cache.get(spec)
+        assert loaded is not None
+        assert loaded.get("test.value") == 3.5
+        assert len(cache) == 1
+
+    def test_specs_do_not_collide(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        a = JobSpec.make("chaos", "cell", value=1)
+        b = JobSpec.make("chaos", "cell", value=2)
+        cache.put(a, _snapshot(1.0))
+        cache.put(b, _snapshot(2.0))
+        assert cache.get(a).get("test.value") == 1.0
+        assert cache.get(b).get("test.value") == 2.0
+
+    def test_corrupt_document_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = JobSpec.make("chaos", "cell")
+        path = cache.put(spec, _snapshot())
+        path.write_text("{ truncated garbage")
+        assert cache.get(spec) is None
+
+    def test_stale_format_version_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = JobSpec.make("chaos", "cell")
+        path = cache.put(spec, _snapshot())
+        document = json.loads(path.read_text())
+        document["result_format_version"] = 999
+        path.write_text(json.dumps(document))
+        assert cache.get(spec) is None
+
+    def test_spec_mismatch_reads_as_miss(self, tmp_path):
+        """A hash collision (or tampered file) can never serve the wrong
+        spec's snapshot."""
+        cache = ResultCache(tmp_path)
+        spec = JobSpec.make("chaos", "cell")
+        path = cache.put(spec, _snapshot())
+        document = json.loads(path.read_text())
+        document["spec"]["workload"] = "other"
+        path.write_text(json.dumps(document))
+        assert cache.get(spec) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(JobSpec.make("chaos", "a"), _snapshot())
+        cache.put(JobSpec.make("chaos", "b"), _snapshot())
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestTraceCache:
+    def test_epoch_stream_cached_and_identical(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        generator = WorkloadGenerator(get_profile("wget"))
+        first = cache.epoch_stream(generator, 100_000)
+        assert len(cache) == 1
+        second = cache.epoch_stream(
+            WorkloadGenerator(get_profile("wget")), 100_000
+        )
+        assert len(cache) == 1  # served from disk, not regenerated
+        assert (first.lengths == second.lengths).all()
+        assert (first.tainted_counts == second.tainted_counts).all()
+
+    def test_access_trace_cached_and_identical(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        generator = WorkloadGenerator(get_profile("curl"))
+        first = cache.access_trace(generator, 5_000)
+        second = cache.access_trace(
+            WorkloadGenerator(get_profile("curl")), 5_000
+        )
+        assert len(cache) == 1
+        assert (first.addresses == second.addresses).all()
+        assert (first.tainted == second.tainted).all()
+        assert first.layout.extents == second.layout.extents
+
+    def test_scale_and_seed_key_separate_artefacts(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        generator = WorkloadGenerator(get_profile("wget"))
+        cache.epoch_stream(generator, 100_000)
+        cache.epoch_stream(generator, 50_000)
+        cache.epoch_stream(WorkloadGenerator(get_profile("wget"), seed=1),
+                           100_000)
+        assert len(cache) == 3
+
+    def test_corrupt_archive_regenerated_in_place(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        generator = WorkloadGenerator(get_profile("wget"))
+        fresh = cache.epoch_stream(generator, 100_000)
+        path = cache.path_for(generator, "epochs", 100_000)
+        path.write_bytes(b"this is not an npz archive")
+        reloaded = cache.epoch_stream(generator, 100_000)
+        assert (reloaded.lengths == fresh.lengths).all()
+        # The corrupt file was replaced with a valid one.
+        from repro.workloads import load_epoch_stream
+
+        assert (load_epoch_stream(path).lengths == fresh.lengths).all()
+
+    def test_wrong_sized_archive_not_served(self, tmp_path):
+        """A stale/foreign npz at the right path is rejected, not loaded."""
+        cache = TraceCache(tmp_path)
+        generator = WorkloadGenerator(get_profile("wget"))
+        path = cache.path_for(generator, "epochs", 100_000)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez(path, whatever=np.arange(3))
+        stream = cache.epoch_stream(generator, 100_000)
+        assert stream.total_instructions >= 100_000
+
+    def test_clear(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        generator = WorkloadGenerator(get_profile("wget"))
+        cache.epoch_stream(generator, 50_000)
+        cache.access_trace(generator, 2_000)
+        assert cache.clear() == 2
+        assert len(cache) == 0

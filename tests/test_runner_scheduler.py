@@ -1,0 +1,218 @@
+"""Scheduler semantics: caching, determinism, and fault tolerance.
+
+These tests exercise every row of the failure table in docs/RUNNER.md:
+job raises (retry then fail), worker death (BrokenProcessPool
+recovery), per-job timeout, and graceful degradation to serial
+execution.  Scales are tiny so the whole module stays fast even on a
+single-core machine.
+"""
+
+import pytest
+
+from repro.runner import (
+    JobSpec,
+    ResultCache,
+    Runner,
+    RunnerConfig,
+    TraceCache,
+    suite_jobs,
+)
+
+EPOCH_SCALE = 120_000
+TRACE_WINDOW = 3_000
+
+
+def _smoke_jobs(seed=0):
+    return suite_jobs(
+        "smoke", epoch_scale=EPOCH_SCALE, trace_window=TRACE_WINDOW, seed=seed
+    )
+
+
+def _fast_config(**overrides):
+    defaults = dict(max_workers=1, backoff_base=0.0, backoff_max=0.0)
+    defaults.update(overrides)
+    return RunnerConfig(**defaults)
+
+
+def _snapshots(results):
+    return {job_id: r.snapshot for job_id, r in sorted(results.items())}
+
+
+class TestCaching:
+    def test_cold_run_computes_everything(self, tmp_path):
+        runner = Runner(
+            cache=ResultCache(tmp_path), trace_cache=TraceCache(tmp_path),
+            config=_fast_config(),
+        )
+        results = runner.run(_smoke_jobs())
+        assert len(results) == 6
+        assert all(r.ok and not r.from_cache for r in results.values())
+        snap = runner.registry.snapshot()
+        assert snap.get("runner.jobs.scheduled") == 6
+        assert snap.get("runner.jobs.completed") == 6
+        assert snap.get("runner.cache.misses") == 6
+        assert snap.get("runner.cache.hits") == 0
+        assert snap.get("runner.job.duration_seconds")["count"] == 6
+
+    def test_warm_run_recomputes_nothing(self, tmp_path):
+        cold = Runner(
+            cache=ResultCache(tmp_path), trace_cache=TraceCache(tmp_path),
+            config=_fast_config(),
+        )
+        cold_results = cold.run(_smoke_jobs())
+
+        warm = Runner(cache=ResultCache(tmp_path), config=_fast_config())
+        warm_results = warm.run(_smoke_jobs())
+        assert all(r.from_cache for r in warm_results.values())
+        snap = warm.registry.snapshot()
+        assert snap.get("runner.cache.hits") == 6
+        assert snap.get("runner.jobs.completed") == 0
+        assert _snapshots(warm_results) == _snapshots(cold_results)
+
+    def test_changed_scale_invalidates_only_affected_cells(self, tmp_path):
+        runner = Runner(cache=ResultCache(tmp_path), config=_fast_config())
+        runner.run(_smoke_jobs())
+
+        rerun = Runner(cache=ResultCache(tmp_path), config=_fast_config())
+        jobs = suite_jobs(
+            "smoke", epoch_scale=EPOCH_SCALE + 10_000,
+            trace_window=TRACE_WINDOW,
+        )
+        results = rerun.run(jobs)
+        snap = rerun.registry.snapshot()
+        # page_taint and hlatch specs ignore epoch_scale → still cached;
+        # the two taint_fraction cells recompute.
+        assert snap.get("runner.cache.hits") == 4
+        assert snap.get("runner.jobs.completed") == 2
+        recomputed = {
+            job_id for job_id, r in results.items() if not r.from_cache
+        }
+        assert recomputed == {"taint_fraction:gcc", "taint_fraction:curl"}
+
+    def test_duplicate_job_ids_rejected(self):
+        runner = Runner(config=_fast_config())
+        jobs = [
+            JobSpec.make("chaos", "cell", value=1),
+            JobSpec.make("chaos", "cell", value=2),
+        ]
+        with pytest.raises(ValueError, match="duplicate job ids"):
+            runner.run(jobs)
+
+
+class TestDeterminism:
+    def test_parallel_equals_serial_bit_identical(self, tmp_path):
+        """Acceptance: a cold parallel run on >=2 workers produces
+        snapshots identical to a cold serial run, including a nonzero
+        propagated seed."""
+        serial = Runner(config=_fast_config())
+        serial_results = serial.run(_smoke_jobs(seed=7))
+
+        parallel = Runner(config=_fast_config(max_workers=2))
+        parallel_results = parallel.run(_smoke_jobs(seed=7))
+
+        assert all(r.ok for r in serial_results.values())
+        assert all(r.ok for r in parallel_results.values())
+        assert _snapshots(parallel_results) == _snapshots(serial_results)
+
+    def test_seed_changes_results(self):
+        runner = Runner(config=_fast_config())
+        spec0 = suite_jobs("smoke", epoch_scale=EPOCH_SCALE,
+                           trace_window=TRACE_WINDOW, seed=0)[:1]
+        spec9 = suite_jobs("smoke", epoch_scale=EPOCH_SCALE,
+                           trace_window=TRACE_WINDOW, seed=9)[:1]
+        a = runner.run(spec0)["taint_fraction:gcc"].snapshot
+        b = Runner(config=_fast_config()).run(spec9)[
+            "taint_fraction:gcc"
+        ].snapshot
+        assert a != b
+
+
+class TestFaultTolerance:
+    def test_retry_recovers_flaky_job(self, tmp_path):
+        runner = Runner(config=_fast_config(max_retries=2))
+        sentinel = tmp_path / "crashed-once"
+        results = runner.run([
+            JobSpec.make("chaos", "flaky", crash_once=str(sentinel), value=5),
+        ])
+        result = results["chaos:flaky"]
+        assert result.ok and result.attempts == 2
+        assert result.snapshot.get("chaos.value") == 5
+        assert runner.registry.snapshot().get("runner.jobs.retried") == 1
+
+    def test_retries_exhausted_marks_failed(self):
+        runner = Runner(config=_fast_config(max_retries=2))
+        results = runner.run([
+            JobSpec.make("chaos", "doomed", fail_always=True),
+            JobSpec.make("chaos", "fine", value=1),
+        ])
+        doomed = results["chaos:doomed"]
+        assert doomed.status == "failed"
+        assert doomed.attempts == 3  # initial + max_retries
+        assert "fail_always" in doomed.error
+        # Other jobs in the batch are unaffected.
+        assert results["chaos:fine"].ok
+        snap = runner.registry.snapshot()
+        assert snap.get("runner.jobs.failed") == 1
+        assert snap.get("runner.jobs.retried") == 2
+
+    def test_worker_death_recovered_and_suite_completes(self, tmp_path):
+        """Acceptance: injected worker death mid-suite still yields the
+        complete, correct suite via pool rebuild + requeue."""
+        sentinel = tmp_path / "killed-once"
+        jobs = [
+            JobSpec.make("chaos", "killer", crash_once=str(sentinel),
+                         crash_mode="exit", value=3),
+            JobSpec.make("chaos", "bystander-a", value=1),
+            JobSpec.make("chaos", "bystander-b", value=2),
+        ]
+        runner = Runner(config=_fast_config(max_workers=2, job_timeout=60.0))
+        results = runner.run(jobs)
+        assert all(r.ok for r in results.values())
+        assert results["chaos:killer"].snapshot.get("chaos.value") == 3
+        snap = runner.registry.snapshot()
+        assert snap.get("runner.workers.deaths") >= 1
+        assert snap.get("runner.pool.restarts") >= 1
+
+    def test_job_timeout_abandons_stalled_job(self):
+        runner = Runner(config=_fast_config(
+            max_workers=2, job_timeout=0.5, max_retries=0,
+        ))
+        results = runner.run([
+            JobSpec.make("chaos", "stalled", sleep=30),
+            JobSpec.make("chaos", "fine", value=1),
+        ])
+        stalled = results["chaos:stalled"]
+        assert stalled.status == "failed"
+        assert "timed out" in stalled.error
+        assert results["chaos:fine"].ok
+        assert runner.registry.snapshot().get("runner.jobs.timeouts") >= 1
+
+    def test_pool_start_failure_degrades_to_serial(self, monkeypatch):
+        runner = Runner(config=_fast_config(max_workers=2))
+
+        def broken_executor():
+            raise OSError("no more processes")
+
+        monkeypatch.setattr(runner, "_make_executor", broken_executor)
+        results = runner.run([JobSpec.make("chaos", "cell", value=4)])
+        assert results["chaos:cell"].ok
+        assert results["chaos:cell"].snapshot.get("chaos.value") == 4
+        assert runner.registry.snapshot().get("runner.serial_fallbacks") == 1
+
+    def test_serial_run_survives_exit_mode_crash(self, tmp_path):
+        """A hard-crash chaos job downgrades to an exception in-process,
+        so serial execution can retry it instead of dying."""
+        sentinel = tmp_path / "serial-crash"
+        runner = Runner(config=_fast_config(max_retries=1))
+        results = runner.run([
+            JobSpec.make("chaos", "hard", crash_once=str(sentinel),
+                         crash_mode="exit", value=6),
+        ])
+        result = results["chaos:hard"]
+        assert result.ok and result.attempts == 2
+
+    def test_failed_jobs_are_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = Runner(cache=cache, config=_fast_config(max_retries=0))
+        runner.run([JobSpec.make("chaos", "doomed", fail_always=True)])
+        assert len(cache) == 0

@@ -6,6 +6,7 @@ import pytest
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.profiles import get_profile
 from repro.workloads.storage import (
+    StorageFormatError,
     load_access_trace,
     load_epoch_stream,
     save_access_trace,
@@ -71,6 +72,24 @@ class TestEpochStreamRoundTrip:
         assert (loaded.tainted_counts == stream.tainted_counts).all()
         assert loaded.tainted_fraction == stream.tainted_fraction
 
+    def test_roundtrip_preserves_derived_statistics(self, tmp_path):
+        stream = WorkloadGenerator(get_profile("sphinx")).epoch_stream(200_000)
+        path = tmp_path / "sphinx.npz"
+        save_epoch_stream(stream, path)
+        loaded = load_epoch_stream(path)
+        assert loaded.epoch_count == stream.epoch_count
+        assert loaded.total_instructions == stream.total_instructions
+
+    def test_loaded_stream_feeds_analysis_identically(self, tmp_path):
+        from repro.analysis import tainted_instruction_fraction
+
+        stream = WorkloadGenerator(get_profile("gcc")).epoch_stream(200_000)
+        path = tmp_path / "gcc.npz"
+        save_epoch_stream(stream, path)
+        assert tainted_instruction_fraction(
+            load_epoch_stream(path)
+        ) == tainted_instruction_fraction(stream)
+
 
 class TestFormatGuards:
     def test_kind_mismatch_rejected(self, tmp_path):
@@ -96,5 +115,75 @@ class TestFormatGuards:
             lengths=np.array([1]),
             tainted_counts=np.array([0]),
         )
-        with pytest.raises(ValueError):
+        with pytest.raises(StorageFormatError, match="format version 999"):
             load_epoch_stream(path)
+
+    def test_errors_are_valueerror_subclass(self):
+        """Existing except ValueError handlers keep working."""
+        assert issubclass(StorageFormatError, ValueError)
+
+    def test_truncated_file_names_the_path(self, tmp_path):
+        trace = WorkloadGenerator(get_profile("gcc")).access_trace(5_000)
+        path = tmp_path / "gcc.npz"
+        save_access_trace(trace, path)
+        path.write_bytes(path.read_bytes()[:100])
+        with pytest.raises(StorageFormatError, match="gcc.npz"):
+            load_access_trace(path)
+
+    def test_not_an_archive_at_all(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"definitely not a zip")
+        with pytest.raises(StorageFormatError, match="not a readable"):
+            load_epoch_stream(path)
+
+    def test_missing_file_stays_filenotfound(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_epoch_stream(tmp_path / "absent.npz")
+
+    def test_missing_field_named_in_error(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez(
+            path,
+            format_version=np.int64(1),
+            kind=np.bytes_(b"epoch-stream"),
+            name=np.bytes_(b"x"),
+            lengths=np.array([1]),
+            # tainted_counts deliberately absent
+        )
+        with pytest.raises(StorageFormatError, match="tainted_counts"):
+            load_epoch_stream(path)
+
+    def test_misaligned_epoch_arrays_rejected(self, tmp_path):
+        path = tmp_path / "misaligned.npz"
+        np.savez(
+            path,
+            format_version=np.int64(1),
+            kind=np.bytes_(b"epoch-stream"),
+            name=np.bytes_(b"x"),
+            lengths=np.array([10, 20, 30]),
+            tainted_counts=np.array([1]),
+        )
+        with pytest.raises(StorageFormatError, match="misaligned"):
+            load_epoch_stream(path)
+
+    def test_misaligned_trace_arrays_rejected(self, tmp_path):
+        trace = WorkloadGenerator(get_profile("gcc")).access_trace(5_000)
+        path = tmp_path / "trace.npz"
+        save_access_trace(trace, path)
+        with np.load(path) as archive:
+            fields = dict(archive)
+        fields["sizes"] = fields["sizes"][:-3]
+        np.savez(path, **fields)
+        with pytest.raises(StorageFormatError, match="misaligned"):
+            load_access_trace(path)
+
+    def test_bad_extents_shape_rejected(self, tmp_path):
+        trace = WorkloadGenerator(get_profile("gcc")).access_trace(5_000)
+        path = tmp_path / "trace.npz"
+        save_access_trace(trace, path)
+        with np.load(path) as archive:
+            fields = dict(archive)
+        fields["extents"] = np.arange(9).reshape(3, 3)
+        np.savez(path, **fields)
+        with pytest.raises(StorageFormatError, match="extents"):
+            load_access_trace(path)
