@@ -9,7 +9,9 @@ cache and reports its miss rate.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
+from repro.kernels import record_dispatch, replay_taint_cache, resolve_backend
 from repro.hlatch.taint_cache import (
     CONVENTIONAL_TAINT_CACHE,
     PreciseTaintCache,
@@ -53,14 +55,26 @@ class ConventionalTaintCache:
 def run_baseline(
     trace: AccessTrace,
     config: TaintCacheConfig = CONVENTIONAL_TAINT_CACHE,
+    backend: Optional[str] = None,
 ) -> BaselineReport:
-    """Replay ``trace`` through a conventional taint cache."""
+    """Replay ``trace`` through a conventional taint cache.
+
+    ``backend`` selects the scalar loop or the batch kernels (identical
+    counters); None defers to ``REPRO_KERNEL_BACKEND`` / the default.
+    """
+    choice = resolve_backend(backend)
+    record_dispatch(choice)
     system = ConventionalTaintCache(config)
     addresses = trace.addresses
     sizes = trace.sizes
     writes = trace.is_write
-    for index in range(len(addresses)):
-        system.access(int(addresses[index]), int(sizes[index]), bool(writes[index]))
+    if choice == "vector":
+        replay_taint_cache(system.cache, addresses, sizes, writes)
+    else:
+        for index in range(len(addresses)):
+            system.access(
+                int(addresses[index]), int(sizes[index]), bool(writes[index])
+            )
     stats = system.stats
     return BaselineReport(
         name=trace.name, accesses=stats.accesses, misses=stats.misses

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.core.latch import CheckLevel, LatchConfig, LatchModule
+from repro.kernels import record_dispatch, replay_hlatch_window, resolve_backend
 from repro.dift.tags import ShadowMemory
 from repro.obs import MetricsRegistry, StatsSnapshot
 from repro.hlatch.taint_cache import (
@@ -179,13 +180,26 @@ def run_hlatch(
     trace: AccessTrace,
     latch_config: LatchConfig = HLATCH_LATCH_CONFIG,
     tcache_config: TaintCacheConfig = HLATCH_TAINT_CACHE,
+    backend: Optional[str] = None,
 ) -> HLatchReport:
-    """Replay an access trace through the H-LATCH stack."""
+    """Replay an access trace through the H-LATCH stack.
+
+    ``backend`` selects the replay implementation (``"scalar"`` per-access
+    loop or ``"vector"`` batch kernels — bit-identical counters either
+    way); None defers to ``REPRO_KERNEL_BACKEND`` / the default.
+    """
+    choice = resolve_backend(backend)
+    record_dispatch(choice)
     system = HLatchSystem(latch_config, tcache_config)
     system.load_taint(trace.layout)
     addresses = trace.addresses
     sizes = trace.sizes
     writes = trace.is_write
-    for index in range(len(addresses)):
-        system.access(int(addresses[index]), int(sizes[index]), bool(writes[index]))
+    if choice == "vector":
+        replay_hlatch_window(system, addresses, sizes, writes)
+    else:
+        for index in range(len(addresses)):
+            system.access(
+                int(addresses[index]), int(sizes[index]), bool(writes[index])
+            )
     return system.report(trace.name)

@@ -1,0 +1,73 @@
+"""repro.kernels — vectorized coarse-taint replay kernels.
+
+Numpy batch implementations of the per-access hot paths that the
+reproduction's replay loops spend their time in (ISSUE 3; the software
+analogue of HardTaint's trace-buffer batching):
+
+* :mod:`~repro.kernels.classify` — stateless domain/page/CTT-word
+  classification of whole address arrays;
+* :mod:`~repro.kernels.tlb` — TLB taint-bit screening, including the
+  scalar path's short-circuit semantics;
+* :mod:`~repro.kernels.ctc` — CTC hit/miss simulation over domain-id
+  runs;
+* :mod:`~repro.kernels.tcache` — precise taint-cache simulation;
+* :mod:`~repro.kernels.epochs` — epoch segmentation and the Figure 5
+  duration profile;
+* :mod:`~repro.kernels.lru` — the shared run-compressed exact LRU core;
+* :mod:`~repro.kernels.replay` — window replay over the real model
+  objects (``run_hlatch`` / ``run_baseline`` / ``measure_hw_rates``).
+
+Backend selection (``backend=`` argument > ``REPRO_KERNEL_BACKEND`` >
+``"vector"``) lives in :mod:`~repro.kernels.backend`.  The scalar code
+remains the executable reference; the two backends must produce
+bit-identical :class:`~repro.obs.StatsSnapshot` payloads
+(``tests/test_kernels_equivalence.py`` enforces the contract, and
+``docs/KERNELS.md`` documents the batch model).
+"""
+
+from repro.kernels.backend import (
+    BACKEND_ENV_VAR,
+    BACKENDS,
+    DEFAULT_BACKEND,
+    KERNEL_NAMES,
+    kernel_registry,
+    publish_metrics,
+    record_dispatch,
+    reset_kernel_metrics,
+    resolve_backend,
+)
+from repro.kernels.classify import CttIndex, domains_from_extents
+from repro.kernels.epochs import (
+    duration_profile,
+    epoch_stream_from_trace,
+    segment_epochs,
+)
+from repro.kernels.lru import LruStats, compress_runs, simulate_lru
+from repro.kernels.replay import (
+    replay_check_memory,
+    replay_hlatch_window,
+    replay_taint_cache,
+)
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "KERNEL_NAMES",
+    "CttIndex",
+    "LruStats",
+    "compress_runs",
+    "domains_from_extents",
+    "duration_profile",
+    "epoch_stream_from_trace",
+    "kernel_registry",
+    "publish_metrics",
+    "record_dispatch",
+    "replay_check_memory",
+    "replay_hlatch_window",
+    "replay_taint_cache",
+    "reset_kernel_metrics",
+    "resolve_backend",
+    "segment_epochs",
+    "simulate_lru",
+]

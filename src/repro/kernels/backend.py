@@ -1,0 +1,158 @@
+"""Kernel backend selection and observability.
+
+Every batch kernel in :mod:`repro.kernels` has two implementations:
+
+* ``scalar`` — the original per-access Python code, kept as the
+  executable reference semantics;
+* ``vector`` — numpy batch kernels over whole
+  :class:`~repro.workloads.trace.AccessTrace` windows.
+
+The two are required to produce **bit-identical**
+:class:`~repro.obs.StatsSnapshot` payloads (the runner's result cache
+keys on snapshot content, so any divergence would poison cached cells);
+``tests/test_kernels_equivalence.py`` enforces the contract.
+
+Selection order, mirroring the rest of the repo's knob conventions:
+
+1. an explicit ``backend=`` argument (``"scalar"`` / ``"vector"``);
+2. the ``REPRO_KERNEL_BACKEND`` environment variable;
+3. the auto-selected default, ``"vector"`` (numpy is a hard dependency
+   of the package, so the batch path is always available).
+
+Kernel-level metrics (dispatch counts, per-kernel call counters, batch
+size histograms) live in a dedicated module registry — deliberately
+*not* the registries that job snapshots are built from, because the two
+backends do different amounts of kernel work and snapshots must stay
+backend-independent.  ``publish_metrics`` copies the catalog into any
+external registry for inspection (see ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.obs import MetricsRegistry
+
+#: Recognised backend names, in documentation order.
+BACKENDS = ("scalar", "vector")
+
+#: Environment variable overriding the auto-selected backend.
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Backend used when neither an argument nor the environment chooses.
+DEFAULT_BACKEND = "vector"
+
+#: Kernels instrumented in the module registry (metric name stems).
+KERNEL_NAMES = (
+    "classify",
+    "tlb_screen",
+    "ctc_probe",
+    "tcache_sim",
+    "epoch_profile",
+)
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve the active kernel backend name.
+
+    Args:
+        backend: explicit choice, or None/"auto" to consult
+            :data:`BACKEND_ENV_VAR` and fall back to
+            :data:`DEFAULT_BACKEND`.
+
+    Raises:
+        ValueError: unrecognised backend name (the message names the
+            environment variable when that is where the value came from).
+    """
+    if backend is None or backend == "auto":
+        raw = os.environ.get(BACKEND_ENV_VAR)
+        if raw is None or raw.strip() == "":
+            return DEFAULT_BACKEND
+        value = raw.strip().lower()
+        if value == "auto":
+            return DEFAULT_BACKEND
+        if value not in BACKENDS:
+            raise ValueError(
+                f"{BACKEND_ENV_VAR} must be one of {BACKENDS} (or 'auto'), "
+                f"got {raw!r}"
+            )
+        return value
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"kernel backend must be one of {BACKENDS} (or 'auto'), "
+            f"got {backend!r}"
+        )
+    return backend
+
+
+# ----------------------------------------------------------------- metrics
+
+_registry = MetricsRegistry()
+
+
+def _register_catalog(registry: MetricsRegistry) -> None:
+    """Eagerly register the full kernels catalog (zero-valued metrics)."""
+    for name in BACKENDS:
+        registry.counter(
+            f"kernels.dispatch.{name}", unit="calls",
+            description=f"Backend-routed entry points served by the "
+                        f"{name} implementation",
+        )
+    for name in KERNEL_NAMES:
+        registry.counter(
+            f"kernels.{name}.calls", unit="calls",
+            description=f"Invocations of the {name} vector kernel",
+        )
+        registry.counter(
+            f"kernels.{name}.items", unit="items",
+            description=f"Total items batch-processed by the {name} "
+                        f"vector kernel",
+        )
+        registry.histogram(
+            f"kernels.{name}.batch_size", unit="items",
+            description=f"Batch sizes seen by the {name} vector kernel",
+        )
+
+
+_register_catalog(_registry)
+
+
+def kernel_registry() -> MetricsRegistry:
+    """The module-level registry holding kernel counters/histograms."""
+    return _registry
+
+
+def record_dispatch(backend: str) -> None:
+    """Count one backend-routed entry point resolution."""
+    _registry.counter(f"kernels.dispatch.{backend}").inc()
+
+
+def observe_batch(kernel: str, batch_size: int) -> None:
+    """Record one vector-kernel invocation over ``batch_size`` items."""
+    _registry.counter(f"kernels.{kernel}.calls").inc()
+    _registry.counter(f"kernels.{kernel}.items").inc(batch_size)
+    _registry.histogram(f"kernels.{kernel}.batch_size").record(batch_size)
+
+
+def reset_kernel_metrics() -> None:
+    """Zero the kernel metrics (tests and benchmark isolation)."""
+    _registry.reset()
+
+
+def publish_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Copy the kernels catalog into an external registry.
+
+    Registers every catalogued name (so documentation checks see the
+    full set even before any kernel has run) and copies current counter
+    values and histogram observations.
+    """
+    _register_catalog(registry)
+    for metric in _registry.metrics():
+        if metric.kind == "counter":
+            registry.counter(metric.name).set(metric.value)
+        elif metric.kind == "histogram":
+            target = registry.histogram(metric.name)
+            target.reset()
+            target.record_many(metric.values())
+    return registry

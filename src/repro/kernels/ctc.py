@@ -1,0 +1,68 @@
+"""Batch CTC hit/miss simulation over domain-id runs (Section 4.3).
+
+The scalar check path walks every taint domain an access overlaps,
+probing the CTC once per domain (no short-circuit: ``check_memory``
+accumulates the tainted flag across the whole walk).  With a static CTT
+the per-domain taint outcome is a pure gather, so the only sequential
+work left is the CTC's fully associative LRU accounting over the
+flattened domain-word id sequence — which run-compresses extremely well
+(the CTC's whole premise is that consecutive accesses stay inside one
+CTT word's span).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels import classify
+from repro.kernels.backend import observe_batch
+from repro.kernels.lru import simulate_lru
+
+
+@dataclass(frozen=True)
+class CtcProbeResult:
+    """Outcome of probing one access window through the CTC."""
+
+    tainted: np.ndarray  # bool per access: any overlapped domain tainted
+    accesses: int        # CTC lookups (one per domain step)
+    hits: int
+    misses: int
+    evictions: int
+
+
+def probe_window(
+    addresses: np.ndarray,
+    sizes: np.ndarray,
+    geometry,
+    ctt_index: classify.CttIndex,
+    ctc_entries: int,
+) -> CtcProbeResult:
+    """Probe an access window through a cold, fully associative CTC.
+
+    ``addresses``/``sizes`` are int64 arrays (sizes already floored to
+    1) of the accesses that reached the CTC (i.e. survived TLB
+    screening, or all accesses when TLB bits are disabled).
+    """
+    n = len(addresses)
+    observe_batch("ctc_probe", n)
+    if n == 0:
+        return CtcProbeResult(np.zeros(0, dtype=bool), 0, 0, 0, 0)
+
+    flat_domains, offsets = classify.expand_domain_ids(
+        addresses, sizes, geometry.domain_size
+    )
+    flags = classify.domain_tainted_flags(flat_domains, ctt_index)
+    tainted = classify.any_per_row(flags, offsets)
+    # One CTC lookup per domain step; the line it touches is the CTT
+    # word covering that domain (CTC line span == word span).
+    word_sequence = classify.word_ids_from_domains(flat_domains)
+    stats = simulate_lru(word_sequence, ways=ctc_entries)
+    return CtcProbeResult(
+        tainted=tainted,
+        accesses=stats.accesses,
+        hits=stats.hits,
+        misses=stats.misses,
+        evictions=stats.evictions,
+    )

@@ -27,6 +27,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.core.latch import LatchConfig, LatchModule
+from repro.kernels import record_dispatch, replay_check_memory, resolve_backend
 from repro.slatch.costs import SLatchCostModel
 from repro.workloads.profiles import WorkloadProfile
 from repro.workloads.trace import AccessTrace, EpochStream
@@ -150,6 +151,7 @@ def measure_hw_rates(
     trace: AccessTrace,
     latch_config: Optional[LatchConfig] = None,
     latch: Optional[LatchModule] = None,
+    backend: Optional[str] = None,
 ) -> HwRates:
     """Measure hardware-mode FP and CTC-miss rates from an access trace.
 
@@ -160,8 +162,12 @@ def measure_hw_rates(
     A caller that wants the measurement module's counters afterwards
     (e.g. ``repro-stats`` publishing ``ctc.hit_rate``) can pass its own
     ``latch``; it is bulk-loaded and replayed exactly as the internally
-    constructed one would be.
+    constructed one would be.  ``backend`` picks the scalar loop or the
+    batch replay kernels (identical counters); None defers to
+    ``REPRO_KERNEL_BACKEND`` / the default.
     """
+    choice = resolve_backend(backend)
+    record_dispatch(choice)
     if latch is None:
         latch = LatchModule(latch_config)
     latch.bulk_load_from_shadow(trace.layout.to_shadow())
@@ -173,8 +179,11 @@ def measure_hw_rates(
     if hw_instructions == 0:
         return HwRates(0.0, 0.0)
 
-    for index in range(len(addresses)):
-        latch.check_memory(int(addresses[index]), int(sizes[index]))
+    if choice == "vector":
+        replay_check_memory(latch, addresses, sizes)
+    else:
+        for index in range(len(addresses)):
+            latch.check_memory(int(addresses[index]), int(sizes[index]))
     fp = latch.stats.sent_to_precise
     misses = latch.ctc.stats.misses
     return HwRates(

@@ -123,8 +123,14 @@ class TaintLayout:
     extents: List[Tuple[int, int]] = field(default_factory=list)
     accessed_pages: Set[int] = field(default_factory=set)
 
-    def tainted_pages(self) -> Set[int]:
+    def tainted_pages(self, backend: str = None) -> Set[int]:
         """Pages containing at least one tainted byte."""
+        from repro.kernels import domains_from_extents, record_dispatch, resolve_backend
+
+        choice = resolve_backend(backend)
+        record_dispatch(choice)
+        if choice == "vector":
+            return set(domains_from_extents(self.extents, PAGE_SIZE).tolist())
         pages: Set[int] = set()
         for start, length in self.extents:
             pages.update(range(start // PAGE_SIZE, (start + length - 1) // PAGE_SIZE + 1))
@@ -134,8 +140,19 @@ class TaintLayout:
         """Total tainted bytes."""
         return sum(length for _, length in self.extents)
 
-    def tainted_domains(self, domain_size: int) -> np.ndarray:
-        """Sorted unique indices of domains containing tainted bytes."""
+    def tainted_domains(self, domain_size: int, backend: str = None) -> np.ndarray:
+        """Sorted unique indices of domains containing tainted bytes.
+
+        ``backend`` routes between the per-extent set loop (``"scalar"``)
+        and :func:`repro.kernels.domains_from_extents` (``"vector"``,
+        identical output); None defers to ``REPRO_KERNEL_BACKEND``.
+        """
+        from repro.kernels import domains_from_extents, record_dispatch, resolve_backend
+
+        choice = resolve_backend(backend)
+        record_dispatch(choice)
+        if choice == "vector":
+            return domains_from_extents(self.extents, domain_size)
         indices: Set[int] = set()
         for start, length in self.extents:
             first = start // domain_size

@@ -8,18 +8,28 @@ alert streams must be identical, whatever the program does.
 
 This is the strongest form of the paper's accuracy claim: not just on
 curated scenarios, but over an open-ended program space.
+
+The whole module carries the ``fuzz`` marker so CI can budget it
+separately (``-m "not fuzz"`` skips it; the tier-1 run includes it).
 """
 
 import dataclasses
 
+import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core.latch import LatchConfig, LatchModule
 from repro.dift.engine import DIFTEngine
+from repro.dift.tags import ShadowMemory
+from repro.kernels import replay_check_memory
 from repro.isa.assembler import assemble
 from repro.machine.cpu import CPU
 from repro.machine.devices import DeviceTable, VirtualFile
 from repro.slatch.controller import SLatchSystem
 from repro.slatch.costs import SLatchCostModel
+
+pytestmark = pytest.mark.fuzz
 
 _SCRATCH_REGISTERS = list(range(4, 12))  # r4..r11; r12 = buffer base
 _BUFFER_WINDOW = 96  # program touches buf[0 .. 96+4)
@@ -148,3 +158,83 @@ def test_random_programs_with_domain_straddling_config(operations, timeout):
     )
     cpu.run(50_000)
     assert _signature(system.engine) == reference_signature
+
+
+# --------------------------------------------------------------------------
+# Vector kernels vs the byte-precise engine.  The coarse check is allowed
+# false positives (that is the LATCH trade-off) but never false negatives,
+# and its false-positive *set* must be exactly the scalar module's.
+
+
+@st.composite
+def _taint_windows(draw):
+    """A taint layout plus an access window over a 4-page span."""
+    span = 4 * 4096
+    extents = []
+    cursor = 0
+    for _ in range(draw(st.integers(0, 4))):
+        start = cursor + draw(st.integers(0, 1024))
+        length = draw(st.integers(1, 256))
+        if start + length > span:
+            break
+        extents.append((start, length))
+        cursor = start + length
+    n = draw(st.integers(0, 48))
+    addresses = draw(st.lists(
+        st.one_of(
+            st.integers(0, span - 8),
+            st.sampled_from([0, 7, 63, 64, 255, 2047, 4095, 4096, 8191]),
+        ),
+        min_size=n, max_size=n,
+    ))
+    sizes = draw(st.lists(st.sampled_from([1, 2, 4, 8]),
+                          min_size=n, max_size=n))
+    return extents, addresses, sizes
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    window=_taint_windows(),
+    config=st.builds(
+        LatchConfig,
+        domain_size=st.sampled_from([8, 64, 128]),
+        ctc_entries=st.sampled_from([1, 16]),
+        tlb_entries=st.sampled_from([2, 128]),
+        use_tlb_bits=st.booleans(),
+    ),
+)
+def test_vector_coarse_check_against_precise_engine(window, config):
+    extents, address_list, size_list = window
+    shadow = ShadowMemory()
+    for start, length in extents:
+        shadow.set_range(start, length, 1)
+
+    addresses = np.array(address_list, dtype=np.int64)
+    sizes = np.array(size_list, dtype=np.int64)
+
+    vector_latch = LatchModule(config)
+    vector_latch.bulk_load_from_shadow(shadow)
+    coarse_vector = replay_check_memory(vector_latch, addresses, sizes)
+
+    scalar_latch = LatchModule(config)
+    scalar_latch.bulk_load_from_shadow(shadow)
+    coarse_scalar = np.array(
+        [
+            scalar_latch.check_memory(int(a), int(s)).coarse_tainted
+            for a, s in zip(addresses, sizes)
+        ],
+        dtype=bool,
+    )
+
+    precise = np.array(
+        [
+            not shadow.region_clean(int(a), max(int(s), 1))
+            for a, s in zip(addresses, sizes)
+        ],
+        dtype=bool,
+    )
+
+    # Soundness: the coarse filter never clears a precisely tainted access.
+    assert not np.any(precise & ~coarse_vector)
+    # Exactness: the vector kernel's false-positive set is the scalar's.
+    assert np.array_equal(coarse_vector, coarse_scalar)

@@ -175,6 +175,40 @@ _start:
 
         Runner(registry=registry)  # registers runner.* eagerly
 
+        from repro.kernels import publish_metrics
+
+        publish_metrics(registry)  # registers kernels.* (full catalog)
+
         published = set(registry.names())
         missing = sorted(documented - published)
         assert not missing, f"documented but never published: {missing}"
+
+
+class TestKernelsDoc:
+    def test_every_block_executes(self):
+        namespace = run_blocks(ROOT / "docs" / "KERNELS.md")
+        # The observability walkthrough ends with a populated snapshot.
+        assert namespace["snapshot"].get("kernels.dispatch.vector") >= 1
+
+    def test_kernel_catalog_documented_in_observability(self):
+        """Every metric the kernels registry publishes appears in the
+        OBSERVABILITY.md catalog tables, and vice versa."""
+        from repro.kernels import kernel_registry
+
+        text = (ROOT / "docs" / "OBSERVABILITY.md").read_text()
+        documented = {
+            name
+            for name in re.findall(r"\| `([a-z_.]+\.[a-z_.]+)` \|", text)
+            if name.startswith("kernels.")
+        }
+        published = {
+            metric.name for metric in kernel_registry().metrics()
+        }
+        assert documented == published
+
+    def test_doc_mentions_every_kernel(self):
+        from repro.kernels import KERNEL_NAMES
+
+        text = (ROOT / "docs" / "KERNELS.md").read_text()
+        for name in KERNEL_NAMES:
+            assert name in text, f"KERNELS.md does not mention {name}"

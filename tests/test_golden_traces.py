@@ -1,0 +1,120 @@
+"""Golden-trace regression tests.
+
+The ``tests/golden/`` directory pins committed workload artefacts and
+the exact replay results they must produce (see ``tests/golden/regen.py``
+for provenance).  These tests serve two purposes:
+
+* **cross-version drift** — a change to the workload generator, the
+  cache models, or the kernels that moves any published counter fails
+  loudly against numbers produced by an earlier build, not just against
+  code in the same working tree;
+* **storage hardening** — the committed ``corrupt.npz`` is a real
+  truncated archive on disk, so the :class:`StorageFormatError` path is
+  exercised against genuine zip corruption rather than a synthetic
+  monkeypatched error.
+
+Both kernel backends replay every golden trace and must match the
+golden snapshot *and* each other byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.temporal import epoch_duration_profile
+from repro.hlatch.baseline import run_baseline
+from repro.hlatch.system import HLatchSystem
+from repro.kernels import replay_hlatch_window
+from repro.workloads.storage import (
+    StorageFormatError,
+    load_access_trace,
+    load_epoch_stream,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+WORKLOADS = ("gcc", "curl")
+BACKENDS = ("scalar", "vector")
+
+EXPECTED = json.loads((GOLDEN_DIR / "expected.json").read_text())
+
+
+def _trace_path(name):
+    return GOLDEN_DIR / f"{name}_w2000_s0.npz"
+
+
+def _replay_snapshot(trace, backend):
+    system = HLatchSystem()
+    system.load_taint(trace.layout)
+    if backend == "vector":
+        replay_hlatch_window(
+            system, trace.addresses, trace.sizes, trace.is_write
+        )
+    else:
+        for index in range(trace.access_count):
+            system.access(
+                int(trace.addresses[index]),
+                int(trace.sizes[index]),
+                bool(trace.is_write[index]),
+            )
+    return system.snapshot()
+
+
+class TestGoldenReplay:
+    @pytest.mark.parametrize("name", WORKLOADS)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_hlatch_snapshot_matches_golden(self, name, backend):
+        trace = load_access_trace(_trace_path(name))
+        snapshot = _replay_snapshot(trace, backend)
+        golden = EXPECTED[name]["hlatch_snapshot"]
+        assert snapshot.to_dict()["metrics"] == golden["metrics"]
+
+    @pytest.mark.parametrize("name", WORKLOADS)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_baseline_matches_golden(self, name, backend):
+        trace = load_access_trace(_trace_path(name))
+        report = run_baseline(trace, backend=backend)
+        golden = EXPECTED[name]["baseline"]
+        assert report.accesses == golden["accesses"]
+        assert report.misses == golden["misses"]
+
+    @pytest.mark.parametrize("name", WORKLOADS)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_epoch_profile_matches_golden(self, name, backend):
+        stream = load_epoch_stream(GOLDEN_DIR / f"{name}_epochs_s0.npz")
+        profile = epoch_duration_profile(stream, backend=backend)
+        golden = EXPECTED[name]["epoch_profile"]
+        # The golden floats were serialised through json, so comparing
+        # their round-trips checks exact bit patterns, not tolerances.
+        assert {str(k): v for k, v in profile.items()} == golden
+
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_trace_roundtrip_metadata(self, name):
+        trace = load_access_trace(_trace_path(name))
+        assert trace.name == name
+        # The window argument counts instructions; accesses are a subset.
+        assert trace.total_instructions == 2_000
+        assert 0 < trace.access_count <= 2_000
+        assert trace.layout.extents  # golden workloads carry taint
+
+
+class TestStorageCorruption:
+    def test_truncated_archive_raises_storage_error(self):
+        path = GOLDEN_DIR / "corrupt.npz"
+        with pytest.raises(StorageFormatError) as excinfo:
+            load_access_trace(path)
+        # The error names the offending file so a failed sweep is
+        # actionable without a debugger.
+        assert "corrupt.npz" in str(excinfo.value)
+
+    def test_wrong_kind_raises_storage_error(self):
+        # An epoch-stream archive is a valid .npz but the wrong kind.
+        path = GOLDEN_DIR / "gcc_epochs_s0.npz"
+        with pytest.raises(StorageFormatError, match="access-trace"):
+            load_access_trace(path)
+
+    def test_missing_file_is_not_masked(self):
+        with pytest.raises(FileNotFoundError):
+            load_access_trace(GOLDEN_DIR / "does_not_exist.npz")

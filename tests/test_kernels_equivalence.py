@@ -1,0 +1,375 @@
+"""Differential conformance harness for :mod:`repro.kernels`.
+
+The scalar per-access loops are the executable specification; the
+vector backend is required to reproduce their published counters *byte
+for byte* — every equivalence assertion here compares serialised
+:class:`~repro.obs.StatsSnapshot` JSON (or exact numpy arrays), never
+tolerances.  Hypothesis drives adversarial windows at the shapes the
+kernels special-case: empty windows, single-access windows, operands
+straddling domain/page/line boundaries, and all-tainted / taint-free
+taint layouts, across small and paper-scale LATCH geometries.
+
+The suite-level test at the bottom replays the Table 1–4/6/7 runner
+suites at tiny scale under both ``REPRO_KERNEL_BACKEND`` settings and
+asserts identical job snapshots — the acceptance criterion the CI tier
+enforces.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.temporal import epoch_duration_profile
+from repro.core.latch import LatchConfig
+from repro.hlatch.baseline import run_baseline
+from repro.hlatch.system import HLatchSystem, run_hlatch
+from repro.hlatch.taint_cache import (
+    CONVENTIONAL_TAINT_CACHE,
+    HLATCH_TAINT_CACHE,
+)
+from repro.kernels import (
+    BACKEND_ENV_VAR,
+    epoch_stream_from_trace,
+    replay_hlatch_window,
+    resolve_backend,
+)
+from repro.runner.specs import suite_jobs
+from repro.runner.worker import execute_job
+from repro.slatch.simulator import measure_hw_rates
+from repro.workloads.suites import EXPERIMENT_SUITES
+from repro.workloads.trace import AccessTrace, EpochStream, TaintLayout
+
+#: Address space exercised by the strategies: four pages.
+SPAN = 4 * 4096
+
+#: Addresses the kernels treat specially — the last/first byte of a
+#: domain (8/64/128), a CTT word span (256/2048/4096), and a page.
+BOUNDARIES = (
+    0, 7, 8, 63, 64, 127, 128, 255, 256, 2047, 2048,
+    4095, 4096, 8191, 8192, SPAN - 8,
+)
+
+# domain_size 128 is the largest DomainGeometry admits at 4 KiB pages
+# (one CTT word then spans exactly one page — the degenerate TLB case).
+LATCH_CONFIGS = st.builds(
+    LatchConfig,
+    domain_size=st.sampled_from([8, 64, 128]),
+    ctc_entries=st.sampled_from([1, 2, 16]),
+    tlb_entries=st.sampled_from([1, 2, 128]),
+    use_tlb_bits=st.booleans(),
+)
+
+TCACHE_CONFIGS = st.sampled_from([HLATCH_TAINT_CACHE, CONVENTIONAL_TAINT_CACHE])
+
+
+def _merge_extents(extents):
+    """Canonicalise to the sorted, non-overlapping layout invariant."""
+    merged = []
+    for start, length in sorted(extents):
+        if merged and start <= merged[-1][0] + merged[-1][1]:
+            prev_start, prev_length = merged[-1]
+            merged[-1] = (
+                prev_start, max(prev_length, start + length - prev_start)
+            )
+        else:
+            merged.append((start, length))
+    return [extent for extent in merged if extent[1] > 0]
+
+
+#: Taint layouts including both extremes the issue calls out.
+EXTENTS = st.one_of(
+    st.just([]),                # taint-free extreme
+    st.just([(0, SPAN)]),       # all-tainted extreme
+    st.lists(
+        st.tuples(st.integers(0, SPAN - 1), st.integers(1, 512)),
+        max_size=6,
+    ).map(_merge_extents),
+)
+
+
+@st.composite
+def windows(draw):
+    """An adversarial :class:`AccessTrace` window."""
+    n = draw(st.integers(min_value=0, max_value=40))
+    address = st.one_of(
+        st.sampled_from(BOUNDARIES), st.integers(0, SPAN - 8)
+    )
+    addresses = np.array(
+        draw(st.lists(address, min_size=n, max_size=n)), dtype=np.int64
+    )
+    layout = TaintLayout(extents=list(draw(EXTENTS)))
+    return AccessTrace(
+        name="hyp",
+        addresses=addresses,
+        # size 0 exercises the max(size, 1) floor; 8 straddles domains.
+        sizes=np.array(
+            draw(st.lists(st.sampled_from([0, 1, 2, 4, 8]),
+                          min_size=n, max_size=n)),
+            dtype=np.uint8,
+        ),
+        is_write=np.array(
+            draw(st.lists(st.booleans(), min_size=n, max_size=n)), dtype=bool
+        ),
+        tainted=layout.bytes_tainted(addresses),
+        gap_before=np.array(
+            draw(st.lists(st.integers(0, 5), min_size=n, max_size=n)),
+            dtype=np.int64,
+        ),
+        active_epoch=np.array(
+            draw(st.lists(st.booleans(), min_size=n, max_size=n)), dtype=bool
+        ),
+        layout=layout,
+    )
+
+
+def _hlatch_snapshot(trace, latch_config, tcache_config, backend):
+    """Replay a window through a fresh stack; freeze its counters."""
+    system = HLatchSystem(latch_config, tcache_config)
+    system.load_taint(trace.layout)
+    if backend == "vector":
+        replay_hlatch_window(
+            system, trace.addresses, trace.sizes, trace.is_write
+        )
+    else:
+        for index in range(trace.access_count):
+            system.access(
+                int(trace.addresses[index]),
+                int(trace.sizes[index]),
+                bool(trace.is_write[index]),
+            )
+    return system.snapshot()
+
+
+def assert_window_equivalent(
+    trace,
+    latch_config=None,
+    tcache_config=HLATCH_TAINT_CACHE,
+):
+    """The core oracle: scalar and vector snapshots are byte-identical."""
+    latch_config = latch_config or LatchConfig()
+    scalar = _hlatch_snapshot(trace, latch_config, tcache_config, "scalar")
+    vector = _hlatch_snapshot(trace, latch_config, tcache_config, "vector")
+    assert scalar.to_json() == vector.to_json()
+
+
+def _trace(addresses, sizes=None, writes=None, extents=()):
+    n = len(addresses)
+    layout = TaintLayout(extents=list(extents))
+    addresses = np.array(addresses, dtype=np.int64)
+    return AccessTrace(
+        name="edge",
+        addresses=addresses,
+        sizes=np.array(
+            sizes if sizes is not None else [4] * n, dtype=np.uint8
+        ),
+        is_write=np.array(
+            writes if writes is not None else [False] * n, dtype=bool
+        ),
+        tainted=layout.bytes_tainted(addresses),
+        gap_before=np.zeros(n, dtype=np.int64),
+        active_epoch=np.zeros(n, dtype=bool),
+        layout=layout,
+    )
+
+
+class TestHLatchEquivalence:
+    """Vector replay of the full H-LATCH stack matches the scalar loop."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(trace=windows(), latch_config=LATCH_CONFIGS,
+           tcache_config=TCACHE_CONFIGS)
+    def test_snapshots_byte_identical(
+        self, trace, latch_config, tcache_config
+    ):
+        assert_window_equivalent(trace, latch_config, tcache_config)
+
+    def test_run_hlatch_backend_switch(self):
+        trace = _trace(
+            [0, 64, 4095, 8192, 64, 0], sizes=[4, 8, 4, 1, 2, 0],
+            extents=[(32, 64), (4090, 16)],
+        )
+        scalar = run_hlatch(trace, backend="scalar")
+        vector = run_hlatch(trace, backend="vector")
+        assert scalar == vector
+
+
+class TestEdgeWindows:
+    """The window shapes the kernels special-case, pinned explicitly."""
+
+    def test_empty_window(self):
+        assert_window_equivalent(_trace([], extents=[(0, 128)]))
+
+    def test_single_access(self):
+        assert_window_equivalent(_trace([100], sizes=[4], extents=[(96, 8)]))
+
+    def test_single_access_no_taint(self):
+        assert_window_equivalent(_trace([100], sizes=[4]))
+
+    def test_domain_straddling_operands(self):
+        # Last byte of a domain, a page, and a tcache line; each operand
+        # spills into the next structure.
+        trace = _trace(
+            [63, 4095, 15, 62, 4094], sizes=[2, 4, 2, 8, 8],
+            extents=[(64, 1), (4096, 1)],
+        )
+        assert_window_equivalent(trace)
+
+    def test_all_tainted_layout(self):
+        trace = _trace(
+            [0, 64, 128, 4096, 8192, 64], extents=[(0, SPAN)],
+        )
+        assert_window_equivalent(trace)
+
+    def test_taint_free_layout(self):
+        trace = _trace([0, 64, 128, 4096, 8192, 64])
+        assert_window_equivalent(trace)
+
+    def test_tlb_disabled(self):
+        trace = _trace([0, 64, 4095], extents=[(0, 256)])
+        assert_window_equivalent(
+            trace, LatchConfig(use_tlb_bits=False)
+        )
+
+    def test_tiny_structures_evict(self):
+        # One-entry CTC and TLB: every structure thrashes.
+        trace = _trace(
+            [0, 8192, 0, 8192, 4096, 0], extents=[(0, 16), (8192, 16)],
+        )
+        assert_window_equivalent(
+            trace, LatchConfig(ctc_entries=1, tlb_entries=1)
+        )
+
+
+class TestConsumerEquivalence:
+    """Every backend-routed consumer API agrees across backends."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=windows())
+    def test_baseline_reports_equal(self, trace):
+        assert run_baseline(trace, backend="scalar") == run_baseline(
+            trace, backend="vector"
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=windows(), latch_config=LATCH_CONFIGS)
+    def test_hw_rates_equal(self, trace, latch_config):
+        scalar = measure_hw_rates(trace, latch_config, backend="scalar")
+        vector = measure_hw_rates(trace, latch_config, backend="vector")
+        assert scalar == vector
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=windows())
+    def test_epoch_stream_from_trace_equal(self, trace):
+        scalar = epoch_stream_from_trace(trace, backend="scalar")
+        vector = epoch_stream_from_trace(trace, backend="vector")
+        assert np.array_equal(scalar.lengths, vector.lengths)
+        assert np.array_equal(scalar.tainted_counts, vector.tainted_counts)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        epochs=st.lists(
+            st.tuples(st.integers(1, 2_000_000), st.booleans()),
+            max_size=30,
+        )
+    )
+    def test_epoch_profile_floats_bit_identical(self, epochs):
+        stream = EpochStream(
+            name="hyp",
+            lengths=np.array([l for l, _ in epochs], dtype=np.int64),
+            tainted_counts=np.array(
+                [l if t else 0 for l, t in epochs], dtype=np.int64
+            ),
+        )
+        scalar = epoch_duration_profile(stream, backend="scalar")
+        vector = epoch_duration_profile(stream, backend="vector")
+        # json round-trip compares the exact float bit patterns.
+        assert json.dumps(scalar) == json.dumps(vector)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        extents=st.lists(
+            # length 0 is legal in a layout and has its own semantics.
+            st.tuples(st.integers(0, SPAN - 1), st.integers(0, 512)),
+            max_size=8,
+        ),
+        domain_size=st.sampled_from([8, 64, 256, 4096]),
+    )
+    def test_layout_domains_and_pages_equal(self, extents, domain_size):
+        layout = TaintLayout(extents=extents)
+        assert np.array_equal(
+            layout.tainted_domains(domain_size, backend="scalar"),
+            layout.tainted_domains(domain_size, backend="vector"),
+        )
+        assert layout.tainted_pages(backend="scalar") == layout.tainted_pages(
+            backend="vector"
+        )
+
+
+class TestBackendResolution:
+    """Precedence: explicit argument > environment > package default."""
+
+    def test_default_is_vector(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend(None) == "vector"
+
+    def test_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "scalar")
+        assert resolve_backend(None) == "scalar"
+
+    def test_argument_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "scalar")
+        assert resolve_backend("vector") == "vector"
+
+    def test_auto_defers(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "scalar")
+        assert resolve_backend("auto") == "scalar"
+
+    def test_invalid_env_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "simd")
+        with pytest.raises(ValueError, match=BACKEND_ENV_VAR):
+            resolve_backend(None)
+
+    def test_invalid_argument_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend("gpu")
+
+
+#: Tiny scales keep the whole six-suite sweep in CI-smoke territory.
+SUITE_EPOCH_SCALE = 20_000
+SUITE_TRACE_WINDOW = 1_500
+
+
+def _suite_snapshots(suite, monkeypatch, backend):
+    """Execute a suite's first two workloads under one backend."""
+    names = EXPERIMENT_SUITES[suite][0][1][:2]
+    monkeypatch.setenv(BACKEND_ENV_VAR, backend)
+    snapshots = {}
+    for spec in suite_jobs(
+        suite,
+        epoch_scale=SUITE_EPOCH_SCALE,
+        trace_window=SUITE_TRACE_WINDOW,
+        benchmarks=names,
+    ):
+        result = execute_job({"spec": spec.to_dict()})
+        snapshots[spec.job_id] = result["snapshot"]
+    return snapshots
+
+
+@pytest.mark.parametrize(
+    "suite", ["table1", "table2", "table3", "table4", "table6", "table7"]
+)
+def test_table_suite_snapshots_backend_independent(suite, monkeypatch):
+    """The acceptance criterion: every table suite's job snapshots are
+    identical whichever backend ``REPRO_KERNEL_BACKEND`` selects."""
+    scalar = _suite_snapshots(suite, monkeypatch, "scalar")
+    vector = _suite_snapshots(suite, monkeypatch, "vector")
+    assert scalar.keys() == vector.keys()
+    for job_id in scalar:
+        assert json.dumps(scalar[job_id], sort_keys=True) == json.dumps(
+            vector[job_id], sort_keys=True
+        ), f"{suite}:{job_id} diverged between backends"
