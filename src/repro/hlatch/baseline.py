@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.kernels import record_dispatch, replay_taint_cache, resolve_backend
+from repro.obs.spans import maybe_span
 from repro.hlatch.taint_cache import (
     CONVENTIONAL_TAINT_CACHE,
     PreciseTaintCache,
@@ -68,13 +69,16 @@ def run_baseline(
     addresses = trace.addresses
     sizes = trace.sizes
     writes = trace.is_write
-    if choice == "vector":
-        replay_taint_cache(system.cache, addresses, sizes, writes)
-    else:
-        for index in range(len(addresses)):
-            system.access(
-                int(addresses[index]), int(sizes[index]), bool(writes[index])
-            )
+    with maybe_span("hlatch.baseline_replay", backend=choice,
+                    workload=trace.name, accesses=int(len(addresses))):
+        if choice == "vector":
+            replay_taint_cache(system.cache, addresses, sizes, writes)
+        else:
+            for index in range(len(addresses)):
+                system.access(
+                    int(addresses[index]), int(sizes[index]),
+                    bool(writes[index])
+                )
     stats = system.stats
     return BaselineReport(
         name=trace.name, accesses=stats.accesses, misses=stats.misses

@@ -20,6 +20,7 @@ from typing import Dict, Optional
 from repro.core.latch import CheckLevel, LatchConfig, LatchModule
 from repro.kernels import record_dispatch, replay_hlatch_window, resolve_backend
 from repro.dift.tags import ShadowMemory
+from repro.obs.spans import maybe_span
 from repro.obs import MetricsRegistry, StatsSnapshot
 from repro.hlatch.taint_cache import (
     HLATCH_TAINT_CACHE,
@@ -195,11 +196,14 @@ def run_hlatch(
     addresses = trace.addresses
     sizes = trace.sizes
     writes = trace.is_write
-    if choice == "vector":
-        replay_hlatch_window(system, addresses, sizes, writes)
-    else:
-        for index in range(len(addresses)):
-            system.access(
-                int(addresses[index]), int(sizes[index]), bool(writes[index])
-            )
+    with maybe_span("hlatch.replay", backend=choice, workload=trace.name,
+                    accesses=int(len(addresses))):
+        if choice == "vector":
+            replay_hlatch_window(system, addresses, sizes, writes)
+        else:
+            for index in range(len(addresses)):
+                system.access(
+                    int(addresses[index]), int(sizes[index]),
+                    bool(writes[index])
+                )
     return system.report(trace.name)

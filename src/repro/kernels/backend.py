@@ -33,6 +33,7 @@ import os
 from typing import Optional
 
 from repro.obs import MetricsRegistry
+from repro.obs.spans import emit_event
 
 #: Recognised backend names, in documentation order.
 BACKENDS = ("scalar", "vector")
@@ -129,10 +130,17 @@ def record_dispatch(backend: str) -> None:
 
 
 def observe_batch(kernel: str, batch_size: int) -> None:
-    """Record one vector-kernel invocation over ``batch_size`` items."""
+    """Record one vector-kernel invocation over ``batch_size`` items.
+
+    When a :class:`~repro.obs.spans.SpanTracer` is active (the runner's
+    ``--trace`` path), each batch also lands on the timeline as a
+    ``kernels.batch`` event — one record per whole-window kernel call,
+    so the volume stays trivial.
+    """
     _registry.counter(f"kernels.{kernel}.calls").inc()
     _registry.counter(f"kernels.{kernel}.items").inc(batch_size)
     _registry.histogram(f"kernels.{kernel}.batch_size").record(batch_size)
+    emit_event("kernels.batch", kernel=kernel, items=batch_size)
 
 
 def reset_kernel_metrics() -> None:

@@ -12,7 +12,13 @@ first-class metrics/tracing layer instead of ad-hoc counters:
   native integer counters and *publish* them into a registry at
   snapshot time).
 * :class:`Tracer` — a structured JSONL event/span stream for the
-  low-frequency control events (traps, timeout fires, reconciles).
+  low-frequency control events (traps, timeout fires, reconciles),
+  with a per-process *shard mode* for multi-process runs.
+* :class:`SpanTracer` / :class:`TraceContext` — hierarchical spans with
+  explicit wire propagation, so a span opened by ``repro-run``
+  continues inside pool workers (merged back by ``repro-trace``).
+* :class:`FlightRecorder` — a bounded ring buffer of the last N trace
+  records, dumped on worker crash or SIGTERM.
 * :class:`StatsSnapshot` — the frozen, serialisable export model that
   the ``repro-stats`` CLI emits and the report tables consume.
 
@@ -45,6 +51,7 @@ Tracing the S-LATCH mode switches::
     # ['slatch.trap', 'slatch.return', ...]
 """
 
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -54,17 +61,34 @@ from repro.obs.metrics import (
     Timer,
 )
 from repro.obs.snapshot import MetricRecord, StatsSnapshot
+from repro.obs.spans import (
+    SpanHandle,
+    SpanTracer,
+    TraceContext,
+    activate,
+    current_tracer,
+    emit_event,
+    maybe_span,
+)
 from repro.obs.tracer import Tracer, read_jsonl
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "Metric",
     "MetricRecord",
     "MetricsRegistry",
+    "SpanHandle",
+    "SpanTracer",
     "StatsSnapshot",
     "Timer",
+    "TraceContext",
     "Tracer",
+    "activate",
+    "current_tracer",
+    "emit_event",
+    "maybe_span",
     "read_jsonl",
 ]

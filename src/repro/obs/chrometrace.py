@@ -1,0 +1,224 @@
+"""Shard merging, span-tree validation, and Chrome trace-event export.
+
+``repro-run --trace DIR`` leaves behind one JSONL shard per process
+(``run.<pid>.jsonl``, see :class:`~repro.obs.tracer.Tracer` shard mode)
+plus any ``flight.<pid>.json`` crash dumps.  This module turns that
+directory back into one artefact:
+
+* :func:`merge_shards` — concatenate every shard and sort into one
+  timeline (timestamps are wall-clock epoch seconds, comparable across
+  processes on one host);
+* :func:`validate_spans` — structural checks over the merged tree:
+  every ``span_close`` has its ``span_begin``, every span is closed,
+  every ``parent`` reference resolves, no duplicate ids.  An empty
+  problem list is the "zero orphaned spans" acceptance gate;
+* :func:`to_chrome` — export to the Chrome trace-event format (the
+  ``{"traceEvents": [...]}`` JSON that ``chrome://tracing`` and
+  Perfetto load).  Stack-scoped spans become complete ``"X"`` events;
+  ``kind="async"`` spans (the scheduler's overlapping per-job spans)
+  become async ``"b"``/``"e"`` pairs so concurrent jobs render on their
+  own rows; events become instants, and each pid gets a process-name
+  metadata record.
+
+The ``repro-trace`` CLI (:mod:`repro.tools.timeline`) wraps all three.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.tracer import read_jsonl
+
+#: Shard filename pattern produced by ``Tracer(shard_dir=...)``.
+SHARD_PATTERN = "run.*.jsonl"
+
+#: Flight-recorder dump pattern produced by pool workers.
+FLIGHT_PATTERN = "flight.*.json"
+
+#: Sort rank per record type: at equal timestamps a span must begin
+#: before its events and close after them.
+_TYPE_RANK = {"span_begin": 0, "event": 1, "span_close": 2}
+
+
+def shard_paths(directory: str) -> List[str]:
+    """The trace shard files under ``directory``, sorted by name."""
+    return sorted(glob.glob(os.path.join(directory, SHARD_PATTERN)))
+
+
+def flight_paths(directory: str) -> List[str]:
+    """The flight-recorder dumps under ``directory``, sorted by name."""
+    return sorted(glob.glob(os.path.join(directory, FLIGHT_PATTERN)))
+
+
+def merge_shards(directory: str) -> List[Dict]:
+    """Merge every shard in ``directory`` into one ordered timeline.
+
+    Raises :class:`FileNotFoundError` when the directory holds no
+    shards — that distinguishes "traced nothing" from "wrong path".
+    Truncated final lines in individual shards are skipped (with a
+    warning) by :func:`~repro.obs.tracer.read_jsonl`.
+    """
+    paths = shard_paths(directory)
+    if not paths:
+        raise FileNotFoundError(
+            f"no trace shards ({SHARD_PATTERN}) under {directory!r}"
+        )
+    records: List[Dict] = []
+    for path in paths:
+        records.extend(read_jsonl(path))
+    records.sort(
+        key=lambda r: (r.get("ts", 0.0), _TYPE_RANK.get(r.get("type"), 1))
+    )
+    return records
+
+
+def validate_spans(records: List[Dict]) -> List[str]:
+    """Structural problems in a merged record list (empty = healthy).
+
+    Checks: duplicate span ids, ``span_close`` without a begin, spans
+    never closed, and ``parent`` references that resolve to no span in
+    the merged set (an *orphaned* span — its ancestry is lost, which
+    means a shard is missing or a process died before writing it).
+    """
+    problems: List[str] = []
+    begins: Dict[str, Dict] = {}
+    closed: Dict[str, Dict] = {}
+    for record in records:
+        rtype = record.get("type")
+        span_id = record.get("span")
+        if rtype == "span_begin":
+            if span_id in begins:
+                problems.append(f"duplicate span id {span_id!r}")
+            else:
+                begins[span_id] = record
+        elif rtype == "span_close":
+            if span_id not in begins:
+                problems.append(
+                    f"span_close without begin: {record.get('name')!r} "
+                    f"({span_id!r})"
+                )
+            elif span_id in closed:
+                problems.append(f"span {span_id!r} closed twice")
+            else:
+                closed[span_id] = record
+    for span_id, record in begins.items():
+        if span_id not in closed:
+            problems.append(
+                f"span never closed: {record.get('name')!r} ({span_id!r})"
+            )
+    for record in records:
+        parent = record.get("parent")
+        if parent is not None and parent not in begins:
+            problems.append(
+                f"orphaned span: {record.get('name')!r} "
+                f"({record.get('span')!r}) references unknown parent "
+                f"{parent!r}"
+            )
+            break  # one missing ancestor cascades; report it once
+    return problems
+
+
+def _microseconds(seconds: float, origin: float) -> float:
+    return (seconds - origin) * 1e6
+
+
+def _span_pairs(
+    records: List[Dict],
+) -> Tuple[Dict[str, Dict], Dict[str, Dict]]:
+    begins: Dict[str, Dict] = {}
+    closes: Dict[str, Dict] = {}
+    for record in records:
+        if record.get("type") == "span_begin":
+            begins.setdefault(record.get("span"), record)
+        elif record.get("type") == "span_close":
+            closes.setdefault(record.get("span"), record)
+    return begins, closes
+
+
+_META_KEYS = {
+    "ts", "type", "name", "span", "parent", "trace", "pid", "kind",
+    "duration",
+}
+
+
+def _args(record: Dict) -> Dict[str, object]:
+    return {
+        key: value for key, value in record.items() if key not in _META_KEYS
+    }
+
+
+def to_chrome(
+    records: List[Dict], scheduler_pid: Optional[int] = None
+) -> Dict[str, object]:
+    """Convert a merged timeline to Chrome trace-event JSON.
+
+    ``scheduler_pid`` labels that process "scheduler" in the viewer;
+    when omitted, the pid of the earliest record is assumed (the
+    scheduler writes the root span before any worker starts).
+    """
+    if not records:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    origin = min(record.get("ts", 0.0) for record in records)
+    if scheduler_pid is None:
+        first = min(records, key=lambda r: r.get("ts", 0.0))
+        scheduler_pid = first.get("pid")
+
+    events: List[Dict] = []
+    pids = sorted({r.get("pid") for r in records if r.get("pid") is not None})
+    for pid in pids:
+        label = "scheduler" if pid == scheduler_pid else "worker"
+        events.append({
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": f"{label} ({pid})"},
+        })
+
+    begins, closes = _span_pairs(records)
+    for span_id, begin in begins.items():
+        close = closes.get(span_id)
+        pid = begin.get("pid", 0)
+        common = {
+            "name": begin.get("name", "?"),
+            "cat": begin.get("kind", "span"),
+            "pid": pid,
+            "tid": pid,
+            "args": {**_args(begin), "span": span_id},
+        }
+        start_us = _microseconds(begin.get("ts", origin), origin)
+        if begin.get("kind") == "async":
+            events.append({**common, "ph": "b", "id": span_id,
+                           "ts": start_us})
+            if close is not None:
+                events.append({
+                    **common,
+                    "ph": "e",
+                    "id": span_id,
+                    "ts": _microseconds(close.get("ts", origin), origin),
+                    "args": {**_args(close), "span": span_id},
+                })
+        else:
+            duration_us = (
+                close.get("duration", 0.0) * 1e6 if close is not None else 0.0
+            )
+            events.append({**common, "ph": "X", "ts": start_us,
+                           "dur": duration_us})
+    for record in records:
+        if record.get("type") != "event":
+            continue
+        pid = record.get("pid", 0)
+        events.append({
+            "name": record.get("name", "?"),
+            "cat": "event",
+            "ph": "i",
+            "s": "t",
+            "ts": _microseconds(record.get("ts", origin), origin),
+            "pid": pid,
+            "tid": pid,
+            "args": _args(record),
+        })
+    events.sort(key=lambda e: (e.get("ts", 0.0), e.get("ph") == "e"))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -1,0 +1,171 @@
+"""The flight recorder: a bounded ring buffer of the last N trace records.
+
+A pool worker that crashes, stalls into the scheduler's timeout, or is
+SIGTERM'd during pool teardown takes its in-flight telemetry with it —
+exactly the runs whose last moments matter most.  The flight recorder
+keeps a bounded in-memory copy of the most recent spans/events (a
+:class:`collections.deque`, O(1) per record, fixed memory) and dumps
+them to a JSON file when something goes wrong:
+
+* :meth:`dump` — explicit (the worker's exception path calls this);
+* :meth:`install` — signal handlers (SIGTERM by default) that dump and
+  then continue with the previous disposition, so a terminated worker
+  leaves ``flight.<pid>.json`` behind;
+* :meth:`guard` — a context manager that dumps on any escaping
+  exception and re-raises.
+
+The dump is atomic (temp file + ``os.replace``) and self-describing:
+``reason``, ``pid``, ``dropped`` (how many older records fell out of
+the ring), and the surviving records in order.  ``repro-trace`` folds
+``flight.*.json`` files into its timeline report.
+
+Usage::
+
+    from repro.obs import FlightRecorder, SpanTracer, Tracer
+
+    flight = FlightRecorder(capacity=256, path="trace-out/flight.123.json")
+    flight.install()                       # dump on SIGTERM
+    spans = SpanTracer(Tracer(shard_dir="trace-out"), flight=flight)
+    with flight.guard("job hlatch:gcc"):   # dump on crash
+        ...
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import tempfile
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+#: Default ring capacity — enough for the tail of any job at the
+#: phase-granularity the pipeline records at, small enough to be free.
+DEFAULT_CAPACITY = 256
+
+
+class FlightRecorder:
+    """Bounded ring buffer of trace records with crash/signal dumps.
+
+    Args:
+        capacity: maximum records retained (older ones are dropped,
+            counted in :attr:`dropped`).
+        path: default dump destination (a per-pid path like
+            ``<dir>/flight.<pid>.json``); :meth:`dump` may override.
+    """
+
+    def __init__(
+        self, capacity: int = DEFAULT_CAPACITY, path: Optional[str] = None
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        self.path = path
+        self.dropped = 0
+        self._ring: deque = deque(maxlen=capacity)
+        self._previous_handlers: Dict[int, object] = {}
+
+    # ------------------------------------------------------------ recording
+
+    def record(self, record: Dict) -> None:
+        """Append one record (a copy) to the ring."""
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(dict(record))
+
+    def snapshot(self) -> List[Dict]:
+        """The retained records, oldest first."""
+        return [dict(record) for record in self._ring]
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # ------------------------------------------------------------- dumping
+
+    def dump(self, path: Optional[str] = None, reason: str = "manual") -> str:
+        """Write the ring to ``path`` (or the default) atomically.
+
+        Returns the path written.  Safe to call from a signal handler:
+        no locks are taken and the write is a temp file + rename.
+        """
+        destination = path or self.path
+        if destination is None:
+            raise ValueError("no dump path configured")
+        payload = {
+            "reason": reason,
+            "pid": os.getpid(),
+            "dumped_at": time.time(),
+            "capacity": self.capacity,
+            "dropped": self.dropped,
+            "records": self.snapshot(),
+        }
+        directory = os.path.dirname(os.path.abspath(destination))
+        os.makedirs(directory, exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(
+            prefix=".flight-", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            os.replace(temp_path, destination)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+        return destination
+
+    @contextmanager
+    def guard(self, what: str = "") -> Iterator["FlightRecorder"]:
+        """Dump the ring if the block raises, then re-raise."""
+        try:
+            yield self
+        except BaseException as error:
+            if self.path is not None:
+                try:
+                    self.dump(reason=f"exception: {error!r} ({what})")
+                except OSError:
+                    pass  # never shadow the original failure
+            raise
+
+    # ------------------------------------------------------------- signals
+
+    def install(self, signals=(signal.SIGTERM,)) -> bool:
+        """Install dump-on-signal handlers; returns False off-main-thread.
+
+        After dumping, the previous handler runs if there was a callable
+        one; otherwise the process exits with the conventional
+        ``128 + signum`` status, preserving "killed by signal" semantics
+        for the parent (the pool scheduler counts those as worker
+        deaths either way).
+        """
+        try:
+            for signum in signals:
+                self._previous_handlers[signum] = signal.signal(
+                    signum, self._on_signal
+                )
+        except ValueError:  # not the main thread — skip, never break jobs
+            return False
+        return True
+
+    def uninstall(self) -> None:
+        """Restore the signal dispositions :meth:`install` replaced."""
+        for signum, previous in self._previous_handlers.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, TypeError):
+                pass
+        self._previous_handlers.clear()
+
+    def _on_signal(self, signum, frame) -> None:
+        if self.path is not None:
+            try:
+                self.dump(reason=f"signal:{signum}")
+            except OSError:
+                pass
+        previous = self._previous_handlers.get(signum)
+        if callable(previous):
+            previous(signum, frame)
+        else:
+            raise SystemExit(128 + signum)

@@ -1,0 +1,229 @@
+"""Perf-regression watchdog: compare benchmark runs against a baseline.
+
+CI has uploaded ``BENCH_kernels.json`` since the kernels PR, but never
+*compared* it to anything — a 2x kernel slowdown would merge silently
+as long as the 5x speedup floor still held.  This module closes the
+loop: it reads two benchmark payloads, pairs their entries by name, and
+exits nonzero when the current run is slower than the baseline beyond a
+noise-tolerant threshold.
+
+Two payload formats are understood (auto-detected):
+
+* **pytest-benchmark JSON** (``--benchmark-json`` output): entries are
+  ``benchmarks[].name`` with ``stats.mean`` seconds;
+* **repro-run JSON reports** (``repro-run ... --format json``): entries
+  are computed jobs with their ``duration`` seconds (cached jobs carry
+  no duration and are skipped).
+
+Noise tolerance has three layers, because wall-clock on shared CI
+machines is loud:
+
+* a multiplicative ``threshold`` (default 1.5: flag only >50 % slower);
+* a ``min_seconds`` floor (default 1 ms): timings this small are mostly
+  interpreter jitter and are never flagged;
+* optional ``normalize_by=<entry name>``: every mean is divided by that
+  entry's mean *from the same payload*, cancelling machine speed
+  entirely — CI compares the committed laptop baseline against a slower
+  runner by the machine-independent scalar/vector *ratio* instead of
+  absolute seconds.
+
+Usage::
+
+    python -m repro.obs.regress --baseline benchmarks/baseline_kernels.json \\
+        --current BENCH_kernels.json --threshold 1.5 \\
+        --normalize-by test_bench_scalar_replay
+
+Exit status: 0 clean, 1 regression detected, 2 usage/format error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Flag entries more than this factor slower than baseline.
+DEFAULT_THRESHOLD = 1.5
+
+#: Ignore entries whose baseline and current means are both below this
+#: (seconds) — sub-millisecond timings are noise, not signal.
+DEFAULT_MIN_SECONDS = 1e-3
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One entry that got slower than the watchdog tolerates."""
+
+    name: str
+    baseline: float
+    current: float
+    threshold: float
+
+    @property
+    def ratio(self) -> float:
+        """How many times slower the current run is."""
+        return self.current / self.baseline if self.baseline else float("inf")
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.baseline:.6g} -> {self.current:.6g} "
+            f"({self.ratio:.2f}x, threshold {self.threshold:.2f}x)"
+        )
+
+
+def extract_means(payload: Dict[str, object]) -> Dict[str, float]:
+    """Benchmark means keyed by entry name, from either known format.
+
+    Raises :class:`ValueError` for unrecognised payloads so the CLI can
+    fail loudly instead of "passing" on an empty comparison.
+    """
+    if "benchmarks" in payload:  # pytest-benchmark
+        means: Dict[str, float] = {}
+        for bench in payload["benchmarks"]:
+            stats = bench.get("stats") or {}
+            mean = stats.get("mean")
+            if mean is not None:
+                means[str(bench["name"])] = float(mean)
+        return means
+    if "jobs" in payload:  # repro-run --format json report
+        means = {}
+        for job_id, job in payload["jobs"].items():
+            duration = job.get("duration")
+            if duration is not None and not job.get("from_cache"):
+                means[str(job_id)] = float(duration)
+        return means
+    raise ValueError(
+        "unrecognised benchmark payload: expected pytest-benchmark JSON "
+        "('benchmarks') or a repro-run JSON report ('jobs')"
+    )
+
+
+def _normalize(
+    means: Dict[str, float], reference: Optional[str]
+) -> Dict[str, float]:
+    if reference is None:
+        return dict(means)
+    if reference not in means:
+        raise ValueError(
+            f"normalize-by entry {reference!r} not present "
+            f"(have: {', '.join(sorted(means)) or 'nothing'})"
+        )
+    scale = means[reference]
+    if scale <= 0:
+        raise ValueError(f"normalize-by entry {reference!r} has mean <= 0")
+    return {
+        name: value / scale
+        for name, value in means.items()
+        if name != reference
+    }
+
+
+def compare(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+    normalize_by: Optional[str] = None,
+) -> Tuple[List[Regression], List[str]]:
+    """Pair entries by name and flag slowdowns beyond ``threshold``.
+
+    Returns ``(regressions, compared_names)``.  Only names present in
+    both payloads are compared; with ``normalize_by`` the floor is
+    skipped (normalised values are ratios, not seconds).
+    """
+    if threshold <= 1.0:
+        raise ValueError("threshold must be > 1.0")
+    base = _normalize(baseline, normalize_by)
+    cur = _normalize(current, normalize_by)
+    compared = sorted(set(base) & set(cur))
+    regressions: List[Regression] = []
+    for name in compared:
+        before, after = base[name], cur[name]
+        if normalize_by is None and before < min_seconds and after < min_seconds:
+            continue
+        if before > 0 and after / before > threshold:
+            regressions.append(Regression(name, before, after, threshold))
+    return regressions, compared
+
+
+def _load(path: Path) -> Dict[str, float]:
+    return extract_means(json.loads(path.read_text(encoding="utf-8")))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.regress",
+        description="Compare a benchmark run against a committed baseline.",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, required=True,
+        help="committed baseline payload (pytest-benchmark or repro-run JSON)",
+    )
+    parser.add_argument(
+        "--current", type=Path, required=True,
+        help="freshly produced payload to check",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help=f"slowdown factor tolerated (default {DEFAULT_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--min-seconds", type=float, default=DEFAULT_MIN_SECONDS,
+        help="ignore entries faster than this in both runs "
+             f"(default {DEFAULT_MIN_SECONDS})",
+    )
+    parser.add_argument(
+        "--normalize-by", metavar="NAME",
+        help="divide every mean by this entry's mean from the same "
+             "payload (machine-independent ratio comparison)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        baseline = _load(args.baseline)
+        current = _load(args.current)
+        regressions, compared = compare(
+            baseline,
+            current,
+            threshold=args.threshold,
+            min_seconds=args.min_seconds,
+            normalize_by=args.normalize_by,
+        )
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not compared:
+        print(
+            "error: no common benchmark entries between baseline and "
+            "current payloads",
+            file=sys.stderr,
+        )
+        return 2
+    mode = (
+        f"normalized by {args.normalize_by!r}" if args.normalize_by
+        else "absolute seconds"
+    )
+    print(f"regression watchdog: {len(compared)} entr"
+          f"{'y' if len(compared) == 1 else 'ies'} compared ({mode}, "
+          f"threshold {args.threshold:.2f}x)")
+    for name in compared:
+        print(f"  checked {name}")
+    if regressions:
+        print(f"REGRESSION: {len(regressions)} entr"
+              f"{'y' if len(regressions) == 1 else 'ies'} slower than "
+              "tolerated:", file=sys.stderr)
+        for regression in regressions:
+            print(f"  {regression.describe()}", file=sys.stderr)
+        return 1
+    print("ok: no regressions")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

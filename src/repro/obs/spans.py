@@ -1,0 +1,306 @@
+"""Hierarchical spans with explicit cross-process trace-context propagation.
+
+The plain :class:`~repro.obs.tracer.Tracer` records flat events with a
+per-process monotonic clock — fine inside one process, useless for
+answering "where did the wall-clock of this *suite* go" once the runner
+fans jobs out to a pool.  This module adds the three missing pieces:
+
+* **Span records** — every span has a ``span`` id, a ``parent`` id and
+  a ``trace`` id, forming one tree per run regardless of how many
+  processes contributed records.  Timestamps are wall-clock epoch
+  seconds (so shards from different processes merge onto one timeline)
+  while durations are measured on the monotonic clock (so they stay
+  accurate under NTP slews).
+* **:class:`TraceContext`** — the wire format.  The scheduler opens a
+  span per job, serialises its position with :meth:`TraceContext.to_wire`
+  into the job payload, and the pool worker resumes the tree with
+  :meth:`TraceContext.from_wire`: the worker's ``worker.job`` span is a
+  *child* of the scheduler's ``runner.job`` span even though the two
+  records were written by different processes into different shards.
+* **Ambient instrumentation** — :func:`activate` installs a
+  :class:`SpanTracer` as the current one; deep call sites
+  (kernel batch loops, the S-LATCH/H-LATCH replay phases) use
+  :func:`maybe_span` / :func:`emit_event`, which are no-ops costing one
+  list lookup when tracing is off, so the hot paths stay untouched.
+
+Usage::
+
+    from repro.obs import SpanTracer, Tracer
+
+    spans = SpanTracer(Tracer(shard_dir="trace-out"))
+    with spans.span("suite", jobs=3):
+        wire = spans.context().to_wire()       # -> into the job payload
+        ...
+    # in the worker process:
+    worker = SpanTracer(Tracer(shard_dir="trace-out"),
+                        context=TraceContext.from_wire(wire))
+    with worker.span("worker.job", job="hlatch:gcc"):
+        ...
+
+Record layout (one JSON object per line in the shards)::
+
+    {"ts": <epoch s>, "type": "span_begin", "name": ..., "trace": ...,
+     "span": ..., "parent": ... | null, "pid": ..., **fields}
+    {"ts": ..., "type": "span_close", "name": ..., "trace": ..., "span": ...,
+     "parent": ..., "pid": ..., "duration": <s>, **fields}
+    {"ts": ..., "type": "event", "name": ..., "trace": ..., "span": ...,
+     "pid": ..., **fields}
+
+``repro-trace`` merges the shards, validates the tree (no orphans) and
+exports Chrome trace-event JSON; see :mod:`repro.obs.chrometrace`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+from repro.obs.tracer import Tracer
+
+
+def new_id() -> str:
+    """A 12-hex-digit id, collision-safe across processes."""
+    return os.urandom(6).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """A position in the span tree, serialisable across processes.
+
+    ``trace_id`` identifies the run; ``span_id`` (optional) is the span
+    any continuation should attach to as its parent.
+    """
+
+    trace_id: str
+    span_id: Optional[str] = None
+
+    @classmethod
+    def new(cls) -> "TraceContext":
+        """Start a brand-new trace (no parent span)."""
+        return cls(trace_id=new_id())
+
+    def to_wire(self) -> Dict[str, str]:
+        """Plain-dict form for job payloads / environment hand-off."""
+        wire = {"trace_id": self.trace_id}
+        if self.span_id is not None:
+            wire["span_id"] = self.span_id
+        return wire
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, object]) -> "TraceContext":
+        """Inverse of :meth:`to_wire`; validates the payload shape."""
+        if not isinstance(payload, dict) or "trace_id" not in payload:
+            raise ValueError(
+                f"not a TraceContext wire payload: {payload!r}"
+            )
+        span_id = payload.get("span_id")
+        return cls(
+            trace_id=str(payload["trace_id"]),
+            span_id=None if span_id is None else str(span_id),
+        )
+
+
+@dataclass
+class SpanHandle:
+    """One open span; returned by :meth:`SpanTracer.begin`."""
+
+    name: str
+    span_id: str
+    parent_id: Optional[str]
+    start_wall: float
+    start_mono: float
+    kind: str = "span"
+    finished: bool = False
+
+
+class SpanTracer:
+    """Builds one span tree over a :class:`Tracer` sink.
+
+    Args:
+        sink: record destination (shard-mode for multi-process runs).
+        context: position to continue from (wire-propagated); a fresh
+            trace is started when omitted.
+        flight: optional :class:`~repro.obs.flight.FlightRecorder` that
+            receives a copy of every record (the crash ring buffer).
+        wall_clock / mono_clock / id_factory: injectable for tests and
+            golden-file determinism.
+    """
+
+    def __init__(
+        self,
+        sink: Tracer,
+        context: Optional[TraceContext] = None,
+        flight=None,
+        wall_clock: Callable[[], float] = time.time,
+        mono_clock: Callable[[], float] = time.monotonic,
+        id_factory: Callable[[], str] = new_id,
+        pid: Optional[int] = None,
+    ) -> None:
+        self.sink = sink
+        self.root_context = context or TraceContext.new()
+        self.flight = flight
+        self._wall = wall_clock
+        self._mono = mono_clock
+        self._new_id = id_factory
+        self._pid = pid
+        self._stack: List[SpanHandle] = []
+
+    @property
+    def trace_id(self) -> str:
+        """The run-wide trace id every record is stamped with."""
+        return self.root_context.trace_id
+
+    # ------------------------------------------------------------- records
+
+    def _write(self, record: Dict) -> None:
+        record["trace"] = self.trace_id
+        record["pid"] = self._pid if self._pid is not None else os.getpid()
+        if self.flight is not None:
+            self.flight.record(record)
+        self.sink.write(record)
+
+    def _default_parent(self) -> Optional[str]:
+        if self._stack:
+            return self._stack[-1].span_id
+        return self.root_context.span_id
+
+    # --------------------------------------------------------------- spans
+
+    def begin(
+        self,
+        name: str,
+        parent: Union[SpanHandle, str, None] = None,
+        kind: str = "span",
+        **fields,
+    ) -> SpanHandle:
+        """Open a span without entering it (manual lifecycle).
+
+        The scheduler uses this for per-job spans, which overlap freely
+        while the pool runs them concurrently — a stack cannot represent
+        that, explicit handles can.  ``kind="async"`` marks such spans;
+        the Chrome exporter renders them as async events so overlapping
+        jobs get their own rows.  ``parent`` defaults to the innermost
+        :meth:`span` block (or the wire-propagated context).
+        """
+        if isinstance(parent, SpanHandle):
+            parent_id = parent.span_id
+        elif parent is not None:
+            parent_id = str(parent)
+        else:
+            parent_id = self._default_parent()
+        handle = SpanHandle(
+            name=name,
+            span_id=self._new_id(),
+            parent_id=parent_id,
+            start_wall=self._wall(),
+            start_mono=self._mono(),
+            kind=kind,
+        )
+        record = {
+            "ts": handle.start_wall,
+            "type": "span_begin",
+            "name": name,
+            "span": handle.span_id,
+            "parent": parent_id,
+            "kind": kind,
+        }
+        record.update(fields)
+        self._write(record)
+        return handle
+
+    def finish(self, handle: SpanHandle, **fields) -> None:
+        """Close a span opened with :meth:`begin` (idempotent)."""
+        if handle.finished:
+            return
+        handle.finished = True
+        record = {
+            "ts": self._wall(),
+            "type": "span_close",
+            "name": handle.name,
+            "span": handle.span_id,
+            "parent": handle.parent_id,
+            "kind": handle.kind,
+            "duration": self._mono() - handle.start_mono,
+        }
+        record.update(fields)
+        self._write(record)
+
+    @contextmanager
+    def span(self, name: str, **fields) -> Iterator[SpanHandle]:
+        """Open a nested span around a block (stack-scoped)."""
+        handle = self.begin(name, **fields)
+        self._stack.append(handle)
+        try:
+            yield handle
+        finally:
+            self._stack.pop()
+            self.finish(handle)
+
+    def event(self, name: str, **fields) -> None:
+        """Record a point-in-time event attributed to the current span."""
+        record = {
+            "ts": self._wall(),
+            "type": "event",
+            "name": name,
+            "span": self._default_parent(),
+        }
+        record.update(fields)
+        self._write(record)
+
+    # ------------------------------------------------------------- context
+
+    def context(self, handle: Optional[SpanHandle] = None) -> TraceContext:
+        """The context a continuation (e.g. a pool worker) should resume.
+
+        Defaults to the innermost open :meth:`span`; pass a ``handle``
+        to hand off a manually opened span instead.
+        """
+        span_id = handle.span_id if handle is not None else self._default_parent()
+        return TraceContext(trace_id=self.trace_id, span_id=span_id)
+
+
+# ------------------------------------------------------- ambient tracing
+#
+# Deep call sites (kernels, replay loops) cannot thread a SpanTracer
+# through every signature; they consult the process-local active tracer
+# instead.  The stack is process-local state: a forked worker inherits
+# the parent's entries, so workers install their own tracer on entry
+# (execute_job does) and the inherited one is shadowed.
+
+_ACTIVE: List[SpanTracer] = []
+
+
+def current_tracer() -> Optional[SpanTracer]:
+    """The innermost active :class:`SpanTracer`, or None."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def activate(tracer: SpanTracer) -> Iterator[SpanTracer]:
+    """Install ``tracer`` as the current one for the block."""
+    _ACTIVE.append(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.pop()
+
+
+@contextmanager
+def maybe_span(name: str, **fields) -> Iterator[Optional[SpanHandle]]:
+    """A span on the active tracer, or a no-op when tracing is off."""
+    tracer = current_tracer()
+    if tracer is None:
+        yield None
+        return
+    with tracer.span(name, **fields) as handle:
+        yield handle
+
+
+def emit_event(name: str, **fields) -> None:
+    """An event on the active tracer; no-op when tracing is off."""
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.event(name, **fields)

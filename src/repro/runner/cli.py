@@ -22,11 +22,12 @@ recomputations, and a killed sweep resumes where it left off.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import Dict, List
 
-from repro.obs import Tracer
+from repro.obs import FlightRecorder, SpanTracer, Tracer
 from repro.report import format_snapshot, format_table
 from repro.runner.cache import ResultCache, TraceCache
 from repro.runner.scheduler import Runner, RunnerConfig
@@ -110,8 +111,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the report to a file instead of stdout",
     )
     parser.add_argument(
-        "--trace", type=Path,
-        help="stream JSONL scheduler events to this file",
+        "--trace", type=Path, metavar="DIR",
+        help="write per-process JSONL trace shards (scheduler + every "
+             "pool worker) into this directory; merge and inspect them "
+             "with repro-trace",
     )
     parser.add_argument(
         "--quiet", action="store_true",
@@ -230,6 +233,7 @@ def _render_json(results: Dict[str, JobResult], runner: Runner,
                 "status": result.status,
                 "from_cache": result.from_cache,
                 "attempts": result.attempts,
+                "duration": result.duration,
                 "error": result.error,
                 "snapshot": (
                     result.snapshot.to_dict() if result.snapshot else None
@@ -286,12 +290,27 @@ def main(argv=None) -> int:
             return 2
         config.max_workers = workers
 
-    tracer = Tracer(path=str(args.trace)) if args.trace else None
+    tracer = None
+    spans = None
+    if args.trace:
+        if args.trace.exists() and not args.trace.is_dir():
+            print(
+                f"error: --trace target {args.trace} exists and is not a "
+                "directory (the tracer now writes per-process shards; "
+                "point --trace at a directory)",
+                file=sys.stderr,
+            )
+            return 2
+        tracer = Tracer(shard_dir=str(args.trace))
+        flight = FlightRecorder(
+            path=str(args.trace / f"flight.{os.getpid()}.json")
+        )
+        spans = SpanTracer(tracer, flight=flight)
     runner = Runner(
         cache=None if args.no_cache else ResultCache(args.cache_dir),
         trace_cache=None if args.no_cache else TraceCache(args.cache_dir),
         config=config,
-        tracer=tracer,
+        spans=spans,
         progress=_progress_printer(args.quiet),
     )
     try:
@@ -299,6 +318,12 @@ def main(argv=None) -> int:
     finally:
         if tracer is not None:
             tracer.close()
+            if not args.quiet:
+                print(
+                    f"trace shards in {args.trace} "
+                    f"(inspect with: repro-trace {args.trace})",
+                    file=sys.stderr,
+                )
 
     if args.format == "json":
         text = _render_json(results, runner, args.suites)

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.obs import MetricsRegistry, StatsSnapshot, Tracer
+from repro.obs.spans import SpanHandle, SpanTracer
 from repro.runner.cache import ResultCache, TraceCache
 from repro.runner.specs import JobResult, JobSpec
 from repro.runner.worker import execute_job
@@ -88,12 +89,14 @@ class RunnerConfig:
 class _Attempt:
     """Mutable scheduling state for one pending job."""
 
-    __slots__ = ("spec", "failures", "error")
+    __slots__ = ("spec", "failures", "error", "span")
 
     def __init__(self, spec: JobSpec) -> None:
         self.spec = spec
         self.failures = 0
         self.error: Optional[str] = None
+        #: Open ``runner.job`` span (queue -> final result), when tracing.
+        self.span: Optional[SpanHandle] = None
 
 
 ProgressFn = Callable[[JobResult, int, int], None]
@@ -109,6 +112,7 @@ class Runner:
         config: Optional[RunnerConfig] = None,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        spans: Optional[SpanTracer] = None,
         progress: Optional[ProgressFn] = None,
     ) -> None:
         self.cache = cache
@@ -116,6 +120,9 @@ class Runner:
         self.config = config or RunnerConfig()
         self.registry = registry or MetricsRegistry()
         self.tracer = tracer
+        #: Hierarchical span tracer; when its sink is shard-backed, the
+        #: trace context is wire-propagated into every pool worker.
+        self.spans = spans
         self.progress = progress
         self._build_metrics()
 
@@ -167,6 +174,14 @@ class Runner:
             "runner.job.duration_seconds", unit="seconds",
             description="Per-job execution wall-clock (fresh computations)",
         )
+        self._heartbeat = reg.gauge(
+            "runner.heartbeat", unit="seconds",
+            description="Wall-clock epoch time of the scheduler's last "
+                        "observed progress (submit or result)",
+        )
+
+    def _beat(self) -> None:
+        self._heartbeat.set(time.time())
 
     # ---------------------------------------------------------------- run
 
@@ -185,9 +200,15 @@ class Runner:
                 f"duplicate job ids in batch: {', '.join(duplicates)} "
                 "(run overlapping suites separately)"
             )
+        if self.spans is not None:
+            with self.spans.span("runner.run", jobs=len(specs)):
+                return self._run_batch(specs)
+        return self._run_batch(specs)
 
+    def _run_batch(self, specs: List[JobSpec]) -> Dict[str, JobResult]:
         results: Dict[str, JobResult] = {}
         self._total = len(specs)
+        self._beat()
         pending: List[_Attempt] = []
         for spec in specs:
             self._scheduled.inc()
@@ -201,7 +222,18 @@ class Runner:
                 )
             else:
                 self._cache_misses.inc()
-                pending.append(_Attempt(spec))
+                attempt = _Attempt(spec)
+                if self.spans is not None:
+                    # One async span per job, queue -> final result; the
+                    # worker's spans attach underneath via the wire
+                    # context in the payload.
+                    attempt.span = self.spans.begin(
+                        "runner.job", kind="async",
+                        job=spec.job_id, spec_kind=spec.kind,
+                    )
+                    self.spans.event("runner.job_queued", job=spec.job_id)
+                self._trace("runner.cache_miss", job=spec.job_id)
+                pending.append(attempt)
 
         if pending and self.config.max_workers > 1:
             pending = self._run_parallel(pending, results)
@@ -220,8 +252,13 @@ class Runner:
             max_workers=self.config.max_workers, mp_context=context
         )
 
-    def _payload(self, spec: JobSpec, in_subprocess: bool) -> Dict[str, object]:
-        return {
+    def _payload(
+        self,
+        spec: JobSpec,
+        in_subprocess: bool,
+        span: Optional[SpanHandle] = None,
+    ) -> Dict[str, object]:
+        payload = {
             "spec": spec.to_dict(),
             "trace_cache_dir": (
                 str(self.trace_cache.root.parent)
@@ -230,6 +267,18 @@ class Runner:
             ),
             "in_subprocess": in_subprocess,
         }
+        if (
+            self.spans is not None
+            and span is not None
+            and self.spans.sink.shard_dir is not None
+        ):
+            # Wire-propagate the job span: the worker opens its own
+            # shard in the same directory and continues the tree here.
+            payload["trace"] = {
+                "dir": self.spans.sink.shard_dir,
+                "context": self.spans.context(span).to_wire(),
+            }
+        return payload
 
     def _run_parallel(
         self, pending: List[_Attempt], results: Dict[str, JobResult]
@@ -248,8 +297,14 @@ class Runner:
             for attempt in wave:
                 if attempt.failures:
                     time.sleep(self.config.backoff(attempt.failures))
+                self._trace(
+                    "runner.job_dispatch", job=attempt.spec.job_id,
+                    attempt=attempt.failures + 1,
+                )
+                self._beat()
                 future = executor.submit(
-                    execute_job, self._payload(attempt.spec, True)
+                    execute_job,
+                    self._payload(attempt.spec, True, attempt.span),
                 )
                 submitted[future] = attempt
             broken = False
@@ -300,8 +355,15 @@ class Runner:
             while True:
                 if attempt.failures:
                     time.sleep(self.config.backoff(attempt.failures))
+                self._trace(
+                    "runner.job_dispatch", job=attempt.spec.job_id,
+                    attempt=attempt.failures + 1, serial=True,
+                )
+                self._beat()
                 try:
-                    output = execute_job(self._payload(attempt.spec, False))
+                    output = execute_job(
+                        self._payload(attempt.spec, False, attempt.span)
+                    )
                 except Exception as error:
                     retrying = self._record_failure(
                         attempt, repr(error), None, results
@@ -331,6 +393,11 @@ class Runner:
             "runner.job_done", job=attempt.spec.job_id,
             attempts=attempt.failures + 1, duration=duration,
         )
+        if self.spans is not None and attempt.span is not None:
+            self.spans.finish(
+                attempt.span, status="ok",
+                attempts=attempt.failures + 1, duration=duration,
+            )
         self._finish(
             results,
             JobResult(
@@ -362,6 +429,10 @@ class Runner:
         self._trace(
             "runner.job_failed", job=attempt.spec.job_id, error=error
         )
+        if self.spans is not None and attempt.span is not None:
+            self.spans.finish(
+                attempt.span, status="failed", error=error,
+            )
         self._finish(
             results,
             JobResult(
@@ -373,9 +444,12 @@ class Runner:
 
     def _finish(self, results: Dict[str, JobResult], result: JobResult) -> None:
         results[result.spec.job_id] = result
+        self._beat()
         if self.progress is not None:
             self.progress(result, len(results), self._total)
 
     def _trace(self, name: str, **fields) -> None:
-        if self.tracer is not None:
+        if self.spans is not None:
+            self.spans.event(name, **fields)
+        elif self.tracer is not None:
             self.tracer.event(name, **fields)

@@ -29,9 +29,14 @@ import time
 from pathlib import Path
 from typing import Dict, Optional
 
+from contextlib import ExitStack
+
 from repro.analysis import page_taint_distribution, tainted_instruction_fraction
 from repro.hlatch import run_baseline, run_hlatch
 from repro.obs import MetricsRegistry
+from repro.obs.flight import FlightRecorder
+from repro.obs.spans import SpanTracer, TraceContext, activate, maybe_span
+from repro.obs.tracer import Tracer
 from repro.runner.specs import JobSpec
 from repro.slatch.simulator import measure_hw_rates, simulate_slatch
 from repro.workloads import WorkloadGenerator, get_profile
@@ -48,16 +53,20 @@ def _generator(spec: JobSpec) -> WorkloadGenerator:
 
 def _epoch_stream(spec: JobSpec, generator, trace_cache):
     scale = int(spec.param("epoch_scale", DEFAULT_EPOCH_SCALE))
-    if trace_cache is not None:
-        return trace_cache.epoch_stream(generator, scale)
-    return generator.epoch_stream(scale)
+    with maybe_span("worker.epoch_stream", workload=spec.workload,
+                    scale=scale, cached=trace_cache is not None):
+        if trace_cache is not None:
+            return trace_cache.epoch_stream(generator, scale)
+        return generator.epoch_stream(scale)
 
 
 def _access_trace(spec: JobSpec, generator, trace_cache):
     window = int(spec.param("trace_window", DEFAULT_TRACE_WINDOW))
-    if trace_cache is not None:
-        return trace_cache.access_trace(generator, window)
-    return generator.access_trace(window)
+    with maybe_span("worker.access_trace", workload=spec.workload,
+                    window=window, cached=trace_cache is not None):
+        if trace_cache is not None:
+            return trace_cache.access_trace(generator, window)
+        return generator.access_trace(window)
 
 
 # ------------------------------------------------------------- job kinds
@@ -100,8 +109,10 @@ def _job_page_taint(spec, registry, trace_cache, in_subprocess) -> None:
 def _job_hlatch(spec, registry, trace_cache, in_subprocess) -> None:
     """Tables 6/7 + Figure 16: the filtered and baseline taint caches."""
     trace = _access_trace(spec, _generator(spec), trace_cache)
-    hlatch = run_hlatch(trace)
-    baseline = run_baseline(trace)
+    with maybe_span("worker.hlatch_replay", workload=spec.workload):
+        hlatch = run_hlatch(trace)
+    with maybe_span("worker.baseline_replay", workload=spec.workload):
+        baseline = run_baseline(trace)
     gauges = {
         "hlatch.ctc_miss_percent": (
             hlatch.ctc_miss_percent, "percent",
@@ -196,16 +207,54 @@ _KINDS = {
 }
 
 
+def _open_trace(payload: Dict[str, object], stack: ExitStack):
+    """Resume the scheduler's trace inside this process, if requested.
+
+    The payload's ``trace`` dict carries the shard directory and the
+    wire-serialised :class:`TraceContext` of the job's scheduler-side
+    span; the worker opens its *own* shard (``run.<pid>.jsonl``) there
+    and attaches a flight recorder that dumps the last records on
+    crash — and, for real pool workers, on SIGTERM.
+    """
+    config = payload.get("trace")
+    if not config:
+        return None
+    directory = str(config["dir"])
+    sink = Tracer(shard_dir=directory)
+    stack.callback(sink.close)
+    flight = FlightRecorder(
+        path=os.path.join(directory, f"flight.{os.getpid()}.json")
+    )
+    if payload.get("in_subprocess"):
+        # Serial in-process execution must not steal the host process's
+        # SIGTERM disposition; pool workers own theirs.
+        flight.install()
+        stack.callback(flight.uninstall)
+    spans = SpanTracer(
+        sink,
+        context=TraceContext.from_wire(config["context"]),
+        flight=flight,
+    )
+    stack.enter_context(flight.guard("execute_job"))
+    return spans
+
+
 def execute_job(payload: Dict[str, object]) -> Dict[str, object]:
     """Run one job described by a plain-dict payload.
 
     Payload fields: ``spec`` (a :meth:`JobSpec.to_dict` dict),
-    ``trace_cache_dir`` (optional shared artefact cache directory), and
-    ``in_subprocess`` (whether a hard crash may kill this process).
+    ``trace_cache_dir`` (optional shared artefact cache directory),
+    ``in_subprocess`` (whether a hard crash may kill this process), and
+    optionally ``trace`` (shard directory + wire
+    :class:`~repro.obs.spans.TraceContext`) — when present, the worker
+    continues the scheduler's span tree in its own per-pid shard, with
+    a flight recorder dumping the last spans/events on crash or
+    SIGTERM.
 
     Returns ``{"snapshot": <StatsSnapshot dict>, "duration": seconds,
     "pid": worker pid}``.  Raises on job failure — the scheduler turns
-    exceptions into retries.
+    exceptions into retries.  Tracing never changes the snapshot: a
+    traced run's results are bit-identical to an untraced one.
     """
     spec = JobSpec.from_dict(payload["spec"])
     try:
@@ -222,7 +271,19 @@ def execute_job(payload: Dict[str, object]) -> Dict[str, object]:
 
     started = time.perf_counter()
     registry = MetricsRegistry()
-    run_kind(spec, registry, trace_cache, bool(payload.get("in_subprocess")))
+    with ExitStack() as stack:
+        spans = _open_trace(payload, stack)
+        if spans is not None:
+            stack.enter_context(activate(spans))
+            spans.event("runner.heartbeat", job=spec.job_id, phase="start")
+        with maybe_span("worker.job", job=spec.job_id, job_kind=spec.kind,
+                        workload=spec.workload):
+            run_kind(
+                spec, registry, trace_cache,
+                bool(payload.get("in_subprocess")),
+            )
+        if spans is not None:
+            spans.event("runner.heartbeat", job=spec.job_id, phase="end")
     snapshot = registry.snapshot()
     snapshot.meta.update({"job": spec.to_dict()})
     return {

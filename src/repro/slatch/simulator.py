@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.latch import LatchConfig, LatchModule
 from repro.kernels import record_dispatch, replay_check_memory, resolve_backend
+from repro.obs.spans import maybe_span
 from repro.slatch.costs import SLatchCostModel
 from repro.workloads.profiles import WorkloadProfile
 from repro.workloads.trace import AccessTrace, EpochStream
@@ -179,11 +180,13 @@ def measure_hw_rates(
     if hw_instructions == 0:
         return HwRates(0.0, 0.0)
 
-    if choice == "vector":
-        replay_check_memory(latch, addresses, sizes)
-    else:
-        for index in range(len(addresses)):
-            latch.check_memory(int(addresses[index]), int(sizes[index]))
+    with maybe_span("slatch.hw_replay", backend=choice,
+                    workload=trace.name, accesses=int(len(addresses))):
+        if choice == "vector":
+            replay_check_memory(latch, addresses, sizes)
+        else:
+            for index in range(len(addresses)):
+                latch.check_memory(int(addresses[index]), int(sizes[index]))
     fp = latch.stats.sent_to_precise
     misses = latch.ctc.stats.misses
     return HwRates(
@@ -199,6 +202,17 @@ def simulate_slatch(
     costs: Optional[SLatchCostModel] = None,
 ) -> SLatchReport:
     """Run the mode-switching performance model over an epoch stream."""
+    with maybe_span("slatch.epoch_model", workload=stream.name,
+                    epochs=int(stream.epoch_count)):
+        return _simulate_slatch(profile, stream, rates, costs)
+
+
+def _simulate_slatch(
+    profile: WorkloadProfile,
+    stream: EpochStream,
+    rates: Optional[HwRates] = None,
+    costs: Optional[SLatchCostModel] = None,
+) -> SLatchReport:
     costs = costs if costs is not None else SLatchCostModel()
     rates = rates if rates is not None else HwRates(0.0, 0.0)
     timeout = costs.timeout_instructions

@@ -5,6 +5,9 @@
 * ``python -m repro.tools.run``     — run a toy-ISA program
   (``repro-exec``), optionally under DIFT or S-LATCH monitoring, with
   virtual files as taint sources.
+* ``python -m repro.tools.timeline`` — ``repro-trace``: merge the
+  per-process trace shards left by ``repro-run --trace``, validate the
+  span tree, print a timing summary and export Chrome trace-event JSON.
 
 Experiment *suites* are run by the separate ``repro-run`` entry point
 (:mod:`repro.runner.cli`).

@@ -1,0 +1,292 @@
+"""``repro-trace`` — merge, validate and export runner trace shards.
+
+``repro-run --trace DIR`` leaves one JSONL shard per participating
+process (scheduler + every pool worker) plus any flight-recorder crash
+dumps.  This tool turns the directory into something a human can read::
+
+    repro-trace trace-out                      # terminal summary
+    repro-trace trace-out --check              # span-tree health gate
+    repro-trace trace-out --chrome trace.json  # Perfetto / chrome://tracing
+    repro-trace trace-out --jsonl merged.jsonl # one ordered JSONL timeline
+
+The summary reports the run's makespan, pool utilisation (busy worker
+seconds over ``workers × makespan``), the slowest jobs, the estimated
+wall-clock saved by result-cache hits, and the critical path (the chain
+of most-expensive spans from the root down).  ``--check`` runs the
+structural validation from :func:`repro.obs.chrometrace.validate_spans`
+and exits nonzero on any problem — zero orphaned spans is the contract
+the scheduler/worker propagation upholds.
+
+Exit codes: 0 healthy, 1 validation problems, 2 usage/IO errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.chrometrace import (
+    flight_paths,
+    merge_shards,
+    shard_paths,
+    to_chrome,
+    validate_spans,
+)
+
+#: Jobs listed in the "slowest jobs" table by default.
+DEFAULT_TOP = 5
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Merge, validate and export repro-run trace shards.",
+    )
+    parser.add_argument(
+        "directory",
+        help="trace directory written by repro-run --trace",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="validate the span tree (unclosed/orphaned/duplicate spans) "
+             "and exit 1 on any problem",
+    )
+    parser.add_argument(
+        "--chrome", type=str, metavar="OUT.json",
+        help="export a Chrome trace-event file (load in Perfetto or "
+             "chrome://tracing)",
+    )
+    parser.add_argument(
+        "--jsonl", type=str, metavar="OUT.jsonl",
+        help="write the merged, time-ordered timeline as one JSONL file",
+    )
+    parser.add_argument(
+        "--top", type=int, default=DEFAULT_TOP,
+        help=f"slowest jobs to list in the summary (default {DEFAULT_TOP})",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the terminal summary (exports/checks only)",
+    )
+    return parser
+
+
+# ------------------------------------------------------------- summary
+
+
+def _span_index(records: List[Dict]) -> Tuple[Dict[str, Dict], Dict[str, Dict]]:
+    """``span_id -> begin record`` and ``span_id -> close record``."""
+    begins: Dict[str, Dict] = {}
+    closes: Dict[str, Dict] = {}
+    for record in records:
+        if record.get("type") == "span_begin":
+            begins.setdefault(record.get("span"), record)
+        elif record.get("type") == "span_close":
+            closes.setdefault(record.get("span"), record)
+    return begins, closes
+
+
+def _root_span(begins: Dict[str, Dict]) -> Optional[str]:
+    """The ``runner.run`` root span id (or the earliest parentless span)."""
+    roots = [
+        span_id for span_id, rec in begins.items()
+        if rec.get("parent") is None
+    ]
+    if not roots:
+        return None
+    named = [s for s in roots if begins[s].get("name") == "runner.run"]
+    candidates = named or roots
+    return min(candidates, key=lambda s: begins[s].get("ts", 0.0))
+
+
+def _duration(span_id: str, closes: Dict[str, Dict]) -> float:
+    close = closes.get(span_id)
+    return float(close.get("duration", 0.0)) if close else 0.0
+
+
+def critical_path(
+    begins: Dict[str, Dict], closes: Dict[str, Dict]
+) -> List[Tuple[str, float]]:
+    """Root-to-leaf chain following the most expensive child at each step.
+
+    Returns ``[(span name, duration seconds), ...]`` from the root down.
+    """
+    children: Dict[Optional[str], List[str]] = {}
+    for span_id, rec in begins.items():
+        children.setdefault(rec.get("parent"), []).append(span_id)
+    current = _root_span(begins)
+    path: List[Tuple[str, float]] = []
+    while current is not None:
+        path.append((begins[current].get("name", "?"),
+                     _duration(current, closes)))
+        kids = children.get(current, [])
+        current = max(kids, key=lambda s: _duration(s, closes), default=None)
+    return path
+
+
+def summarize(records: List[Dict]) -> Dict[str, object]:
+    """Aggregate a merged timeline into the summary payload."""
+    begins, closes = _span_index(records)
+    root = _root_span(begins)
+    makespan = _duration(root, closes) if root else 0.0
+    if makespan == 0.0 and records:
+        timestamps = [r.get("ts", 0.0) for r in records]
+        makespan = max(timestamps) - min(timestamps)
+
+    scheduler_pid = None
+    if records:
+        scheduler_pid = min(records, key=lambda r: r.get("ts", 0.0)).get("pid")
+    worker_pids = sorted({
+        r.get("pid") for r in records
+        if r.get("pid") is not None and r.get("pid") != scheduler_pid
+    })
+
+    jobs: List[Dict[str, object]] = []
+    busy = 0.0
+    for span_id, rec in begins.items():
+        name = rec.get("name")
+        if name == "runner.job":
+            close = closes.get(span_id, {})
+            jobs.append({
+                "job": rec.get("job", "?"),
+                "duration": _duration(span_id, closes),
+                "status": close.get("status", "unclosed"),
+                "attempts": close.get("attempts", 1),
+            })
+        elif name == "worker.job":
+            busy += _duration(span_id, closes)
+
+    cache_hits = sum(
+        1 for r in records
+        if r.get("type") == "event" and r.get("name") == "runner.cache_hit"
+    )
+    computed = [j for j in jobs if j["status"] == "ok"]
+    mean_job = (
+        sum(float(j["duration"]) for j in computed) / len(computed)
+        if computed else 0.0
+    )
+
+    effective_workers = max(1, len(worker_pids))
+    utilization = (
+        busy / (effective_workers * makespan) if makespan > 0 else 0.0
+    )
+    return {
+        "makespan": makespan,
+        "scheduler_pid": scheduler_pid,
+        "worker_pids": worker_pids,
+        "jobs": sorted(jobs, key=lambda j: -float(j["duration"])),
+        "busy_seconds": busy,
+        "utilization": utilization,
+        "cache_hits": cache_hits,
+        "cache_saved_estimate": cache_hits * mean_job,
+        "critical_path": critical_path(begins, closes),
+        "records": len(records),
+    }
+
+
+def format_summary(summary: Dict[str, object], top: int = DEFAULT_TOP) -> str:
+    """Render :func:`summarize` output for the terminal."""
+    lines = [
+        f"records        : {summary['records']}",
+        f"makespan       : {summary['makespan']:.3f}s",
+        f"processes      : scheduler {summary['scheduler_pid']} + "
+        f"{len(summary['worker_pids'])} worker(s)",
+        f"pool busy time : {summary['busy_seconds']:.3f}s "
+        f"(utilisation {100.0 * summary['utilization']:.1f}%)",
+        f"cache hits     : {summary['cache_hits']} "
+        f"(saved ~{summary['cache_saved_estimate']:.3f}s at the mean "
+        f"computed-job cost)",
+    ]
+    jobs = summary["jobs"]
+    if jobs:
+        lines.append("slowest jobs   :")
+        for job in jobs[:top]:
+            lines.append(
+                f"  {job['duration']:8.3f}s  {job['job']} "
+                f"[{job['status']}, attempt {job['attempts']}]"
+            )
+    path = summary["critical_path"]
+    if path:
+        chain = "  ->  ".join(
+            f"{name} ({duration:.3f}s)" for name, duration in path
+        )
+        lines.append(f"critical path  : {chain}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------- CLI
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    try:
+        records = merge_shards(args.directory)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: unreadable shard: {error}", file=sys.stderr)
+        return 2
+
+    status = 0
+    problems = validate_spans(records)
+    if args.check:
+        for problem in problems:
+            print(f"check: {problem}", file=sys.stderr)
+        if problems:
+            status = 1
+        elif not args.quiet:
+            print(f"check: ok ({len(records)} records, "
+                  f"{len(shard_paths(args.directory))} shard(s))",
+                  file=sys.stderr)
+
+    dumps = flight_paths(args.directory)
+    if dumps and not args.quiet:
+        for path in dumps:
+            try:
+                with open(path, "r") as handle:
+                    payload = json.load(handle)
+                print(
+                    f"flight dump    : {path} "
+                    f"(pid {payload.get('pid')}, "
+                    f"reason {payload.get('reason')!r}, "
+                    f"{len(payload.get('records', []))} records)",
+                    file=sys.stderr,
+                )
+            except (OSError, json.JSONDecodeError) as error:
+                print(f"flight dump    : {path} (unreadable: {error})",
+                      file=sys.stderr)
+
+    if args.jsonl:
+        with open(args.jsonl, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        if not args.quiet:
+            print(f"wrote {args.jsonl}", file=sys.stderr)
+
+    if args.chrome:
+        document = to_chrome(records)
+        with open(args.chrome, "w") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+        if not args.quiet:
+            print(
+                f"wrote {args.chrome} "
+                f"({len(document['traceEvents'])} trace events; load in "
+                "Perfetto or chrome://tracing)",
+                file=sys.stderr,
+            )
+
+    if not args.quiet:
+        print(format_summary(summarize(records), top=args.top))
+    return status
+
+
+def cli() -> None:  # pragma: no cover - console-script shim
+    raise SystemExit(main())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,373 @@
+"""Span tracing: context propagation, flight recorder, shard safety.
+
+Covers the cross-process tracing contract end to end: spans nest and
+carry parent/trace ids, a :class:`TraceContext` survives the wire, the
+flight recorder dumps on crash and SIGTERM, shard files tolerate
+truncated tails, and a traced runner run (serial *and* pool) produces a
+healthy span tree whose worker spans hang under the scheduler's job
+spans — with bit-identical results to an untraced run.
+"""
+
+import json
+import os
+import signal
+
+import pytest
+
+from repro.obs import (
+    FlightRecorder,
+    SpanTracer,
+    TraceContext,
+    Tracer,
+)
+from repro.obs.chrometrace import merge_shards, validate_spans
+from repro.obs.spans import activate, current_tracer, emit_event, maybe_span
+from repro.obs.tracer import read_jsonl
+from repro.runner import (
+    ResultCache,
+    Runner,
+    RunnerConfig,
+    TraceCache,
+    suite_jobs,
+)
+
+EPOCH_SCALE = 120_000
+TRACE_WINDOW = 3_000
+
+
+def _smoke_jobs(seed=0):
+    return suite_jobs(
+        "smoke", epoch_scale=EPOCH_SCALE, trace_window=TRACE_WINDOW, seed=seed
+    )
+
+
+def _deterministic_tracer(sink, prefix="s", **kwargs):
+    wall = iter(float(i) for i in range(1, 1000))
+    mono = iter(float(i) for i in range(1, 1000))
+    ids = iter(f"{prefix}{i:03d}" for i in range(1000))
+    return SpanTracer(
+        sink,
+        wall_clock=lambda: next(wall),
+        mono_clock=lambda: next(mono),
+        id_factory=lambda: next(ids),
+        pid=4242,
+        **kwargs,
+    )
+
+
+class TestTraceContext:
+    def test_wire_roundtrip(self):
+        context = TraceContext(trace_id="abc123", span_id="def456")
+        assert TraceContext.from_wire(context.to_wire()) == context
+
+    def test_wire_roundtrip_without_span(self):
+        context = TraceContext.new()
+        wire = context.to_wire()
+        assert "span_id" not in wire
+        assert TraceContext.from_wire(wire) == context
+
+    def test_from_wire_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            TraceContext.from_wire("not a dict")
+        with pytest.raises(ValueError):
+            TraceContext.from_wire({"span_id": "x"})  # no trace_id
+
+    def test_new_contexts_are_distinct(self):
+        assert TraceContext.new().trace_id != TraceContext.new().trace_id
+
+
+class TestSpanTracer:
+    def test_nested_spans_carry_parent_chain(self):
+        sink = Tracer()
+        spans = _deterministic_tracer(sink)
+        with spans.span("outer") as outer:
+            with spans.span("inner") as inner:
+                spans.event("tick", detail=1)
+        records = sink.records()
+        begins = {r["name"]: r for r in records if r["type"] == "span_begin"}
+        assert begins["outer"]["parent"] is None
+        assert begins["inner"]["parent"] == outer.span_id
+        (event,) = [r for r in records if r["type"] == "event"]
+        assert event["span"] == inner.span_id
+        assert {r["trace"] for r in records} == {spans.trace_id}
+        assert {r["pid"] for r in records} == {4242}
+
+    def test_close_records_duration_and_fields(self):
+        sink = Tracer()
+        spans = _deterministic_tracer(sink)
+        handle = spans.begin("job", kind="async", job="hlatch:gcc")
+        spans.finish(handle, status="ok")
+        begin, close = sink.records()
+        assert begin["kind"] == "async"
+        assert begin["job"] == "hlatch:gcc"
+        assert close["type"] == "span_close"
+        assert close["status"] == "ok"
+        assert close["duration"] == pytest.approx(1.0)  # ticks 1 -> 2
+
+    def test_finish_is_idempotent(self):
+        sink = Tracer()
+        spans = _deterministic_tracer(sink)
+        handle = spans.begin("job")
+        spans.finish(handle)
+        spans.finish(handle)
+        assert len(sink.records()) == 2
+
+    def test_manual_spans_overlap_freely(self):
+        sink = Tracer()
+        spans = _deterministic_tracer(sink)
+        first = spans.begin("job", kind="async")
+        second = spans.begin("job", kind="async")
+        spans.finish(first)
+        spans.finish(second)
+        assert first.span_id != second.span_id
+        assert validate_spans(sink.records()) == []
+
+    def test_context_resumes_across_tracers(self):
+        scheduler_sink = Tracer()
+        scheduler = _deterministic_tracer(scheduler_sink)
+        handle = scheduler.begin("runner.job", kind="async")
+        wire = scheduler.context(handle).to_wire()
+
+        worker_sink = Tracer()
+        worker = _deterministic_tracer(
+            worker_sink, prefix="w", context=TraceContext.from_wire(wire)
+        )
+        with worker.span("worker.job"):
+            pass
+        scheduler.finish(handle)
+
+        merged = scheduler_sink.records() + worker_sink.records()
+        assert validate_spans(merged) == []
+        worker_begin = [
+            r for r in worker_sink.records() if r["type"] == "span_begin"
+        ][0]
+        assert worker_begin["parent"] == handle.span_id
+        assert worker_begin["trace"] == scheduler.trace_id
+
+
+class TestAmbientTracing:
+    def test_no_active_tracer_is_a_noop(self):
+        assert current_tracer() is None
+        with maybe_span("anything") as handle:
+            assert handle is None
+        emit_event("anything")  # must not raise
+
+    def test_activate_routes_to_tracer(self):
+        sink = Tracer()
+        spans = _deterministic_tracer(sink)
+        with activate(spans) as active:
+            assert current_tracer() is active
+            with maybe_span("phase", workload="gcc") as handle:
+                assert handle is not None
+                emit_event("kernels.batch", items=7)
+        assert current_tracer() is None
+        names = [r["name"] for r in sink.records()]
+        assert names == ["phase", "kernels.batch", "phase"]
+
+    def test_activation_nests(self):
+        a = _deterministic_tracer(Tracer())
+        b = _deterministic_tracer(Tracer())
+        with activate(a):
+            with activate(b):
+                assert current_tracer() is b
+            assert current_tracer() is a
+
+
+class TestFlightRecorder:
+    def test_ring_drops_oldest(self):
+        flight = FlightRecorder(capacity=3)
+        for index in range(5):
+            flight.record({"n": index})
+        assert [r["n"] for r in flight.snapshot()] == [2, 3, 4]
+        assert flight.dropped == 2
+        assert len(flight) == 3
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_dump_is_self_describing(self, tmp_path):
+        path = tmp_path / "flight.1.json"
+        flight = FlightRecorder(capacity=2, path=str(path))
+        flight.record({"n": 1})
+        written = flight.dump(reason="unit-test")
+        payload = json.loads(path.read_text())
+        assert written == str(path)
+        assert payload["reason"] == "unit-test"
+        assert payload["pid"] == os.getpid()
+        assert payload["dropped"] == 0
+        assert payload["records"] == [{"n": 1}]
+
+    def test_dump_without_path_raises(self):
+        with pytest.raises(ValueError):
+            FlightRecorder().dump()
+
+    def test_guard_dumps_on_exception_and_reraises(self, tmp_path):
+        path = tmp_path / "flight.2.json"
+        flight = FlightRecorder(path=str(path))
+        flight.record({"n": 7})
+        with pytest.raises(RuntimeError, match="boom"):
+            with flight.guard("job x"):
+                raise RuntimeError("boom")
+        payload = json.loads(path.read_text())
+        assert "boom" in payload["reason"]
+        assert "job x" in payload["reason"]
+
+    def test_guard_without_failure_writes_nothing(self, tmp_path):
+        path = tmp_path / "flight.3.json"
+        with FlightRecorder(path=str(path)).guard("quiet"):
+            pass
+        assert not path.exists()
+
+    def test_sigterm_dumps_then_exits(self, tmp_path):
+        path = tmp_path / "flight.4.json"
+        flight = FlightRecorder(path=str(path))
+        flight.record({"last": "words"})
+        assert flight.install() is True
+        try:
+            with pytest.raises(SystemExit) as excinfo:
+                os.kill(os.getpid(), signal.SIGTERM)
+            assert excinfo.value.code == 128 + signal.SIGTERM
+        finally:
+            flight.uninstall()
+        payload = json.loads(path.read_text())
+        assert payload["reason"] == f"signal:{signal.SIGTERM}"
+        assert payload["records"] == [{"last": "words"}]
+
+    def test_spantracer_tees_into_flight(self):
+        flight = FlightRecorder(capacity=8)
+        spans = _deterministic_tracer(Tracer(), flight=flight)
+        with spans.span("phase"):
+            spans.event("tick")
+        assert [r["name"] for r in flight.snapshot()] == [
+            "phase", "tick", "phase",
+        ]
+
+
+class TestShardTracer:
+    def test_writes_per_pid_shard(self, tmp_path):
+        with Tracer(shard_dir=str(tmp_path)) as tracer:
+            tracer.write({"ts": 1.0, "type": "event", "name": "x"})
+        shard = tmp_path / f"run.{os.getpid()}.jsonl"
+        assert shard.exists()
+        assert read_jsonl(str(shard)) == [
+            {"ts": 1.0, "type": "event", "name": "x"}
+        ]
+
+    def test_path_and_shard_dir_are_exclusive(self, tmp_path):
+        with pytest.raises(ValueError):
+            Tracer(path=str(tmp_path / "a.jsonl"), shard_dir=str(tmp_path))
+
+    def test_two_writers_one_file_interleave_whole_lines(self, tmp_path):
+        first = Tracer(shard_dir=str(tmp_path))
+        second = Tracer(shard_dir=str(tmp_path))
+        for index in range(50):
+            first.write({"writer": 1, "n": index})
+            second.write({"writer": 2, "n": index})
+        first.close()
+        second.close()
+        records = read_jsonl(str(tmp_path / f"run.{os.getpid()}.jsonl"))
+        assert len(records) == 100
+        for writer in (1, 2):
+            ours = [r["n"] for r in records if r["writer"] == writer]
+            assert ours == list(range(50))
+
+
+class TestReadJsonlTruncation:
+    def test_truncated_final_line_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "run.1.jsonl"
+        path.write_text('{"n": 1}\n{"n": 2}\n{"n": 3, "tru')
+        with pytest.warns(RuntimeWarning, match="truncated final line"):
+            records = read_jsonl(str(path))
+        assert records == [{"n": 1}, {"n": 2}]
+
+    def test_interior_corruption_raises(self, tmp_path):
+        path = tmp_path / "run.2.jsonl"
+        path.write_text('{"n": 1}\n{broken\n{"n": 3}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(str(path))
+
+    def test_strict_mode_raises_on_truncated_tail(self, tmp_path):
+        path = tmp_path / "run.3.jsonl"
+        path.write_text('{"n": 1}\n{"n": 2, "tru')
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(str(path), strict=True)
+
+
+def _traced_runner(tmp_path, workers, trace_subdir):
+    trace_dir = tmp_path / trace_subdir
+    sink = Tracer(shard_dir=str(trace_dir))
+    spans = SpanTracer(sink)
+    runner = Runner(
+        cache=ResultCache(tmp_path / "cache"),
+        trace_cache=TraceCache(tmp_path / "cache"),
+        config=RunnerConfig(
+            max_workers=workers, backoff_base=0.0, backoff_max=0.0
+        ),
+        spans=spans,
+    )
+    return runner, sink, trace_dir
+
+
+class TestRunnerPropagation:
+    def _assert_healthy_tree(self, records):
+        assert validate_spans(records) == []
+        job_spans = {
+            r["span"] for r in records
+            if r["type"] == "span_begin" and r["name"] == "runner.job"
+        }
+        worker_begins = [
+            r for r in records
+            if r["type"] == "span_begin" and r["name"] == "worker.job"
+        ]
+        assert worker_begins, "worker.job spans missing from the trace"
+        for begin in worker_begins:
+            assert begin["parent"] in job_spans
+        traces = {r["trace"] for r in records if "trace" in r}
+        assert len(traces) == 1
+
+    def test_serial_run_produces_healthy_tree(self, tmp_path):
+        runner, sink, trace_dir = _traced_runner(tmp_path, 1, "trace")
+        results = runner.run(_smoke_jobs())
+        sink.close()
+        assert all(r.ok for r in results.values())
+        self._assert_healthy_tree(merge_shards(str(trace_dir)))
+
+    def test_pool_run_produces_healthy_tree(self, tmp_path):
+        runner, sink, trace_dir = _traced_runner(tmp_path, 2, "trace")
+        results = runner.run(_smoke_jobs())
+        sink.close()
+        assert all(r.ok for r in results.values())
+        records = merge_shards(str(trace_dir))
+        self._assert_healthy_tree(records)
+        pids = {r["pid"] for r in records}
+        assert len(pids) >= 2, "expected worker processes in the trace"
+
+    def test_cache_hits_traced_without_job_spans(self, tmp_path):
+        warm_runner, _, _ = _traced_runner(tmp_path, 1, "cold")
+        warm_runner.run(_smoke_jobs())
+        runner, sink, trace_dir = _traced_runner(tmp_path, 1, "warm")
+        results = runner.run(_smoke_jobs())
+        sink.close()
+        assert all(r.from_cache for r in results.values())
+        records = merge_shards(str(trace_dir))
+        assert validate_spans(records) == []
+        hits = [r for r in records if r.get("name") == "runner.cache_hit"]
+        assert len(hits) == len(results)
+        assert not [r for r in records if r.get("name") == "runner.job"]
+
+    def test_tracing_does_not_change_results(self, tmp_path):
+        plain = Runner(
+            config=RunnerConfig(max_workers=1, backoff_base=0.0,
+                                backoff_max=0.0),
+        )
+        baseline = plain.run(_smoke_jobs())
+        traced_runner, sink, _ = _traced_runner(tmp_path, 1, "trace")
+        traced = traced_runner.run(_smoke_jobs())
+        sink.close()
+        assert sorted(baseline) == sorted(traced)
+        for job_id in baseline:
+            assert (
+                baseline[job_id].snapshot.to_dict()
+                == traced[job_id].snapshot.to_dict()
+            )

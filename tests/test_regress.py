@@ -1,0 +1,181 @@
+"""Perf-regression watchdog: format handling, thresholds, CLI gates.
+
+The synthetic cases pin the contract (a 2x slowdown is flagged at the
+default 1.5x threshold, noise under the floor is not); the final test
+runs the real committed kernel baseline against itself through the
+exact CLI invocation CI uses, so the checked-in file can never go
+stale-incompatible silently.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.regress import (
+    DEFAULT_THRESHOLD,
+    Regression,
+    compare,
+    extract_means,
+    main,
+)
+
+BASELINE = Path(__file__).parent.parent / "benchmarks" / "baseline_kernels.json"
+
+
+def _pytest_payload(**means):
+    return {
+        "benchmarks": [
+            {"name": name, "stats": {"mean": mean}}
+            for name, mean in means.items()
+        ]
+    }
+
+
+def _runner_payload(**jobs):
+    return {
+        "jobs": {
+            name: {"status": "ok", "from_cache": False, "duration": duration}
+            for name, duration in jobs.items()
+        }
+    }
+
+
+class TestExtractMeans:
+    def test_pytest_benchmark_format(self):
+        means = extract_means(_pytest_payload(scalar=0.2, vector=0.01))
+        assert means == {"scalar": 0.2, "vector": 0.01}
+
+    def test_runner_report_format(self):
+        payload = _runner_payload(a=1.5, b=0.5)
+        payload["jobs"]["cached"] = {
+            "status": "ok", "from_cache": True, "duration": 0.0,
+        }
+        assert extract_means(payload) == {"a": 1.5, "b": 0.5}
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError, match="unrecognised"):
+            extract_means({"something": "else"})
+
+    def test_entries_without_mean_skipped(self):
+        payload = {"benchmarks": [{"name": "x", "stats": {}}]}
+        assert extract_means(payload) == {}
+
+
+class TestCompare:
+    def test_two_x_slowdown_flagged(self):
+        regressions, compared = compare(
+            {"kernel": 0.1}, {"kernel": 0.2}, threshold=DEFAULT_THRESHOLD
+        )
+        assert compared == ["kernel"]
+        (regression,) = regressions
+        assert regression.name == "kernel"
+        assert regression.ratio == pytest.approx(2.0)
+        assert "2.00x" in regression.describe()
+
+    def test_slowdown_within_threshold_passes(self):
+        regressions, _ = compare({"kernel": 0.1}, {"kernel": 0.12})
+        assert regressions == []
+
+    def test_speedup_passes(self):
+        regressions, _ = compare({"kernel": 0.2}, {"kernel": 0.05})
+        assert regressions == []
+
+    def test_min_seconds_floor_mutes_tiny_timings(self):
+        regressions, _ = compare(
+            {"jitter": 1e-6}, {"jitter": 5e-6}, min_seconds=1e-3
+        )
+        assert regressions == []
+
+    def test_floor_does_not_mute_slow_entries(self):
+        regressions, _ = compare(
+            {"real": 0.5}, {"real": 2.0}, min_seconds=1e-3
+        )
+        assert len(regressions) == 1
+
+    def test_only_common_entries_compared(self):
+        regressions, compared = compare(
+            {"a": 0.1, "old": 0.1}, {"a": 0.1, "new": 9.9}
+        )
+        assert compared == ["a"]
+        assert regressions == []
+
+    def test_threshold_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            compare({"a": 1.0}, {"a": 1.0}, threshold=1.0)
+
+    def test_normalize_cancels_machine_speed(self):
+        baseline = {"scalar": 0.2, "vector": 0.01}
+        slower_machine = {"scalar": 0.4, "vector": 0.02}  # uniformly 2x
+        regressions, compared = compare(
+            baseline, slower_machine, normalize_by="scalar"
+        )
+        assert compared == ["vector"]
+        assert regressions == []
+
+    def test_normalize_still_catches_relative_regression(self):
+        baseline = {"scalar": 0.2, "vector": 0.01}
+        vector_only_regression = {"scalar": 0.2, "vector": 0.04}
+        regressions, _ = compare(
+            baseline, vector_only_regression, normalize_by="scalar"
+        )
+        (regression,) = regressions
+        assert regression.name == "vector"
+        assert regression.ratio == pytest.approx(4.0)
+
+    def test_normalize_missing_reference_raises(self):
+        with pytest.raises(ValueError, match="not present"):
+            compare({"a": 1.0}, {"a": 1.0}, normalize_by="ghost")
+
+
+class TestCli:
+    def _write(self, path, payload):
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        base = self._write(tmp_path / "b.json", _pytest_payload(k=0.1))
+        cur = self._write(tmp_path / "c.json", _pytest_payload(k=0.11))
+        assert main(["--baseline", base, "--current", cur]) == 0
+        assert "ok: no regressions" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        base = self._write(tmp_path / "b.json", _pytest_payload(k=0.1))
+        cur = self._write(tmp_path / "c.json", _pytest_payload(k=0.2))
+        assert main(["--baseline", base, "--current", cur]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        cur = self._write(tmp_path / "c.json", _pytest_payload(k=0.1))
+        status = main([
+            "--baseline", str(tmp_path / "missing.json"), "--current", cur,
+        ])
+        assert status == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_disjoint_entries_exit_two(self, tmp_path, capsys):
+        base = self._write(tmp_path / "b.json", _pytest_payload(old=0.1))
+        cur = self._write(tmp_path / "c.json", _pytest_payload(new=0.1))
+        assert main(["--baseline", base, "--current", cur]) == 2
+        assert "no common" in capsys.readouterr().err
+
+    def test_mixed_formats_compare(self, tmp_path):
+        base = self._write(tmp_path / "b.json", _runner_payload(job=1.0))
+        cur = self._write(tmp_path / "c.json", _pytest_payload(job=0.9))
+        assert main(["--baseline", base, "--current", cur]) == 0
+
+
+class TestCommittedBaseline:
+    def test_baseline_parses(self):
+        means = extract_means(json.loads(BASELINE.read_text()))
+        assert "test_bench_scalar_replay" in means
+        assert "test_bench_vector_replay" in means
+        assert all(mean > 0 for mean in means.values())
+
+    def test_baseline_against_itself_passes_ci_invocation(self):
+        status = main([
+            "--baseline", str(BASELINE),
+            "--current", str(BASELINE),
+            "--normalize-by", "test_bench_scalar_replay",
+        ])
+        assert status == 0

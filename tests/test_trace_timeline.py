@@ -1,0 +1,217 @@
+"""``repro-trace``: merging, validation, Chrome export, summary, CLI.
+
+A fully deterministic two-process trace (injected clocks, ids and pids)
+is rebuilt for every test and compared against the committed golden
+Chrome export in ``tests/golden/chrome_trace.json`` — any change to the
+export format shows up as a readable JSON diff.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import SpanTracer, TraceContext, Tracer
+from repro.obs.chrometrace import (
+    merge_shards,
+    shard_paths,
+    to_chrome,
+    validate_spans,
+)
+from repro.tools import timeline
+
+GOLDEN = Path(__file__).parent / "golden" / "chrome_trace.json"
+
+
+def _clock(start, step=0.5):
+    state = {"t": start - step}
+
+    def tick():
+        state["t"] += step
+        return state["t"]
+
+    return tick
+
+
+def build_trace(directory):
+    """A deterministic scheduler + one-worker trace, as shard files.
+
+    Both tracers run in this process, so they share one shard file —
+    which doubles as coverage for concurrent same-file appends.  The
+    record pids are injected (100 = scheduler, 200 = worker).
+    """
+    sink = Tracer(shard_dir=str(directory))
+    scheduler = SpanTracer(
+        sink,
+        context=TraceContext(trace_id="trace0"),
+        wall_clock=_clock(1000.0),
+        mono_clock=_clock(0.0),
+        id_factory=iter(f"sched{i}" for i in range(100)).__next__,
+        pid=100,
+    )
+    with scheduler.span("runner.run", jobs=2):
+        job_a = scheduler.begin("runner.job", kind="async", job="hlatch:gcc")
+        job_b = scheduler.begin("runner.job", kind="async", job="hlatch:curl")
+        scheduler.event("runner.job_dispatch", job="hlatch:gcc")
+
+        worker_sink = Tracer(shard_dir=str(directory))
+        worker = SpanTracer(
+            worker_sink,
+            context=TraceContext.from_wire(
+                scheduler.context(job_a).to_wire()
+            ),
+            wall_clock=_clock(1001.0),
+            mono_clock=_clock(50.0),
+            id_factory=iter(f"work{i}" for i in range(100)).__next__,
+            pid=200,
+        )
+        with worker.span("worker.job", job="hlatch:gcc"):
+            worker.event("kernels.batch", kernel="classify", items=3000)
+        worker_sink.close()
+
+        scheduler.finish(job_a, status="ok", duration=1.5)
+        scheduler.finish(job_b, status="ok", duration=0.5)
+    sink.close()
+    return directory
+
+
+class TestMergeAndValidate:
+    def test_merge_orders_by_timestamp(self, tmp_path):
+        records = merge_shards(str(build_trace(tmp_path)))
+        timestamps = [r["ts"] for r in records]
+        assert timestamps == sorted(timestamps)
+        assert len(shard_paths(str(tmp_path))) == 1
+
+    def test_merge_without_shards_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            merge_shards(str(tmp_path))
+
+    def test_built_trace_is_healthy(self, tmp_path):
+        assert validate_spans(merge_shards(str(build_trace(tmp_path)))) == []
+
+    def test_validate_flags_unclosed_span(self):
+        records = [
+            {"ts": 1.0, "type": "span_begin", "name": "a", "span": "x",
+             "parent": None},
+        ]
+        (problem,) = validate_spans(records)
+        assert "never closed" in problem
+
+    def test_validate_flags_orphaned_parent(self):
+        records = [
+            {"ts": 1.0, "type": "span_begin", "name": "a", "span": "x",
+             "parent": "ghost"},
+            {"ts": 2.0, "type": "span_close", "name": "a", "span": "x",
+             "parent": "ghost", "duration": 1.0},
+        ]
+        problems = validate_spans(records)
+        assert any("orphaned" in p for p in problems)
+
+    def test_validate_flags_duplicate_and_unmatched_close(self):
+        records = [
+            {"ts": 1.0, "type": "span_begin", "name": "a", "span": "x",
+             "parent": None},
+            {"ts": 1.5, "type": "span_begin", "name": "b", "span": "x",
+             "parent": None},
+            {"ts": 2.0, "type": "span_close", "name": "c", "span": "y",
+             "parent": None, "duration": 1.0},
+        ]
+        problems = validate_spans(records)
+        assert any("duplicate" in p for p in problems)
+        assert any("without begin" in p for p in problems)
+
+
+class TestChromeExport:
+    def test_matches_golden(self, tmp_path):
+        records = merge_shards(str(build_trace(tmp_path)))
+        document = to_chrome(records, scheduler_pid=100)
+        assert document == json.loads(GOLDEN.read_text())
+
+    def test_process_labels(self, tmp_path):
+        records = merge_shards(str(build_trace(tmp_path)))
+        document = to_chrome(records, scheduler_pid=100)
+        labels = {
+            e["pid"]: e["args"]["name"]
+            for e in document["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert labels == {100: "scheduler (100)", 200: "worker (200)"}
+
+    def test_async_spans_become_b_e_pairs(self, tmp_path):
+        records = merge_shards(str(build_trace(tmp_path)))
+        events = to_chrome(records)["traceEvents"]
+        async_phases = [e["ph"] for e in events if e.get("cat") == "async"]
+        assert sorted(async_phases) == ["b", "b", "e", "e"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"runner.run", "worker.job"}
+
+    def test_empty_records(self):
+        assert to_chrome([]) == {"traceEvents": [], "displayTimeUnit": "ms"}
+
+
+class TestSummary:
+    def test_summary_aggregates(self, tmp_path):
+        records = merge_shards(str(build_trace(tmp_path)))
+        summary = timeline.summarize(records)
+        assert summary["scheduler_pid"] == 100
+        assert summary["worker_pids"] == [200]
+        assert [j["job"] for j in summary["jobs"]] == [
+            "hlatch:gcc", "hlatch:curl",
+        ]
+        assert summary["jobs"][0]["status"] == "ok"
+        assert summary["cache_hits"] == 0
+        path_names = [name for name, _ in summary["critical_path"]]
+        assert path_names[0] == "runner.run"
+        assert "runner.job" in path_names
+
+    def test_format_summary_mentions_key_lines(self, tmp_path):
+        records = merge_shards(str(build_trace(tmp_path)))
+        text = timeline.format_summary(timeline.summarize(records))
+        assert "makespan" in text
+        assert "critical path" in text
+        assert "hlatch:gcc" in text
+
+
+class TestCli:
+    def test_check_and_chrome_export(self, tmp_path, capsys):
+        build_trace(tmp_path / "trace")
+        out = tmp_path / "chrome.json"
+        status = timeline.main([
+            str(tmp_path / "trace"), "--check", "--chrome", str(out),
+        ])
+        assert status == 0
+        assert json.loads(out.read_text())["displayTimeUnit"] == "ms"
+        captured = capsys.readouterr()
+        assert "check: ok" in captured.err
+        assert "critical path" in captured.out
+
+    def test_jsonl_export(self, tmp_path):
+        build_trace(tmp_path / "trace")
+        out = tmp_path / "merged.jsonl"
+        assert timeline.main(
+            [str(tmp_path / "trace"), "--jsonl", str(out), "--quiet"]
+        ) == 0
+        lines = [json.loads(l) for l in out.read_text().splitlines()]
+        assert lines == merge_shards(str(tmp_path / "trace"))
+
+    def test_check_fails_on_broken_tree(self, tmp_path, capsys):
+        shard = tmp_path / "run.1.jsonl"
+        shard.write_text(json.dumps({
+            "ts": 1.0, "type": "span_begin", "name": "lonely",
+            "span": "x", "parent": None,
+        }) + "\n")
+        assert timeline.main([str(tmp_path), "--check"]) == 1
+        assert "never closed" in capsys.readouterr().err
+
+    def test_missing_directory_is_usage_error(self, tmp_path, capsys):
+        assert timeline.main([str(tmp_path / "nope")]) == 2
+        assert "no trace shards" in capsys.readouterr().err
+
+    def test_flight_dumps_reported(self, tmp_path, capsys):
+        build_trace(tmp_path)
+        (tmp_path / "flight.200.json").write_text(json.dumps({
+            "reason": "signal:15", "pid": 200, "dropped": 0,
+            "records": [{"n": 1}],
+        }))
+        assert timeline.main([str(tmp_path)]) == 0
+        assert "signal:15" in capsys.readouterr().err
