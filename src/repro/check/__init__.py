@@ -1,0 +1,45 @@
+"""Property-based differential checking of the LATCH stack.
+
+The paper's headline accuracy claim — LATCH "implements this policy
+without sacrificing the accuracy of DIFT" (Section 1, Figure 1) — is a
+*soundness* property: the coarse state must remain a superset of the
+precise state, so a clean coarse answer can never hide a tainted byte.
+This package turns that claim into an executable oracle:
+
+* :mod:`repro.check.generator` — a seeded random program generator over
+  the toy ISA, biased toward the hazards where the superset invariant
+  is hardest to maintain (domain/page-boundary straddling, taint-clear
+  storms, mode ping-pong, CTC eviction pressure, syscall taint).
+* :mod:`repro.check.oracle` — runs each program through byte-precise
+  DIFT and every LATCH-gated path (core module under both clear
+  disciplines, S-LATCH, H-LATCH, scalar and vector kernel replays) and
+  asserts no-false-negatives plus final-state equivalence, validating
+  :meth:`repro.core.latch.LatchModule.check_invariants` after every
+  step.
+* :mod:`repro.check.shrink` — delta-debugs failing programs down to
+  minimal instruction sequences.
+* :mod:`repro.check.corpus` — JSON (de)serialisation of reproducers
+  and the committed regression corpus under ``tests/corpus/``.
+* :mod:`repro.check.mutation` — self-validation: injects a known
+  off-by-one into a copy of the coarse update logic and demonstrates
+  that the harness finds and shrinks it.
+
+See ``docs/CHECKING.md`` for the operational guide.
+"""
+
+from repro.check.corpus import load_corpus, load_program, save_program
+from repro.check.generator import CheckProgram, generate_program
+from repro.check.oracle import OracleReport, SoundnessViolation, check_program
+from repro.check.shrink import shrink_program
+
+__all__ = [
+    "CheckProgram",
+    "OracleReport",
+    "SoundnessViolation",
+    "check_program",
+    "generate_program",
+    "load_corpus",
+    "load_program",
+    "save_program",
+    "shrink_program",
+]

@@ -1,0 +1,161 @@
+"""``repro-check`` — drive the soundness oracle from the command line.
+
+Subcommands:
+
+* ``fuzz`` — generate and check N seeded programs across every gated
+  path; on failure, shrink the reproducer and write it out as a corpus
+  JSON (CI uploads these as artifacts).
+* ``replay`` — re-run the committed regression corpus through the
+  oracle (the bounded CI job and the pre-commit smoke).
+* ``selftest`` — mutation self-validation: plant a known off-by-one in
+  a copy of the update logic, confirm detection, and shrink.
+
+Exit status is non-zero whenever a violation (or a failed self-test)
+occurs, so every mode is CI-gateable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.check.corpus import DEFAULT_CORPUS, load_corpus, save_program
+from repro.check.generator import generate_program
+from repro.check.oracle import ALL_PATHS, check_program
+from repro.check.shrink import shrink_program
+
+
+def _add_fuzz(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "fuzz", help="generate and check seeded random programs"
+    )
+    parser.add_argument("--seeds", type=int, default=50,
+                        help="number of programs to generate (default 50)")
+    parser.add_argument("--start-seed", type=int, default=0,
+                        help="first seed (default 0)")
+    parser.add_argument("--time-budget", type=float, default=0.0,
+                        help="stop after this many seconds (0 = no limit)")
+    parser.add_argument("--out", type=Path, default=Path("check-failures"),
+                        help="directory for shrunk failing programs")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="report failures without delta-debugging them")
+
+
+def _add_replay(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "replay", help="re-run the committed regression corpus"
+    )
+    parser.add_argument("--corpus", type=Path, default=DEFAULT_CORPUS,
+                        help=f"corpus directory (default {DEFAULT_CORPUS})")
+
+
+def _add_selftest(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "selftest", help="mutation self-validation of the oracle"
+    )
+    parser.add_argument("--max-seeds", type=int, default=50,
+                        help="seeds to try before declaring failure")
+    parser.add_argument("--max-instructions", type=int, default=25,
+                        help="shrunk reproducer size budget")
+
+
+def _cmd_fuzz(args) -> int:
+    failures = 0
+    checked = 0
+    started = time.monotonic()
+    for offset in range(args.seeds):
+        if args.time_budget and time.monotonic() - started > args.time_budget:
+            print(f"time budget reached after {checked} seeds")
+            break
+        seed = args.start_seed + offset
+        cp = generate_program(seed)
+        report = check_program(cp, paths=ALL_PATHS)
+        checked += 1
+        if report.ok:
+            continue
+        failures += 1
+        first = report.violations[0]
+        print(f"seed {seed}: {first}")
+        if not args.no_shrink:
+            shrunk = shrink_program(cp, first)
+            path = save_program(shrunk, args.out, note=str(first))
+            print(
+                f"  shrunk to {len(shrunk.body)} ops / "
+                f"{shrunk.instruction_count()} instructions -> {path}"
+            )
+        else:
+            path = save_program(cp, args.out, note=str(first))
+            print(f"  saved unshrunk -> {path}")
+    elapsed = time.monotonic() - started
+    print(f"checked {checked} programs in {elapsed:.1f}s: "
+          f"{failures} failing")
+    return 1 if failures else 0
+
+
+def _cmd_replay(args) -> int:
+    programs = load_corpus(args.corpus)
+    if not programs:
+        print(f"no corpus entries under {args.corpus}")
+        return 0
+    failures = 0
+    for cp in programs:
+        report = check_program(cp, paths=ALL_PATHS)
+        status = "ok" if report.ok else "FAIL"
+        print(f"{cp.name}: {status} ({report.runs} runs)")
+        for violation in report.violations:
+            failures += 1
+            print(f"  {violation}")
+    print(f"replayed {len(programs)} corpus programs: {failures} violations")
+    return 1 if failures else 0
+
+
+def _cmd_selftest(args) -> int:
+    from repro.check.mutation import run_selftest
+
+    result = run_selftest(max_seeds=args.max_seeds)
+    if not result.detected:
+        print(f"SELFTEST FAILED: planted bug not detected in "
+              f"{result.seeds_tried} seeds")
+        return 1
+    first = result.report.violations[0]
+    print(f"planted bug detected at seed {result.seed} "
+          f"({result.seeds_tried} seeds tried): {first}")
+    if result.shrunk is None:
+        print("shrinking skipped")
+        return 0
+    count = result.shrunk_instructions
+    print(f"shrunk reproducer: {len(result.shrunk.body)} body ops, "
+          f"{count} instructions")
+    if count > args.max_instructions:
+        print(f"SELFTEST FAILED: reproducer exceeds "
+              f"{args.max_instructions}-instruction budget")
+        return 1
+    return 0
+
+
+def cli(argv=None) -> int:
+    """Console entry point (``repro-check``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-check",
+        description="Differential soundness checking of the LATCH stack",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_fuzz(subparsers)
+    _add_replay(subparsers)
+    _add_selftest(subparsers)
+    args = parser.parse_args(argv)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    return _cmd_selftest(args)
+
+
+def main() -> None:  # pragma: no cover - thin wrapper
+    sys.exit(cli())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

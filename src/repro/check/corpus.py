@@ -1,0 +1,69 @@
+"""Regression-corpus serialisation (``tests/corpus/*.json``).
+
+A corpus entry is a complete :class:`~repro.check.generator.
+CheckProgram` — body operations, file payload, LATCH configuration and
+S-LATCH timeouts — so replaying it needs no generator and no seed
+stability guarantees.  Shrunk reproducers of every bug the fuzzer has
+found get committed here; ``repro-check replay`` (and the test suite)
+re-runs the whole directory through the oracle on every change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.check.generator import (
+    CheckProgram,
+    config_from_dict,
+    config_to_dict,
+)
+
+#: Default corpus location, relative to the repository root.
+DEFAULT_CORPUS = Path("tests") / "corpus"
+
+#: Format marker for forward compatibility.
+FORMAT_VERSION = 1
+
+
+def save_program(
+    cp: CheckProgram, directory: Union[str, Path], note: str = ""
+) -> Path:
+    """Write ``cp`` as ``<directory>/<name>.json``; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{cp.name}.json"
+    payload = {
+        "version": FORMAT_VERSION,
+        "name": cp.name,
+        "seed": cp.seed,
+        "note": note,
+        "config": config_to_dict(cp.config),
+        "timeouts": list(cp.timeouts),
+        "payload_hex": cp.payload.hex(),
+        "body": list(cp.body),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_program(path: Union[str, Path]) -> CheckProgram:
+    """Load one corpus entry back into a :class:`CheckProgram`."""
+    data = json.loads(Path(path).read_text())
+    return CheckProgram(
+        name=str(data["name"]),
+        seed=int(data.get("seed", 0)),
+        body=tuple(data["body"]),
+        payload=bytes.fromhex(data.get("payload_hex", "")),
+        config=config_from_dict(data.get("config", {})),
+        timeouts=tuple(data.get("timeouts", (1, 50))),
+    )
+
+
+def load_corpus(directory: Union[str, Path] = DEFAULT_CORPUS) -> List[CheckProgram]:
+    """Load every ``*.json`` reproducer in ``directory`` (sorted)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [load_program(path) for path in sorted(directory.glob("*.json"))]

@@ -1,0 +1,320 @@
+"""Seeded random program generator biased toward LATCH hazards.
+
+Programs are straight-line toy-ISA assembly (no branches), which keeps
+every body operation independently removable — the property the
+:mod:`repro.check.shrink` delta debugger relies on.  A fixed prelude
+opens a tainted virtual file and reads 64 bytes into ``buf``; the body
+is a random sequence of self-contained *operations*, each one a short
+assembly fragment drawn from a hazard-biased distribution:
+
+* multi-byte loads/stores whose offsets straddle taint-domain and page
+  boundaries (the hardest case for the chained update of Figure 12);
+* taint-clear storms (bursts of zero stores over tainted regions) that
+  stress the Section 5.1.4 clear-bit discipline;
+* accesses that wrap past the top of the 32-bit address space (the
+  machine's memory wraps, so the coarse structures must too);
+* wide-stride touches that thrash the 16-entry CTC into evicting lines
+  (including lines with asserted clear bits);
+* mid-program ``read`` syscalls — including zero-length reads — that
+  inject taint while every integration is mid-flight;
+* tight taint/clear alternation that forces S-LATCH mode ping-pong at
+  small timeouts.
+
+Every operation is reproducible from ``(seed, position)`` alone; the
+whole program, its file payload, and the LATCH configuration it runs
+under derive deterministically from the generator seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.core.latch import LatchConfig
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.machine.devices import DeviceTable, VirtualFile
+
+#: Name of the tainted input file every generated program opens.
+INPUT_FILE = "fuzz.dat"
+
+#: Bytes read into ``buf`` by the prelude (and per mid-body read).
+READ_CHUNK = 64
+
+#: Scratch registers the body may clobber freely.  ``r10`` holds the
+#: input fd, ``r12`` the buffer base; ``r3``–``r6`` are the syscall
+#: interface (clobbered only inside syscall operations).
+_SCRATCH = (1, 2, 7, 8, 9, 11, 13, 14, 15)
+
+#: Base of the wrap-around hazard region (last domain of the address
+#: space at every supported domain size).
+_WRAP_BASE = 0xFFFF_FFC0
+
+
+@dataclass(frozen=True)
+class CheckProgram:
+    """A generated (or shrunk, or corpus-loaded) checkable program.
+
+    ``body`` is the sequence of independent operations; the prelude,
+    epilogue, and device table are fixed functions of the other fields,
+    so a reproducer is fully described by this object alone (and
+    serialises losslessly — see :mod:`repro.check.corpus`).
+    """
+
+    name: str
+    seed: int
+    body: Tuple[str, ...]
+    payload: bytes
+    config: LatchConfig = field(default_factory=LatchConfig)
+    timeouts: Tuple[int, ...] = (1, 50)
+
+    # ------------------------------------------------------------ assembly
+
+    def source(self) -> str:
+        """Full assembly source (prelude + body + halt)."""
+        lines = [
+            "    .data",
+            f'in_path:    .asciiz "{INPUT_FILE}"',
+            "buf:        .space 512",
+            "    .text",
+            "_start:",
+            "    li   r3, 3              # OPEN(in_path)",
+            "    li   r4, in_path",
+            "    syscall",
+            "    mv   r10, r3            # input fd",
+            "    li   r3, 1              # READ(fd, buf, 64)",
+            "    mv   r4, r10",
+            "    li   r5, buf",
+            f"    li   r6, {READ_CHUNK}",
+            "    syscall",
+            "    li   r12, buf           # buffer base for body ops",
+        ]
+        lines.extend(self.body)
+        lines.append("    halt")
+        return "\n".join(lines) + "\n"
+
+    def program(self) -> Program:
+        """Assemble the source into a loadable program."""
+        return assemble(self.source())
+
+    def make_cpu(self, cpu_class=None):
+        """Fresh CPU + device table for one run of this program."""
+        from repro.machine.cpu import CPU
+
+        devices = DeviceTable()
+        devices.register_file(
+            VirtualFile(name=INPUT_FILE, data=self.payload, tainted=True)
+        )
+        cls = cpu_class if cpu_class is not None else CPU
+        return cls(self.program(), devices=devices)
+
+    def instruction_count(self) -> int:
+        """Assembled instruction count (pseudo-ops expanded)."""
+        return len(self.program().instructions)
+
+    def with_body(self, body) -> "CheckProgram":
+        """Copy with a replaced body (used by the shrinker)."""
+        return replace(self, body=tuple(body))
+
+
+# --------------------------------------------------------------- operations
+
+
+def _boundary_offset(rng: random.Random, unit: int, limit: int = 448) -> int:
+    """An offset near a multiple of ``unit``, clamped to [0, limit]."""
+    boundary = rng.randrange(1, max(limit // unit, 1) + 1) * unit
+    offset = boundary + rng.randrange(-3, 4)
+    return max(0, min(offset, limit))
+
+
+def _op_load_buf(rng: random.Random, geometry) -> str:
+    reg = rng.choice(_SCRATCH)
+    mnemonic = rng.choice(["lb", "lbu", "lh", "lhu", "lw", "lw"])
+    offset = _boundary_offset(rng, geometry.domain_size)
+    return f"    {mnemonic}   r{reg}, {offset}(r12)"
+
+def _op_store_straddle(rng: random.Random, geometry) -> str:
+    src, dst = rng.sample(_SCRATCH, 2)
+    load_off = rng.randrange(0, READ_CHUNK)
+    width, store = rng.choice([(2, "sh"), (4, "sw"), (4, "sw")])
+    boundary = rng.choice([geometry.domain_size, geometry.page_size // 8])
+    store_off = _boundary_offset(rng, boundary) - rng.randrange(1, width)
+    store_off = max(0, store_off)
+    return (
+        f"    lw   r{src}, {load_off}(r12)\n"
+        f"    {store}   r{src}, {store_off}(r12)\n"
+        f"    addi r{dst}, r{src}, 0"
+    )
+
+def _op_clear_storm(rng: random.Random, geometry) -> str:
+    base = _boundary_offset(rng, geometry.domain_size, limit=384)
+    lines = []
+    for step in range(rng.randrange(2, 6)):
+        width = rng.choice(["sb", "sh", "sw"])
+        lines.append(f"    {width}   r0, {base + step * rng.choice([1, 2, 4])}(r12)")
+    return "\n".join(lines)
+
+def _op_alu_mix(rng: random.Random, geometry) -> str:
+    a, b, c = rng.sample(_SCRATCH, 3)
+    offset = rng.randrange(0, READ_CHUNK)
+    op = rng.choice(["add", "xor", "and", "or", "sub"])
+    return (
+        f"    lb   r{a}, {offset}(r12)\n"
+        f"    {op}  r{b}, r{a}, r{c}\n"
+        f"    andi r{c}, r{b}, 255"
+    )
+
+def _op_wrap_access(rng: random.Random, geometry) -> str:
+    base_reg, data_reg = rng.sample(_SCRATCH, 2)
+    base = _WRAP_BASE + rng.choice([0, 32, 56, 60, 62, 63])
+    offset = rng.randrange(0, 8)
+    kind = rng.random()
+    setup = f"    li   r{base_reg}, {base}"
+    if kind < 0.4:  # load across the top of the address space
+        return f"{setup}\n    lw   r{data_reg}, {offset}(r{base_reg})"
+    if kind < 0.8:  # store tainted data across the top
+        load_off = rng.randrange(0, READ_CHUNK)
+        return (
+            f"{setup}\n"
+            f"    lw   r{data_reg}, {load_off}(r12)\n"
+            f"    sw   r{data_reg}, {offset}(r{base_reg})"
+        )
+    # clear across the top
+    return f"{setup}\n    sw   r0, {offset}(r{base_reg})"
+
+def _op_ctc_pressure(rng: random.Random, geometry) -> str:
+    base_reg, data_reg = rng.sample(_SCRATCH, 2)
+    lines = []
+    for _ in range(rng.randrange(2, 5)):
+        word = rng.randrange(0, 64)
+        address = 0x0020_0000 + word * geometry.word_span
+        lines.append(f"    li   r{base_reg}, {address}")
+        lines.append(f"    lw   r{data_reg}, 0(r{base_reg})")
+    return "\n".join(lines)
+
+def _op_store_far(rng: random.Random, geometry) -> str:
+    base_reg, data_reg = rng.sample(_SCRATCH, 2)
+    page = rng.randrange(1, 32)
+    address = 0x0030_0000 + page * geometry.page_size - rng.randrange(1, 4)
+    load_off = rng.randrange(0, READ_CHUNK)
+    return (
+        f"    li   r{base_reg}, {address}\n"
+        f"    lw   r{data_reg}, {load_off}(r12)\n"
+        f"    sw   r{data_reg}, 0(r{base_reg})"
+    )
+
+def _op_read_more(rng: random.Random, geometry) -> str:
+    target = rng.choice(
+        [
+            "buf",                      # overwrite (taint or re-taint)
+            f"{0x0030_0000 + rng.randrange(0, 4) * geometry.page_size - 2}",
+            f"{_WRAP_BASE + 60}",       # taint arriving across the wrap
+        ]
+    )
+    length = rng.choice([0, 1, 7, READ_CHUNK])  # 0: zero-length hazard
+    return (
+        "    li   r3, 1              # READ(fd, target, len)\n"
+        "    mv   r4, r10\n"
+        f"    li   r5, {target}\n"
+        f"    li   r6, {length}\n"
+        "    syscall"
+    )
+
+def _op_pingpong(rng: random.Random, geometry) -> str:
+    reg = rng.choice(_SCRATCH)
+    offset = _boundary_offset(rng, geometry.domain_size, limit=256)
+    return (
+        f"    lw   r{reg}, 0(r12)\n"
+        f"    sw   r{reg}, {offset}(r12)\n"
+        f"    sw   r0, {offset}(r12)\n"
+        f"    sw   r0, 0(r12)"
+    )
+
+
+_OPERATIONS = (
+    (_op_load_buf, 16),
+    (_op_store_straddle, 16),
+    (_op_clear_storm, 12),
+    (_op_alu_mix, 10),
+    (_op_wrap_access, 12),
+    (_op_ctc_pressure, 10),
+    (_op_store_far, 10),
+    (_op_read_more, 8),
+    (_op_pingpong, 8),
+)
+
+
+# ---------------------------------------------------------------- generator
+
+
+def _sample_config(rng: random.Random) -> LatchConfig:
+    return LatchConfig(
+        domain_size=rng.choice([8, 16, 64, 64]),
+        ctc_entries=rng.choice([1, 2, 4, 16]),
+        tlb_entries=rng.choice([2, 4, 128]),
+        use_tlb_bits=rng.random() < 0.85,
+    )
+
+
+def generate_program(
+    seed: int,
+    length: Optional[int] = None,
+    config: Optional[LatchConfig] = None,
+) -> CheckProgram:
+    """Generate one hazard-biased program from ``seed``.
+
+    Args:
+        seed: generator seed; fully determines the program, payload,
+            configuration, and timeout set.
+        length: number of body operations (default: seeded 6–24).
+        config: LATCH configuration override (default: seeded sample
+            across domain sizes / CTC / TLB capacities).
+    """
+    rng = random.Random(seed)
+    if length is None:
+        length = rng.randrange(6, 25)
+    if config is None:
+        config = _sample_config(rng)
+    geometry = config.geometry()
+
+    ops, weights = zip(*_OPERATIONS)
+    body = tuple(
+        rng.choices(ops, weights=weights, k=1)[0](rng, geometry)
+        for _ in range(length)
+    )
+    reads = 1 + sum(op.count("syscall") for op in body)
+    payload = bytes(
+        rng.randrange(1, 256) for _ in range(READ_CHUNK * reads)
+    )
+    timeouts = tuple(sorted(rng.sample([1, 3, 7, 50, 1000], k=2)))
+    return CheckProgram(
+        name=f"seed-{seed}",
+        seed=seed,
+        body=body,
+        payload=payload,
+        config=config,
+        timeouts=timeouts,
+    )
+
+
+def config_to_dict(config: LatchConfig) -> Dict:
+    """Serialisable view of a :class:`LatchConfig` (corpus format)."""
+    return {
+        "domain_size": config.domain_size,
+        "page_size": config.page_size,
+        "ctc_entries": config.ctc_entries,
+        "tlb_entries": config.tlb_entries,
+        "use_tlb_bits": config.use_tlb_bits,
+    }
+
+
+def config_from_dict(data: Dict) -> LatchConfig:
+    """Inverse of :func:`config_to_dict`."""
+    return LatchConfig(
+        domain_size=int(data.get("domain_size", 64)),
+        page_size=int(data.get("page_size", 4096)),
+        ctc_entries=int(data.get("ctc_entries", 16)),
+        tlb_entries=int(data.get("tlb_entries", 128)),
+        use_tlb_bits=bool(data.get("use_tlb_bits", True)),
+    )

@@ -1,0 +1,100 @@
+"""Mutation self-test: prove the oracle can actually catch bugs.
+
+A checker that never fires is indistinguishable from a checker that
+works.  This module injects a *known* soundness bug — an off-by-one in a
+copy of the coarse update walk that silently drops the final domain of
+any multi-domain tag write — and demonstrates that the fuzzing harness
+(a) detects it and (b) shrinks the failing program to a small
+reproducer.  The real :class:`~repro.core.latch.LatchModule` is never
+touched; the buggy subclass is confined to this test path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.check.generator import CheckProgram, generate_program
+from repro.check.oracle import OracleReport, check_program
+from repro.check.shrink import shrink_program
+from repro.core.latch import LatchModule, _MASK32
+
+#: Oracle paths used by the self-test — the mutant only substitutes the
+#: core module, so only core-mirror (and its invariants) can see it.
+SELFTEST_PATHS = ("core",)
+
+
+class BuggyLatchModule(LatchModule):
+    """A LatchModule whose update walk drops the last straddled domain.
+
+    The mutation models the classic boundary bug the tentpole exists to
+    catch: a store straddling two taint domains only sets the coarse bit
+    of the first.  Any later access confined to the dropped domain then
+    sees a clean coarse state over tainted bytes — a false negative.
+    """
+
+    def update_memory_tags(self, address, tags, defer_clear=True,
+                           clean_oracle=None):
+        if tags:
+            masked = address & _MASK32
+            size = self.geometry.domain_size
+            first = masked // size
+            last = (masked + len(tags) - 1) // size
+            if last != first:
+                # Off-by-one: stop the walk one domain early, dropping
+                # the tag bytes that land in the final domain.
+                tags = tags[: last * size - masked]
+        super().update_memory_tags(
+            address, tags, defer_clear=defer_clear, clean_oracle=clean_oracle
+        )
+
+
+@dataclass
+class SelfTestResult:
+    """Outcome of one mutation self-test."""
+
+    detected: bool
+    seed: Optional[int] = None
+    seeds_tried: int = 0
+    original: Optional[CheckProgram] = None
+    shrunk: Optional[CheckProgram] = None
+    report: Optional[OracleReport] = None
+
+    @property
+    def shrunk_instructions(self) -> int:
+        """Assembled instruction count of the shrunk reproducer."""
+        return self.shrunk.instruction_count() if self.shrunk else 0
+
+
+def run_selftest(
+    start_seed: int = 0, max_seeds: int = 50, shrink: bool = True
+) -> SelfTestResult:
+    """Fuzz with the buggy module until the oracle fires, then shrink.
+
+    Returns a :class:`SelfTestResult`; ``detected`` is False only if
+    ``max_seeds`` seeds all pass — which would mean the harness cannot
+    see an intentionally planted false negative and must itself be
+    treated as broken.
+    """
+    for offset in range(max_seeds):
+        seed = start_seed + offset
+        cp = generate_program(seed)
+        report = check_program(cp, paths=SELFTEST_PATHS, latch_cls=BuggyLatchModule)
+        if report.ok:
+            continue
+        result = SelfTestResult(
+            detected=True,
+            seed=seed,
+            seeds_tried=offset + 1,
+            original=cp,
+            report=report,
+        )
+        if shrink:
+            result.shrunk = shrink_program(
+                cp,
+                report.violations[0],
+                paths=SELFTEST_PATHS,
+                latch_cls=BuggyLatchModule,
+            )
+        return result
+    return SelfTestResult(detected=False, seeds_tried=max_seeds)

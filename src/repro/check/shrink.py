@@ -1,0 +1,148 @@
+"""Delta debugging of failing programs (ddmin over body operations).
+
+Generated programs are straight-line sequences of self-contained
+operations, so removing any subset yields another valid program — the
+precondition that makes classic ddmin applicable without a grammar.
+The shrinker minimises at operation granularity first (each operation
+is a few instructions), then attempts payload truncation, and finishes
+with a one-at-a-time sweep to guarantee 1-minimality: removing any
+single remaining operation makes the violation disappear.
+
+The reduction predicate is *same violation kind on the same path
+family*, not "any violation": shrinking must not wander from the bug
+being minimised onto an unrelated one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.check.generator import CheckProgram
+from repro.check.oracle import ALL_PATHS, SoundnessViolation, check_program
+
+
+def _violation_kinds(
+    cp: CheckProgram, paths: Sequence[str], latch_cls
+) -> List[str]:
+    return [v.kind for v in check_program(cp, paths=paths, latch_cls=latch_cls).violations]
+
+
+def make_predicate(
+    violation: SoundnessViolation,
+    paths: Sequence[str] = ALL_PATHS,
+    latch_cls=None,
+) -> Callable[[CheckProgram], bool]:
+    """Predicate: does the candidate still exhibit ``violation.kind``?"""
+    from repro.core.latch import LatchModule
+
+    cls = latch_cls if latch_cls is not None else LatchModule
+
+    def predicate(candidate: CheckProgram) -> bool:
+        try:
+            return violation.kind in _violation_kinds(candidate, paths, cls)
+        except Exception:
+            # A candidate that crashes the harness is not a reproducer.
+            return False
+
+    return predicate
+
+
+def ddmin(
+    items: Sequence,
+    predicate: Callable[[Sequence], bool],
+) -> List:
+    """Classic ddmin: minimal subsequence still satisfying ``predicate``.
+
+    ``predicate`` receives a candidate subsequence and returns True when
+    the failure still reproduces.  The input itself must satisfy it.
+    """
+    items = list(items)
+    granularity = 2
+    while len(items) >= 2:
+        chunk = max(len(items) // granularity, 1)
+        subsets = [items[i : i + chunk] for i in range(0, len(items), chunk)]
+        reduced = False
+        for index in range(len(subsets)):
+            complement = [
+                item
+                for position, subset in enumerate(subsets)
+                for item in subset
+                if position != index
+            ]
+            if complement and predicate(complement):
+                items = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(granularity * 2, len(items))
+    return items
+
+
+def _sweep_once(items: List, predicate: Callable[[Sequence], bool]) -> List:
+    """One-at-a-time removal pass (guarantees 1-minimality)."""
+    index = 0
+    while index < len(items):
+        candidate = items[:index] + items[index + 1 :]
+        if candidate and predicate(candidate):
+            items = candidate
+        else:
+            index += 1
+    return items
+
+
+def shrink_program(
+    cp: CheckProgram,
+    violation: SoundnessViolation,
+    paths: Sequence[str] = ALL_PATHS,
+    latch_cls=None,
+) -> CheckProgram:
+    """Shrink ``cp`` to a minimal program still exhibiting ``violation``.
+
+    Reduces the body via ddmin plus a final one-at-a-time sweep, then
+    halves the file payload while the violation persists.  Returns the
+    shrunk program (named ``<original>-min``); if the original does not
+    reproduce under the predicate, it is returned unchanged.
+    """
+    predicate = make_predicate(violation, paths=paths, latch_cls=latch_cls)
+    if not predicate(cp):
+        return cp
+
+    body = list(cp.body)
+    if predicate(cp.with_body([])):
+        # The fixed prelude alone reproduces (e.g. a bug in the very
+        # first tainted read); no body operation is needed.
+        body = []
+    else:
+        body = ddmin(body, lambda candidate: predicate(cp.with_body(candidate)))
+        body = _sweep_once(
+            body, lambda candidate: predicate(cp.with_body(candidate))
+        )
+        # Second pass at single-instruction granularity: multi-line
+        # operations are split so the reproducer keeps only the lines
+        # that matter (any straight-line instruction subset is a valid
+        # program, so removal stays safe below the operation level).
+        lines = [line for op in body for line in op.split("\n")]
+        if len(lines) > len(body):
+            as_body = lambda ls: cp.with_body(ls)  # noqa: E731
+            lines = ddmin(lines, lambda candidate: predicate(as_body(candidate)))
+            lines = _sweep_once(
+                lines, lambda candidate: predicate(as_body(candidate))
+            )
+            body = lines
+    shrunk = cp.with_body(body)
+
+    import dataclasses
+
+    payload = shrunk.payload
+    while len(payload) > 1:
+        half = payload[: max(len(payload) // 2, 1)]
+        candidate = dataclasses.replace(shrunk, payload=half)
+        if predicate(candidate):
+            payload = half
+            shrunk = candidate
+        else:
+            break
+    return dataclasses.replace(shrunk, name=f"{cp.name}-min")

@@ -28,6 +28,8 @@ from repro.mem.cache import CacheStats, SetAssociativeCache
 #: reconcile clear bits (True when no byte in the domain is tainted).
 DomainCleanOracle = Callable[[int, int], bool]
 
+_MASK32 = 0xFFFFFFFF
+
 
 @dataclass
 class CtcLine:
@@ -132,6 +134,7 @@ class CoarseTaintCache:
         taint status of the address's domain.  A miss fills the line from
         the CTT.
         """
+        address &= _MASK32
         hit = self._cache.access(address, loader=self._load_line)
         line: CtcLine = self._cache.probe(address).payload
         tainted = bool(line.word & (1 << self.geometry.bit_offset(address)))
@@ -161,6 +164,7 @@ class CoarseTaintCache:
           ``clean_oracle`` and clear the domain bit right away when the
           last precise tag in the domain is gone.
         """
+        address &= _MASK32
         self._cache.access(address, write=True, loader=self._load_line)
         line: CtcLine = self._cache.probe(address).payload
         bit = 1 << self.geometry.bit_offset(address)
@@ -188,9 +192,28 @@ class CoarseTaintCache:
         if payload is not None and payload.clear_bits:
             # Eviction of a line with asserted clear bits raises a check
             # exception (Section 5.1.4); the reconcile happens at the next
-            # reconcile_clears() call, standing in for the handler.
+            # reconcile_clears() call, standing in for the handler.  The
+            # base is masked so a reconcile never addresses an alias of
+            # the evicted word.
             self.clear_bit_evictions += 1
-            self._pending_reconcile.append((line_base, payload.clear_bits))
+            self._pending_reconcile.append(
+                (line_base & _MASK32, payload.clear_bits)
+            )
+
+    def iter_resident(self) -> Iterator[Tuple[int, CtcLine]]:
+        """Yield ``(word_index, line)`` for every resident CTC line.
+
+        Used by the clear-bit scan and by
+        :meth:`repro.core.latch.LatchModule.check_invariants`.
+        """
+        for bucket in self._cache._sets:
+            for line in bucket.values():
+                if line.payload is not None:
+                    yield line.tag, line.payload
+
+    def pending_evicted(self) -> Tuple[Tuple[int, int], ...]:
+        """Snapshot of ``(line_base, clear_bits)`` for evicted clear bits."""
+        return tuple(self._pending_reconcile)
 
     def pending_clear_domains(self) -> Iterator[Tuple[int, int]]:
         """Yield ``(domain_base, domain_size)`` for every asserted clear bit."""
@@ -198,18 +221,16 @@ class CoarseTaintCache:
         for line_base, clear_bits in self._iter_clear_sources():
             for bit in range(DOMAINS_PER_WORD):
                 if clear_bits & (1 << bit):
-                    base = line_base + bit * self.geometry.domain_size
+                    base = (line_base + bit * self.geometry.domain_size) & _MASK32
                     if base not in seen:
                         seen.add(base)
                         yield base, self.geometry.domain_size
 
     def _iter_clear_sources(self) -> Iterator[Tuple[int, int]]:
         yield from self._pending_reconcile
-        for bucket in self._cache._sets:
-            for line in bucket.values():
-                payload: CtcLine = line.payload
-                if payload is not None and payload.clear_bits:
-                    yield line.tag * self._cache.line_size, payload.clear_bits
+        for word_index, payload in self.iter_resident():
+            if payload.clear_bits:
+                yield word_index * self._cache.line_size, payload.clear_bits
 
     def reconcile_clears(self, clean_oracle: DomainCleanOracle) -> int:
         """Resolve all asserted clear bits against the precise state.

@@ -38,13 +38,14 @@ class CoarseTaintTable:
         return bool(word & (1 << self.geometry.bit_offset(address)))
 
     def any_domain_tainted(self, address: int, length: int) -> bool:
-        """True if any domain overlapped by the byte range is tainted."""
-        last = address + max(length, 1) - 1
-        cursor = address
-        while cursor <= last:
-            if self.is_domain_tainted(cursor):
+        """True if any domain overlapped by the byte range is tainted.
+
+        Wrap-aware: a range crossing the top of the 32-bit space checks
+        the wrapped-around domains too.
+        """
+        for base in self.geometry.domain_bases_in_range(address, max(length, 1)):
+            if self.is_domain_tainted(base):
                 return True
-            cursor = self.geometry.domain_base(cursor) + self.geometry.domain_size
         return False
 
     def tainted_domain_count(self) -> int:

@@ -90,23 +90,56 @@ class DomainGeometry:
 
     # ---------------------------------------------------------- iteration
 
+    @property
+    def total_domains(self) -> int:
+        """Number of taint domains in the 32-bit address space."""
+        return (_MASK32 + 1) // self.domain_size
+
+    @property
+    def total_words(self) -> int:
+        """Number of CTT words covering the 32-bit address space."""
+        return (_MASK32 + 1) // self.word_span
+
     def domains_in_range(self, address: int, length: int) -> Iterator[int]:
-        """Yield the domain indices overlapped by [address, address+length)."""
+        """Yield the domain indices overlapped by [address, address+length).
+
+        The byte range may wrap past the top of the 32-bit address space
+        (the machine's memory wraps too); wrapped domains are yielded
+        with their canonical (masked) indices, in access order.
+        """
         if length <= 0:
             return
-        first = self.domain_index(address)
-        last = self.domain_index(address + length - 1)
-        for index in range(first, last + 1):
-            yield index
+        address &= _MASK32
+        first = address // self.domain_size
+        count = (address + length - 1) // self.domain_size - first + 1
+        total = self.total_domains
+        for step in range(count):
+            yield (first + step) % total
 
     def words_in_range(self, address: int, length: int) -> Iterator[int]:
-        """Yield the CTT word indices overlapped by the byte range."""
+        """Yield the CTT word indices overlapped by the byte range.
+
+        Wrap-aware like :meth:`domains_in_range`.
+        """
         if length <= 0:
             return
-        first = self.word_index(address)
-        last = self.word_index(address + length - 1)
-        for index in range(first, last + 1):
-            yield index
+        address &= _MASK32
+        first = address // self.word_span
+        count = (address + length - 1) // self.word_span - first + 1
+        total = self.total_words
+        for step in range(count):
+            yield (first + step) % total
+
+    def domain_bases_in_range(self, address: int, length: int) -> Iterator[int]:
+        """Yield the masked base address of every overlapped domain.
+
+        The companion of :meth:`domains_in_range` for callers that walk
+        addresses rather than indices (the CTC check path).  Every
+        yielded base is canonical (< 2**32), so downstream structures
+        never see alias addresses for the same domain.
+        """
+        for index in self.domains_in_range(address, length):
+            yield index * self.domain_size
 
     def domain_range(self, domain_index: int) -> Tuple[int, int]:
         """(base_address, size) of the domain with global ``domain_index``."""

@@ -26,10 +26,22 @@ from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.core.ctc import CoarseTaintCache, DomainCleanOracle
 from repro.core.ctt import CoarseTaintTable
-from repro.core.domains import DomainGeometry
+from repro.core.domains import DOMAINS_PER_WORD, DomainGeometry
 from repro.core.tlb_taint import TlbTaintBits
 from repro.dift.tags import TaintRegisterFile
 from repro.machine.events import MemoryAccess, StepEvent
+
+
+_MASK32 = 0xFFFFFFFF
+
+
+class InvariantViolation(AssertionError):
+    """Raised by :meth:`LatchModule.check_invariants` on incoherent state.
+
+    Subclasses :class:`AssertionError` because a violation always means a
+    bug in the LATCH implementation (or a caller mutating structures
+    behind its back), never a property of the monitored program.
+    """
 
 
 class CheckLevel(enum.Enum):
@@ -137,9 +149,16 @@ class LatchModule:
     # ------------------------------------------------------------ checking
 
     def check_memory(self, address: int, size: int = 1) -> LatchCheckResult:
-        """Coarse-check one memory access (all domains it overlaps)."""
+        """Coarse-check one memory access (all domains it overlaps).
+
+        Accesses may wrap past the top of the 32-bit address space (the
+        machine's memory wraps); the walk visits the wrapped-around
+        domains under their canonical addresses, so the CTC and TLB
+        never see alias addresses for the same domain.
+        """
         self.stats.memory_checks += 1
         size = max(size, 1)
+        address &= _MASK32
 
         if self.tlb_bits is not None:
             page_hot = any(
@@ -157,13 +176,10 @@ class LatchModule:
 
         tainted = False
         hit_all = True
-        last = address + size - 1
-        cursor = address
-        while cursor <= last:
-            hit, domain_tainted = self.ctc.check(cursor)
+        for base in self.geometry.domain_bases_in_range(address, size):
+            hit, domain_tainted = self.ctc.check(base)
             hit_all = hit_all and hit
             tainted = tainted or domain_tainted
-            cursor = self.geometry.domain_base(cursor) + self.geometry.domain_size
 
         if tainted:
             self.stats.sent_to_precise += 1
@@ -223,22 +239,30 @@ class LatchModule:
         """
         if not tags:
             return
-        for domain_index in self.geometry.domains_in_range(address, len(tags)):
-            base, size = self.geometry.domain_range(domain_index)
-            lo = max(address, base)
-            hi = min(address + len(tags), base + size)
-            slice_tags = tags[lo - address : hi - address]
+        # Walk the write one domain-chunk at a time, masking the cursor so
+        # a write that wraps past the top of the 32-bit space updates the
+        # wrapped-around domains too (the precise shadow wraps the same
+        # way; a straddling store must set the coarse bit in *every*
+        # domain it touches or the superset invariant breaks).
+        offset = 0
+        length = len(tags)
+        while offset < length:
+            cursor = (address + offset) & _MASK32
+            base = self.geometry.domain_base(cursor)
+            take = min(length - offset, base + self.geometry.domain_size - cursor)
+            slice_tags = tags[offset : offset + take]
             if any(slice_tags):
-                self.ctc.update_taint(lo, tainted=True)
+                self.ctc.update_taint(cursor, tainted=True)
             else:
                 self.ctc.update_taint(
-                    lo,
+                    cursor,
                     tainted=False,
                     defer_clear=defer_clear,
                     clean_oracle=clean_oracle,
                 )
             if self.tlb_bits is not None:
-                self.tlb_bits.update(lo)
+                self.tlb_bits.update(cursor)
+            offset += take
 
     def reconcile_clears(self, clean_oracle: DomainCleanOracle) -> int:
         """Resolve deferred clears (Section 5.1.4); returns domains cleared."""
@@ -260,6 +284,70 @@ class LatchModule:
         self.ctc.flush()
         if self.tlb_bits is not None:
             self.tlb_bits.flush()
+
+    # ----------------------------------------------------------- sanitizer
+
+    def check_invariants(self, shadow=None) -> None:
+        """Validate CTT/CTC/TLB coherence; raise :class:`InvariantViolation`.
+
+        Callable after every step in checked mode (the ``repro.check``
+        oracle does exactly that).  Checks, in order:
+
+        1. every resident CTC line mirrors its backing CTT word (the CTC
+           is write-through, so any divergence is a lost update);
+        2. taint-clear bits are only ever asserted over set domain bits
+           (a pending clear without its set bit would mean the clear
+           became visible before reconciliation);
+        3. every clear bit carried by an *evicted* line still refers to a
+           set CTT domain bit (same staleness argument, post-eviction);
+        4. resident TLB page-taint bits are supersets of their page-level
+           domains (a clean TLB bit over a tainted CTT word screens
+           tainted accesses — a false negative);
+        5. with ``shadow`` supplied, the Figure 1 superset invariant
+           itself: every domain holding a precisely tainted byte has its
+           coarse bit set.
+        """
+        for word_index, line in self.ctc.iter_resident():
+            backing = self.ctt.word(word_index)
+            if line.word != backing:
+                raise InvariantViolation(
+                    f"CTC line for word {word_index} holds {line.word:#010x} "
+                    f"but the CTT holds {backing:#010x}"
+                )
+            if line.clear_bits & ~line.word:
+                raise InvariantViolation(
+                    f"CTC line for word {word_index} asserts clear bits "
+                    f"{line.clear_bits:#010x} outside its set bits "
+                    f"{line.word:#010x}"
+                )
+        for line_base, clear_bits in self.ctc.pending_evicted():
+            for bit in range(DOMAINS_PER_WORD):
+                if not clear_bits & (1 << bit):
+                    continue
+                base = (line_base + bit * self.geometry.domain_size) & _MASK32
+                if not self.ctt.is_domain_tainted(base):
+                    raise InvariantViolation(
+                        f"evicted clear bit for domain {base:#x} refers to "
+                        "an already-clear CTT bit"
+                    )
+        if self.tlb_bits is not None:
+            for page, entry in self.tlb_bits.tlb.resident_items():
+                for part in range(self.geometry.page_domains):
+                    word_index = page * self.geometry.page_domains + part
+                    if self.ctt.word(word_index) and not (
+                        entry.metadata >> part
+                    ) & 1:
+                        raise InvariantViolation(
+                            f"TLB page {page:#x} bit {part} clean but CTT "
+                            f"word {word_index} is tainted"
+                        )
+        if shadow is not None:
+            for base in shadow.iter_tainted_domains(self.geometry.domain_size):
+                if not self.ctt.is_domain_tainted(base):
+                    raise InvariantViolation(
+                        f"precisely tainted domain {base:#x} has a clean "
+                        "coarse bit (superset invariant broken)"
+                    )
 
     # ----------------------------------------------------------- TRF / ISA
 
@@ -337,9 +425,16 @@ class LatchModule:
 def _page_domain_parts(
     geometry: DomainGeometry, address: int, size: int
 ) -> Iterable[int]:
-    """Representative addresses, one per page-level domain overlapped."""
+    """Representative addresses, one per page-level domain overlapped.
+
+    Parts past the top of the 32-bit space are masked to their wrapped
+    (canonical) addresses so the TLB consults the real pages rather
+    than alias entries whose taint bits would load from nonexistent
+    CTT words.
+    """
     span = geometry.word_span
+    address &= _MASK32
     first = address // span
     last = (address + size - 1) // span
     for index in range(first, last + 1):
-        yield max(address, index * span)
+        yield max(address, index * span) & _MASK32

@@ -9,10 +9,10 @@ parallel even though the cache simulations downstream are sequential.
 
 All kernels follow the scalar arithmetic of
 :class:`repro.core.domains.DomainGeometry` bit-for-bit, including its
-32-bit address masking.  Addresses are expected to satisfy
-``0 <= address`` and ``address + size <= 2**32`` — the same effective
-precondition under which the scalar walk in
-:meth:`repro.core.latch.LatchModule.check_memory` terminates.
+32-bit address masking and wrap-around: an access whose byte range
+crosses the top of the 32-bit space expands to the wrapped-around
+domains under their canonical (masked) indices, exactly like the
+scalar walk in :meth:`repro.core.latch.LatchModule.check_memory`.
 """
 
 from __future__ import annotations
@@ -90,11 +90,17 @@ def expand_domain_ids(
     """Domain indices overlapped by each access, flattened in trace order.
 
     Mirrors the scalar CTC walk of ``check_memory``: one entry per
-    domain step, first to last.  Returns ``(flat_domains, offsets)``.
+    domain step, first to last, with ranges that wrap past the top of
+    the 32-bit space folded to their canonical domain indices (like
+    ``DomainGeometry.domains_in_range``).  Returns
+    ``(flat_domains, offsets)``.
     """
-    first = domain_ids(addresses, domain_size)
-    last = domain_ids(addresses + sizes - 1, domain_size)
-    return expand_ranges(first, last - first + 1)
+    masked = addresses & _MASK32
+    first = masked // domain_size
+    last = (masked + sizes - 1) // domain_size
+    flat, offsets = expand_ranges(first, last - first + 1)
+    flat %= (_MASK32 + 1) // domain_size
+    return flat, offsets
 
 
 # --------------------------------------------------------------- CTT gather

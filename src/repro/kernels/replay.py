@@ -51,7 +51,7 @@ def replay_check_memory(
     and returns the per-access coarse-tainted flags.  The ``latch`` must
     be freshly (bulk-)loaded: cold CTC/TLB, static CTT.
     """
-    addresses = classify.as_index_array(addresses)
+    addresses = classify.as_index_array(addresses) & 0xFFFFFFFF
     n = len(addresses)
     observe_batch("classify", n)
     effective = classify.effective_sizes(sizes)

@@ -20,6 +20,8 @@ from repro.kernels import classify
 from repro.kernels.backend import observe_batch
 from repro.kernels.lru import simulate_lru
 
+_MASK32 = 0xFFFFFFFF
+
 
 @dataclass(frozen=True)
 class TlbScreenResult:
@@ -54,6 +56,8 @@ def screen_window(
         return TlbScreenResult(empty, 0, 0, 0, 0, 0, 0)
 
     span = geometry.word_span
+    total_words = (_MASK32 + 1) // span
+    addresses = addresses & _MASK32
     first = addresses // span
     last = (addresses + sizes - 1) // span
     counts = last - first + 1
@@ -68,7 +72,10 @@ def screen_window(
         hot_checks = int(hot.sum())
     else:
         flat_words, offsets = classify.expand_ranges(first, counts)
-        hot_flat = ctt_index.gather(flat_words) != 0
+        # A range past the top of the address space wraps; fold word
+        # indices to their canonical values before consulting the CTT
+        # (the scalar _page_domain_parts masks its parts the same way).
+        hot_flat = ctt_index.gather(flat_words % total_words) != 0
         position = np.arange(len(flat_words), dtype=np.int64)
         position -= np.repeat(offsets[:-1], counts)
         counts_flat = np.repeat(counts, counts)
@@ -85,7 +92,7 @@ def screen_window(
         # _page_domain_parts — only the first part can be unaligned.
         part_addresses = np.maximum(
             flat_words * span, np.repeat(addresses, counts)
-        )
+        ) & _MASK32
         checked_pages = classify.page_ids(
             part_addresses[checked_mask], geometry.page_size
         )

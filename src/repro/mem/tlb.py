@@ -99,3 +99,11 @@ class TLB:
     def resident_entries(self) -> int:
         """Number of live entries."""
         return len(self._map)
+
+    def resident_items(self):
+        """View of ``(page, entry)`` pairs for every live entry.
+
+        Read-only inspection surface for coherence sanitizers (see
+        :meth:`repro.core.latch.LatchModule.check_invariants`).
+        """
+        return self._map.items()

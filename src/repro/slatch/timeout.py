@@ -78,6 +78,12 @@ class AdaptiveTimeout(TimeoutPolicy):
         punish_span: int = 1_000,
         reward_span: int = 100_000,
     ) -> None:
+        if minimum < 1:
+            # A zero threshold would make software mode return to
+            # hardware after *every* instruction — and once halving
+            # reaches 0 it can never recover (0 * 2 == 0).  Keep the
+            # decay floor at one instruction.
+            raise ValueError("minimum must be at least 1")
         if not minimum <= initial <= maximum:
             raise ValueError("initial must lie within [minimum, maximum]")
         self.initial = initial

@@ -1,0 +1,133 @@
+"""The repro.check differential soundness oracle.
+
+Covers the tentpole acceptance criteria: the oracle replays the
+committed regression corpus plus a batch of freshly generated seeded
+programs across byte-precise DIFT, the core mirror (both clear
+disciplines), S-LATCH, H-LATCH, and both kernel replay backends with
+zero violations — and the mutation self-test proves the harness can
+detect and shrink a planted soundness bug.
+"""
+
+import pytest
+
+from repro.check.corpus import DEFAULT_CORPUS, load_corpus, load_program, save_program
+from repro.check.generator import CheckProgram, generate_program
+from repro.check.mutation import BuggyLatchModule, run_selftest
+from repro.check.oracle import (
+    check_many,
+    check_program,
+    run_core_mirror,
+    run_reference,
+    state_signature,
+)
+from repro.core.latch import LatchConfig
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        assert generate_program(7) == generate_program(7)
+        assert generate_program(7) != generate_program(8)
+
+    def test_programs_assemble_and_halt(self):
+        for seed in range(5):
+            cp = generate_program(seed)
+            cpu = cp.make_cpu()
+            cpu.run(200_000)
+            assert cpu.halted
+
+    def test_hazard_coverage_across_seeds(self):
+        """The op mix actually emits the hazard families it promises."""
+        bodies = "\n".join(
+            op for seed in range(40) for op in generate_program(seed).body
+        )
+        assert "4294967" in bodies      # wrap-region addresses
+        assert "sw   r0" in bodies      # taint clears
+        assert "syscall" in bodies      # mid-body taint sources
+
+    def test_instruction_count_counts_expanded_pseudos(self):
+        cp = generate_program(3)
+        assert cp.instruction_count() == len(cp.program().instructions)
+
+
+class TestOracleCleanOnFixedCode:
+    def test_corpus_replays_clean(self):
+        programs = load_corpus(DEFAULT_CORPUS)
+        assert programs, "committed regression corpus must not be empty"
+        report = check_many(programs)
+        assert report.ok, "\n".join(str(v) for v in report.violations)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_fresh_seeds_clean(self, seed):
+        report = check_program(generate_program(seed))
+        assert report.ok, "\n".join(str(v) for v in report.violations)
+
+    def test_core_mirror_matches_reference(self):
+        cp = generate_program(1)
+        reference, _ = run_reference(cp)
+        mirror = run_core_mirror(cp, defer_clear=True)
+        assert state_signature(mirror.engine) == state_signature(reference)
+
+
+class TestMutationSelfTest:
+    def test_planted_bug_detected_and_shrunk(self):
+        result = run_selftest()
+        assert result.detected, "oracle failed to see the planted off-by-one"
+        assert result.report.violations
+        assert result.shrunk is not None
+        assert result.shrunk_instructions <= 25
+
+    def test_buggy_module_drops_final_domain(self):
+        latch = BuggyLatchModule(LatchConfig(domain_size=8))
+        latch.update_memory_tags(4, b"\x01" * 8)  # straddles 0..7 / 8..15
+        assert latch.ctt.is_domain_tainted(4)
+        assert not latch.ctt.is_domain_tainted(8), "mutation must drop it"
+
+    def test_real_module_passes_where_mutant_fails(self):
+        result = run_selftest(shrink=False)
+        cp = generate_program(result.seed)
+        mutant = check_program(cp, paths=("core",), latch_cls=BuggyLatchModule)
+        assert not mutant.ok
+        real = check_program(cp, paths=("core",))
+        assert real.ok, f"real module flagged on seed {result.seed}"
+
+
+class TestCorpusRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        cp = generate_program(11)
+        path = save_program(cp, tmp_path, note="round trip")
+        loaded = load_program(path)
+        assert loaded == cp
+
+    def test_load_corpus_sorted_and_complete(self):
+        programs = load_corpus(DEFAULT_CORPUS)
+        names = [cp.name for cp in programs]
+        assert names == sorted(names)
+        assert "wrap-update-straddle" in names
+        assert "straddle-domain-store" in names
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert load_corpus(tmp_path / "absent") == []
+
+
+class TestCli:
+    def test_replay_corpus_exits_zero(self, capsys):
+        from repro.check.cli import cli
+
+        assert cli(["replay"]) == 0
+        out = capsys.readouterr().out
+        assert "replayed" in out and "0 violations" in out
+
+    def test_fuzz_small_batch_exits_zero(self, tmp_path, capsys):
+        from repro.check.cli import cli
+
+        assert cli([
+            "fuzz", "--seeds", "3", "--out", str(tmp_path / "fails")
+        ]) == 0
+        assert "3 programs" in capsys.readouterr().out
+
+    def test_selftest_exits_zero(self, capsys):
+        from repro.check.cli import cli
+
+        assert cli(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "planted bug detected" in out

@@ -1,0 +1,66 @@
+"""Delta-debugging shrinker (repro.check.shrink)."""
+
+from repro.check.generator import generate_program
+from repro.check.mutation import BuggyLatchModule
+from repro.check.oracle import check_program
+from repro.check.shrink import ddmin, make_predicate, shrink_program
+
+
+class TestDdmin:
+    def test_single_culprit(self):
+        items = list(range(20))
+        result = ddmin(items, lambda subset: 13 in subset)
+        assert result == [13]
+
+    def test_pair_of_culprits(self):
+        items = list(range(16))
+        result = ddmin(items, lambda subset: 3 in subset and 11 in subset)
+        assert sorted(result) == [3, 11]
+
+    def test_preserves_order(self):
+        items = ["a", "b", "c", "d", "e"]
+        result = ddmin(items, lambda s: "d" in s and "b" in s)
+        assert result == ["b", "d"]
+
+    def test_already_minimal(self):
+        assert ddmin(["x"], lambda s: "x" in s) == ["x"]
+
+
+class TestShrinkProgram:
+    def test_shrinks_mutant_failure_to_minimum(self):
+        # Find a seed the planted bug fails on, then shrink it.
+        for seed in range(50):
+            cp = generate_program(seed)
+            report = check_program(
+                cp, paths=("core",), latch_cls=BuggyLatchModule
+            )
+            if not report.ok:
+                break
+        else:
+            raise AssertionError("no failing seed for the mutant")
+        violation = report.violations[0]
+        shrunk = shrink_program(
+            cp, violation, paths=("core",), latch_cls=BuggyLatchModule
+        )
+        assert len(shrunk.body) <= len(cp.body)
+        assert shrunk.instruction_count() <= 25
+        # The shrunk program still reproduces the same violation kind...
+        predicate = make_predicate(
+            violation, paths=("core",), latch_cls=BuggyLatchModule
+        )
+        assert predicate(shrunk)
+        # ...and is 1-minimal: removing any one remaining op loses it.
+        for index in range(len(shrunk.body)):
+            reduced = shrunk.with_body(
+                shrunk.body[:index] + shrunk.body[index + 1 :]
+            )
+            assert not predicate(reduced) or not reduced.body
+
+    def test_non_reproducing_input_returned_unchanged(self):
+        cp = generate_program(0)
+        report = check_program(cp, paths=("core",), latch_cls=BuggyLatchModule)
+        assert not report.ok
+        # Predicate is built from the violation, but the candidate passes
+        # on the *real* module — shrink must refuse to touch it.
+        shrunk = shrink_program(cp, report.violations[0], paths=("core",))
+        assert shrunk == cp

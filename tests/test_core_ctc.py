@@ -144,3 +144,88 @@ class TestCoherence:
         ctc.flush()
         hit, _ = ctc.check(0x0)
         assert not hit
+
+
+class TestClearOrdering:
+    """Pending clears must drain before (or with) any stale CTT read —
+    the Section 5.1.4 eviction/reconcile ordering audit."""
+
+    def test_eviction_during_update_preserves_pending_clear(self):
+        # A tag write that evicts a clear-bit line mid-update must not
+        # lose the evicted clear bits.
+        ctc, ctt = make_ctc(entries=1)
+        shadow = ShadowMemory()
+        span = ctc.geometry.word_span
+        ctc.update_taint(0x40, tainted=True)
+        ctc.update_taint(0x40, tainted=False, defer_clear=True)
+        # This update evicts the line carrying 0x40's clear bit.
+        ctc.update_taint(span * 3, tainted=True)
+        assert ctc.pending_evicted() == ((0x0, 1 << 1),)
+        assert ctc.reconcile_clears(shadow.region_clean) == 1
+        assert not ctt.is_domain_tainted(0x40)
+
+    def test_refill_after_eviction_does_not_resurrect_clear_bit(self):
+        # Re-loading the word whose clear bits were evicted fills a
+        # fresh line (clear_bits == 0); the clear survives only in the
+        # pending list, so a reconcile drains it exactly once.
+        ctc, ctt = make_ctc(entries=1)
+        shadow = ShadowMemory()
+        span = ctc.geometry.word_span
+        ctc.update_taint(0x40, tainted=True)
+        ctc.update_taint(0x40, tainted=False, defer_clear=True)
+        ctc.check(span * 3)     # evict
+        ctc.check(0x40)         # refill the original word
+        for _, line in ctc.iter_resident():
+            assert line.clear_bits == 0
+        assert ctc.reconcile_clears(shadow.region_clean) == 1
+        assert ctc.reconcile_clears(shadow.region_clean) == 0
+
+    def test_retaint_after_eviction_keeps_domain_tainted(self):
+        # clear bit evicted, then the domain is re-tainted: the pending
+        # reconcile must not clear the bit because the precise state says
+        # the domain is dirty again.
+        ctc, ctt = make_ctc(entries=1)
+        shadow = ShadowMemory()
+        span = ctc.geometry.word_span
+        ctc.update_taint(0x40, tainted=True)
+        ctc.update_taint(0x40, tainted=False, defer_clear=True)
+        ctc.check(span * 3)     # evict the clear bit
+        shadow.set(0x40, 1)
+        ctc.update_taint(0x40, tainted=True)
+        ctc.reconcile_clears(shadow.region_clean)
+        assert ctt.is_domain_tainted(0x40)
+
+    def test_evicted_base_is_masked(self):
+        # Aliased (unmasked) addresses must reconcile the canonical
+        # domain, not a 33-bit alias that no check could ever read.
+        ctc, ctt = make_ctc(entries=1)
+        shadow = ShadowMemory()
+        high = 0xFFFF_FFC0
+        ctc.update_taint(high, tainted=True)
+        ctc.update_taint(high, tainted=False, defer_clear=True)
+        ctc.check(0x40)  # evict
+        (base, bits), = ctc.pending_evicted()
+        assert base <= 0xFFFF_FFFF
+        domains = list(ctc.pending_clear_domains())
+        assert (high, ctc.geometry.domain_size) in domains
+        assert ctc.reconcile_clears(shadow.region_clean) == 1
+        assert not ctt.is_domain_tainted(high)
+
+    def test_flush_discards_pending_reconciles(self):
+        ctc, ctt = make_ctc(entries=1)
+        span = ctc.geometry.word_span
+        ctc.update_taint(0x40, tainted=True)
+        ctc.update_taint(0x40, tainted=False, defer_clear=True)
+        ctc.check(span * 3)  # evict into the pending list
+        ctc.flush()
+        assert ctc.pending_evicted() == ()
+        assert list(ctc.pending_clear_domains()) == []
+
+    def test_wrapped_addresses_share_one_line(self):
+        # 0x1_0000_0040 aliases 0x40 under 32-bit masking: both must hit
+        # the same CTC line and the same CTT word.
+        ctc, ctt = make_ctc()
+        ctc.update_taint(0x1_0000_0040, tainted=True)
+        assert ctt.is_domain_tainted(0x40)
+        hit, tainted = ctc.check(0x40)
+        assert hit and tainted

@@ -95,3 +95,38 @@ class TestProperties:
         domains = set(geometry.domains_in_range(address, length))
         for offset in (0, length // 2, length - 1):
             assert geometry.domain_index(address + offset) in domains
+
+
+class TestWrapAround:
+    """Ranges past the top of the 32-bit space fold back to address 0."""
+
+    def test_domains_in_range_wraps_to_zero(self):
+        geometry = DomainGeometry(domain_size=64)
+        domains = list(geometry.domains_in_range(0xFFFF_FFC0, 128))
+        assert domains == [geometry.total_domains - 1, 0]
+
+    def test_words_in_range_wraps_to_zero(self):
+        geometry = DomainGeometry(domain_size=64)
+        words = list(geometry.words_in_range(0xFFFF_F800, 0x1000))
+        assert words == [geometry.total_words - 1, 0]
+
+    def test_domain_bases_are_canonical(self):
+        geometry = DomainGeometry(domain_size=64)
+        bases = list(geometry.domain_bases_in_range(0xFFFF_FFF0, 0x20))
+        assert bases == [0xFFFF_FFC0, 0]
+
+    def test_unmasked_address_folds(self):
+        geometry = DomainGeometry(domain_size=64)
+        assert list(geometry.domains_in_range(0x1_0000_0040, 4)) == [1]
+
+    @given(
+        st.sampled_from([8, 64, 128]),
+        st.integers(min_value=0, max_value=0xFFFF_FFFF),
+        st.integers(min_value=1, max_value=512),
+    )
+    def test_wrapped_bytes_covered(self, size, address, length):
+        geometry = DomainGeometry(domain_size=size)
+        domains = set(geometry.domains_in_range(address, length))
+        for offset in (0, length // 2, length - 1):
+            byte = (address + offset) & 0xFFFF_FFFF
+            assert geometry.domain_index(byte) in domains

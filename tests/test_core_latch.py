@@ -214,3 +214,71 @@ class TestSupersetInvariant:
         for base in touched_domains:
             expected = shadow.any_tainted(base, geometry.domain_size)
             assert latch.ctt.is_domain_tainted(base) == expected
+
+
+class TestStraddlingAndWrap:
+    """Multi-byte accesses across domain / page / address-space edges."""
+
+    def test_straddling_store_taints_both_domains(self):
+        latch = LatchModule()
+        latch.update_memory_tags(0x103E, b"\x01" * 4)  # 2 bytes each side
+        assert latch.ctt.is_domain_tainted(0x1000)
+        assert latch.ctt.is_domain_tainted(0x1040)
+
+    def test_straddling_clear_defers_in_both_domains(self):
+        latch = LatchModule()
+        shadow = ShadowMemory()
+        latch.update_memory_tags(0x103E, b"\x01" * 4)
+        latch.update_memory_tags(0x103E, b"\x00" * 4)
+        # Deferred: both bits still set until reconcile releases both.
+        assert latch.check_memory(0x1000, 1).coarse_tainted
+        assert latch.check_memory(0x1040, 1).coarse_tainted
+        assert latch.reconcile_clears(shadow.region_clean) == 2
+        assert not latch.check_memory(0x103E, 4).coarse_tainted
+
+    def test_store_straddling_page_domains_updates_both_tlb_bits(self):
+        latch = LatchModule()
+        span = latch.geometry.word_span
+        latch.check_memory(span - 4, 1)   # both pages TLB-resident, clean
+        latch.check_memory(span, 1)
+        latch.update_memory_tags(span - 4, b"\x01" * 8)
+        assert latch.check_memory(span - 4, 1).coarse_tainted
+        assert latch.check_memory(span, 1).coarse_tainted
+
+    def test_wrap_around_store_taints_top_and_bottom(self):
+        latch = LatchModule()
+        latch.update_memory_tags(0xFFFF_FFFE, b"\x01" * 4)
+        assert latch.ctt.is_domain_tainted(0xFFFF_FFC0)
+        assert latch.ctt.is_domain_tainted(0)
+
+    def test_wrap_around_check_sees_low_memory_taint(self):
+        latch = LatchModule()
+        latch.update_memory_tags(0x0, b"\x01")
+        result = latch.check_memory(0xFFFF_FFFE, 4)
+        assert result.coarse_tainted
+
+    def test_wrap_around_check_clean_terminates(self):
+        latch = LatchModule(LatchConfig(use_tlb_bits=False))
+        result = latch.check_memory(0xFFFF_FFF8, 16)
+        assert not result.coarse_tainted
+
+    def test_unmasked_addresses_fold_to_canonical_domains(self):
+        latch = LatchModule()
+        latch.update_memory_tags(0x1_0000_1000, b"\x01")
+        assert latch.check_memory(0x1000, 1).coarse_tainted
+
+    def test_invariants_hold_after_wrap_traffic(self):
+        latch = LatchModule(LatchConfig(ctc_entries=2, tlb_entries=2))
+        shadow = ShadowMemory()
+        for address, tags in (
+            (0xFFFF_FFFE, b"\x01" * 4),
+            (0x103E, b"\x01" * 4),
+            (0xFFFF_FFFE, b"\x00" * 2),
+        ):
+            for offset, tag in enumerate(tags):
+                shadow.set((address + offset) & 0xFFFF_FFFF, tag)
+            latch.update_memory_tags(address, tags)
+            latch.check_memory(address, len(tags))
+            latch.check_invariants(shadow)
+        latch.reconcile_clears(shadow.region_clean)
+        latch.check_invariants(shadow)

@@ -57,6 +57,40 @@ class TestAdaptiveTimeout:
         with pytest.raises(ValueError):
             AdaptiveTimeout(initial=10, minimum=100)
 
+    def test_minimum_below_one_rejected(self):
+        # A zero floor is a trap: 0 * 2 == 0, so once the threshold
+        # decays to zero it can never double back up.
+        with pytest.raises(ValueError):
+            AdaptiveTimeout(initial=1000, minimum=0)
+        with pytest.raises(ValueError):
+            AdaptiveTimeout(initial=1000, minimum=-5)
+
+    def test_decay_floors_at_one(self):
+        policy = AdaptiveTimeout(initial=4, minimum=1, maximum=4000)
+        for _ in range(5):
+            policy.on_retrap(10**9)
+        assert policy.threshold() == 1
+        # Halving an already-floored threshold is not a decrease...
+        assert policy.decreases == 2  # 4 -> 2 -> 1
+        # ...and the policy can still recover by doubling.
+        policy.on_retrap(10)
+        assert policy.threshold() == 2
+
+    def test_reset_restores_exact_initial_state(self):
+        policy = AdaptiveTimeout(initial=300, minimum=10, maximum=4000)
+        policy.on_retrap(10)       # double
+        policy.on_retrap(10**9)    # halve
+        policy.reset()
+        assert policy.threshold() == 300
+        assert policy.increases == 0
+        assert policy.decreases == 0
+        # Behaviour after reset matches a fresh policy step for step.
+        fresh = AdaptiveTimeout(initial=300, minimum=10, maximum=4000)
+        for span in (10, 10, 10**9, 50_000):
+            policy.on_retrap(span)
+            fresh.on_retrap(span)
+            assert policy.threshold() == fresh.threshold()
+
 
 class TestAdaptiveInTheSystem:
     @staticmethod
