@@ -41,6 +41,9 @@ def _add_fuzz(subparsers) -> None:
                         help="directory for shrunk failing programs")
     parser.add_argument("--no-shrink", action="store_true",
                         help="report failures without delta-debugging them")
+    parser.add_argument("--stats-out", type=Path, default=None,
+                        help="write aggregated streaming-path queue/stall "
+                             "metrics to this JSON file")
 
 
 def _add_replay(subparsers) -> None:
@@ -49,6 +52,9 @@ def _add_replay(subparsers) -> None:
     )
     parser.add_argument("--corpus", type=Path, default=DEFAULT_CORPUS,
                         help=f"corpus directory (default {DEFAULT_CORPUS})")
+    parser.add_argument("--stats-out", type=Path, default=None,
+                        help="write aggregated streaming-path queue/stall "
+                             "metrics to this JSON file")
 
 
 def _add_selftest(subparsers) -> None:
@@ -61,17 +67,37 @@ def _add_selftest(subparsers) -> None:
                         help="shrunk reproducer size budget")
 
 
+def _stream_registry(args):
+    """A shared registry for ``--stats-out`` aggregation (or None)."""
+    if getattr(args, "stats_out", None) is None:
+        return None
+    from repro.obs import MetricsRegistry
+
+    return MetricsRegistry()
+
+
+def _write_stats(args, registry, meta) -> None:
+    if registry is None:
+        return
+    snapshot = registry.snapshot()
+    snapshot.meta.update(meta)
+    args.stats_out.parent.mkdir(parents=True, exist_ok=True)
+    args.stats_out.write_text(snapshot.to_json(indent=2) + "\n")
+    print(f"wrote streaming queue metrics -> {args.stats_out}")
+
+
 def _cmd_fuzz(args) -> int:
     failures = 0
     checked = 0
     started = time.monotonic()
+    stream_obs = _stream_registry(args)
     for offset in range(args.seeds):
         if args.time_budget and time.monotonic() - started > args.time_budget:
             print(f"time budget reached after {checked} seeds")
             break
         seed = args.start_seed + offset
         cp = generate_program(seed)
-        report = check_program(cp, paths=ALL_PATHS)
+        report = check_program(cp, paths=ALL_PATHS, stream_obs=stream_obs)
         checked += 1
         if report.ok:
             continue
@@ -91,6 +117,11 @@ def _cmd_fuzz(args) -> int:
     elapsed = time.monotonic() - started
     print(f"checked {checked} programs in {elapsed:.1f}s: "
           f"{failures} failing")
+    _write_stats(args, stream_obs, {
+        "command": "fuzz",
+        "programs": checked,
+        "start_seed": args.start_seed,
+    })
     return 1 if failures else 0
 
 
@@ -100,14 +131,19 @@ def _cmd_replay(args) -> int:
         print(f"no corpus entries under {args.corpus}")
         return 0
     failures = 0
+    stream_obs = _stream_registry(args)
     for cp in programs:
-        report = check_program(cp, paths=ALL_PATHS)
+        report = check_program(cp, paths=ALL_PATHS, stream_obs=stream_obs)
         status = "ok" if report.ok else "FAIL"
         print(f"{cp.name}: {status} ({report.runs} runs)")
         for violation in report.violations:
             failures += 1
             print(f"  {violation}")
     print(f"replayed {len(programs)} corpus programs: {failures} violations")
+    _write_stats(args, stream_obs, {
+        "command": "replay",
+        "programs": len(programs),
+    })
     return 1 if failures else 0
 
 

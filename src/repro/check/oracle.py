@@ -18,6 +18,12 @@ In addition, :meth:`repro.core.latch.LatchModule.check_invariants` runs
 after every committed instruction on the core-mirror and H-LATCH paths
 (checked mode), so CTT/CTC/TLB incoherence is caught at the step that
 introduces it rather than at the end of the run.
+
+The ``stream`` path runs the program through the full
+:class:`repro.pipeline.StreamingPipeline` once per gating backend
+(scalar and vector), honouring any ``REPRO_PIPELINE_*`` environment
+knobs; with sampling inactive it must reproduce the reference
+signature, and the coarse-vs-precise invariants must hold either way.
 """
 
 from __future__ import annotations
@@ -40,7 +46,7 @@ from repro.machine.events import InputEvent, Observer, OutputEvent, StepEvent
 MAX_STEPS = 200_000
 
 #: Paths the oracle exercises (``check_program``'s default).
-ALL_PATHS = ("core", "slatch", "hlatch", "kernels")
+ALL_PATHS = ("core", "slatch", "hlatch", "kernels", "stream")
 
 
 @dataclass(frozen=True)
@@ -300,6 +306,31 @@ def run_hlatch(cp: CheckProgram) -> CheckedHLatchMonitor:
     return monitor
 
 
+# ---------------------------------------------------------------- streaming
+
+
+def run_stream(cp: CheckProgram, backend: Optional[str] = None):
+    """Run ``cp`` under the streaming pipeline (one gating backend).
+
+    The configuration comes from :meth:`repro.pipeline.PipelineConfig.
+    from_env`, so ``REPRO_PIPELINE_*`` knobs (queue shape, sampling)
+    apply to oracle runs and corpus replays exactly as they would to a
+    production run — a shrunk reproducer stays faithful under either
+    execution mode.
+    """
+    from repro.pipeline import StreamingPipeline
+    from repro.pipeline.config import PipelineConfig
+
+    config = PipelineConfig.from_env()
+    if backend is not None:
+        config = config.replace(backend=backend)
+    cpu = cp.make_cpu()
+    pipeline = StreamingPipeline(cpu, latch_config=cp.config, config=config)
+    _run(cpu)
+    pipeline.finish()
+    return pipeline
+
+
 # ------------------------------------------------------------ kernel replay
 
 
@@ -410,13 +441,16 @@ def check_program(
     cp: CheckProgram,
     paths: Sequence[str] = ALL_PATHS,
     latch_cls: Callable[..., LatchModule] = LatchModule,
+    stream_obs=None,
 ) -> OracleReport:
     """Run every requested path over ``cp`` and collect violations.
 
     ``latch_cls`` substitutes the core module on the ``core`` and
     ``kernels`` paths — the mutation self-test injects its known-buggy
-    module this way (S-LATCH/H-LATCH construct their own modules
-    internally and always use the real one).
+    module this way (S-LATCH/H-LATCH, like the streaming pipeline,
+    construct their own modules internally and always use the real
+    one).  ``stream_obs``, if given, accumulates the streaming runs'
+    queue/stall metrics (the ``repro-check --stats-out`` artifact).
     """
     report = OracleReport(programs_checked=1)
     reference, trace = run_reference(cp)
@@ -476,6 +510,29 @@ def check_program(
             dataclasses.replace(v, program=cp.name)
             for v in check_kernel_replay(cp, reference, trace, latch_cls=latch_cls)
         )
+
+    if "stream" in paths:
+        for backend in ("scalar", "vector"):
+            pipeline = run_stream(cp, backend=backend)
+            report.runs += 1
+            if not pipeline.sampler.active:
+                # Sampling deliberately trades coverage, so the final
+                # state may legitimately under-approximate the
+                # reference; the invariant check below still applies.
+                check_signature(pipeline.engine, f"stream-{backend}")
+            try:
+                pipeline.latch.check_invariants(pipeline.engine.shadow)
+            except InvariantViolation as violation:
+                report.violations.append(
+                    SoundnessViolation(
+                        kind="invariant",
+                        path=f"stream-{backend}",
+                        detail=str(violation),
+                        program=cp.name,
+                    )
+                )
+            if stream_obs is not None:
+                pipeline.accumulate_metrics(stream_obs)
     return report
 
 
@@ -483,11 +540,12 @@ def check_many(
     programs: Sequence[CheckProgram],
     paths: Sequence[str] = ALL_PATHS,
     stop_on_first: bool = False,
+    stream_obs=None,
 ) -> OracleReport:
     """Check a batch of programs; optionally stop at the first failure."""
     report = OracleReport()
     for cp in programs:
-        report.merge(check_program(cp, paths=paths))
+        report.merge(check_program(cp, paths=paths, stream_obs=stream_obs))
         if stop_on_first and not report.ok:
             break
     return report

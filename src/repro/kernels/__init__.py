@@ -36,7 +36,11 @@ from repro.kernels.backend import (
     reset_kernel_metrics,
     resolve_backend,
 )
-from repro.kernels.classify import CttIndex, domains_from_extents
+from repro.kernels.classify import (
+    CttIndex,
+    coarse_flags_window,
+    domains_from_extents,
+)
 from repro.kernels.epochs import (
     duration_profile,
     epoch_stream_from_trace,
@@ -56,6 +60,7 @@ __all__ = [
     "KERNEL_NAMES",
     "CttIndex",
     "LruStats",
+    "coarse_flags_window",
     "compress_runs",
     "domains_from_extents",
     "duration_profile",

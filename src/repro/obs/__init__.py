@@ -60,6 +60,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     Timer,
 )
+from repro.obs.queues import QueueInstruments
 from repro.obs.snapshot import MetricRecord, StatsSnapshot
 from repro.obs.spans import (
     SpanHandle,
@@ -80,6 +81,7 @@ __all__ = [
     "Metric",
     "MetricRecord",
     "MetricsRegistry",
+    "QueueInstruments",
     "SpanHandle",
     "SpanTracer",
     "StatsSnapshot",

@@ -1,0 +1,56 @@
+"""repro.pipeline — the streaming P-LATCH event pipeline.
+
+The paper's P-LATCH (Section 5.2) is a producer/queue/consumer system:
+the monitored core emits compact taint-relevant events, LATCH gating
+filters them, and a second core runs precise DIFT over what remains.
+This package *is* that runtime shape for the reproduction:
+
+* :class:`StreamingPipeline` — machine → gate → bounded queue → DIFT,
+  with real backpressure, an inline stall model, sampling, and full
+  obs/span instrumentation (docs/PIPELINE.md is the architecture doc);
+* :class:`PipelineConfig` / :class:`SamplingConfig` — every knob, also
+  settable through ``REPRO_PIPELINE_*`` environment variables;
+* :func:`validate_against_model` — replays the measured event stream
+  through :class:`repro.platch.queue_sim.TwoCoreQueueSimulator`, so
+  the paper's queue-saturation analysis validates against measurement.
+
+The long-standing whole-run API, :class:`repro.platch.PLatchSystem`,
+is now a thin wrapper over :class:`StreamingPipeline` configured for
+the classic event-at-a-time cadence.
+
+Usage::
+
+    from repro.pipeline import PipelineConfig, StreamingPipeline
+
+    pipeline = StreamingPipeline(cpu, config=PipelineConfig(
+        queue_capacity=64, drain_batch=16,
+    ))
+    pipeline.run()
+    print(pipeline.stats.enqueue_fraction)
+    print(pipeline.validate_model().predicted_stall_cycles)
+"""
+
+from repro.pipeline.config import PipelineConfig, SamplingConfig
+from repro.pipeline.events import EventKind, PipelineEvent
+from repro.pipeline.gate import GateStats, LatchGate
+from repro.pipeline.model import StallModel
+from repro.pipeline.pipeline import PipelineStats, StreamingPipeline
+from repro.pipeline.queue import BoundedEventQueue
+from repro.pipeline.sampling import WindowSampler
+from repro.pipeline.validate import ModelValidation, validate_against_model
+
+__all__ = [
+    "BoundedEventQueue",
+    "EventKind",
+    "GateStats",
+    "LatchGate",
+    "ModelValidation",
+    "PipelineConfig",
+    "PipelineEvent",
+    "PipelineStats",
+    "SamplingConfig",
+    "StallModel",
+    "StreamingPipeline",
+    "WindowSampler",
+    "validate_against_model",
+]

@@ -1,0 +1,212 @@
+"""Configuration for the streaming P-LATCH pipeline.
+
+Every knob is settable three ways, most specific wins:
+
+1. explicit constructor arguments (tests, embedding code);
+2. ``REPRO_PIPELINE_*`` environment variables via :meth:`PipelineConfig.
+   from_env` (the CLI tools and ``repro-check`` replay read these, so a
+   shrunk corpus reproducer re-runs under the same execution mode that
+   produced it);
+3. the defaults below, which match the paper's P-LATCH parameters
+   (1024-entry LBA queue scaled to the toy machine, LBA-simple analysis
+   cost).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Optional
+
+#: Per-event monitor cost implied by the LBA-simple 3.38x overhead
+#: (``repro.platch.lba.LBA_SIMPLE.analysis_cycles_per_event``); kept as
+#: a literal so this module stays import-cycle-free with ``repro.platch``.
+DEFAULT_ANALYSIS_CYCLES = 4.38
+
+ENV_QUEUE_CAPACITY = "REPRO_PIPELINE_QUEUE_CAPACITY"
+ENV_DRAIN_BATCH = "REPRO_PIPELINE_DRAIN_BATCH"
+ENV_GATE_BATCH = "REPRO_PIPELINE_GATE_BATCH"
+ENV_BACKEND = "REPRO_PIPELINE_BACKEND"
+ENV_SAMPLE_RATE = "REPRO_PIPELINE_SAMPLE_RATE"
+ENV_SAMPLE_WINDOW = "REPRO_PIPELINE_SAMPLE_WINDOW"
+ENV_SAMPLE_SEED = "REPRO_PIPELINE_SAMPLE_SEED"
+ENV_MODEL_EPOCH = "REPRO_PIPELINE_MODEL_EPOCH"
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """HardTaint-style selective-tracing dial.
+
+    Candidate events (those the LATCH gate would enqueue) are grouped
+    into windows of ``window`` events; each window is monitored with
+    probability ``rate`` by a private ``random.Random(seed)``, so a
+    given (rate, window, seed) triple replays the *same* coverage on
+    the same program.  ``rate == 1.0`` disables sampling entirely.
+
+    Sampled-out events are dropped before the queue: no precise
+    analysis, no pending-FIFO entry, no conservative TRF marking.
+    That is a deliberate coverage loss — the knob trades soundness of
+    *coverage* for producer overhead, never correctness of what *is*
+    monitored.  Taint-source/sink (INPUT/OUTPUT) events bypass sampling
+    so policy state stays well-defined.
+    """
+
+    rate: float = 1.0
+    window: int = 256
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.rate <= 1.0):
+            raise ValueError(f"sampling rate must be in (0, 1], got {self.rate}")
+        if self.window < 1:
+            raise ValueError(f"sampling window must be >= 1, got {self.window}")
+
+    @property
+    def active(self) -> bool:
+        """True when sampling can actually drop events."""
+        return self.rate < 1.0
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Structural parameters of one streaming pipeline instance.
+
+    Attributes:
+        queue_capacity: shared FIFO depth; a full queue forces an
+            immediate partial drain (the producer stall of Figure 11).
+        drain_batch: events the monitor stage processes per automatic
+            drain episode.
+        gate_batch: committed instructions gated per flush.  ``None``
+            resolves per backend: 1 for ``scalar`` (event-at-a-time,
+            the classic P-LATCH cadence) and 16 for ``vector``
+            (windowed classification through ``repro.kernels``).
+        backend: gating backend — ``"scalar"``, ``"vector"``, or
+            ``None`` to follow ``repro.kernels.resolve_backend`` (the
+            ``REPRO_KERNEL_BACKEND`` switch).
+        sampling: the selective-tracing dial.
+        analysis_cycles_per_event: monitor cost per queued event for
+            the stall model (default: LBA-simple, 4.38 cycles).
+        model_epoch: instructions per epoch when aggregating the
+            measured event stream for ``repro.platch.queue_sim``
+            validation.  1 makes the analytic replay *exact*; larger
+            epochs trade accuracy for memory (see docs/PIPELINE.md).
+    """
+
+    queue_capacity: int = 256
+    drain_batch: int = 64
+    gate_batch: Optional[int] = None
+    backend: Optional[str] = None
+    sampling: SamplingConfig = field(default_factory=SamplingConfig)
+    analysis_cycles_per_event: float = DEFAULT_ANALYSIS_CYCLES
+    model_epoch: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.drain_batch < 1:
+            raise ValueError("drain_batch must be >= 1")
+        if self.gate_batch is not None and self.gate_batch < 1:
+            raise ValueError("gate_batch must be >= 1 (or None)")
+        if self.analysis_cycles_per_event <= 0:
+            raise ValueError("analysis_cycles_per_event must be positive")
+        if self.model_epoch < 1:
+            raise ValueError("model_epoch must be >= 1")
+
+    # ------------------------------------------------------------ resolved
+
+    @property
+    def resolved_backend(self) -> str:
+        """The concrete gating backend ("scalar" or "vector")."""
+        from repro.kernels.backend import resolve_backend
+
+        return resolve_backend(self.backend)
+
+    @property
+    def resolved_gate_batch(self) -> int:
+        """The concrete gate batch (backend-dependent default)."""
+        if self.gate_batch is not None:
+            return self.gate_batch
+        return 1 if self.resolved_backend == "scalar" else 16
+
+    @property
+    def pending_capacity(self) -> int:
+        """Pending-FIFO depth sized so ordinary runs never fill it.
+
+        Outstanding pending entries are bounded by queued step events
+        plus the current gate batch (each instruction writes at most
+        one memory operand), so ``4x queue + 2x batch`` leaves the
+        stall-retry path as a belt-and-suspenders fallback only.
+        """
+        return max(
+            4 * self.queue_capacity,
+            self.queue_capacity + 2 * self.resolved_gate_batch + 8,
+        )
+
+    def lba_parameters(self):
+        """This pipeline as a :class:`repro.platch.lba.LbaParameters`.
+
+        ``analysis_cycles_per_event = 1 + mean_overhead`` for one event
+        per instruction, so the inverse is ``mean_overhead = cycles - 1``.
+        """
+        from repro.platch.lba import LbaParameters
+
+        return LbaParameters(
+            name=f"pipeline-q{self.queue_capacity}",
+            mean_overhead=self.analysis_cycles_per_event - 1.0,
+            queue_entries=self.queue_capacity,
+        )
+
+    # ----------------------------------------------------------------- env
+
+    @classmethod
+    def from_env(
+        cls, env: Optional[Mapping[str, str]] = None, **overrides
+    ) -> "PipelineConfig":
+        """Build a config from ``REPRO_PIPELINE_*`` variables.
+
+        Unset variables fall back to the dataclass defaults; explicit
+        ``overrides`` win over the environment (the CLI flag path).
+        """
+        env = os.environ if env is None else env
+
+        def _int(name: str):
+            raw = env.get(name)
+            return int(raw) if raw not in (None, "") else None
+
+        def _float(name: str):
+            raw = env.get(name)
+            return float(raw) if raw not in (None, "") else None
+
+        values = {}
+        for key, reader, var in (
+            ("queue_capacity", _int, ENV_QUEUE_CAPACITY),
+            ("drain_batch", _int, ENV_DRAIN_BATCH),
+            ("gate_batch", _int, ENV_GATE_BATCH),
+            ("model_epoch", _int, ENV_MODEL_EPOCH),
+        ):
+            parsed = reader(var)
+            if parsed is not None:
+                values[key] = parsed
+        backend = env.get(ENV_BACKEND)
+        if backend:
+            values["backend"] = backend
+
+        sampling_values = {}
+        rate = _float(ENV_SAMPLE_RATE)
+        if rate is not None:
+            sampling_values["rate"] = rate
+        window = _int(ENV_SAMPLE_WINDOW)
+        if window is not None:
+            sampling_values["window"] = window
+        seed = _int(ENV_SAMPLE_SEED)
+        if seed is not None:
+            sampling_values["seed"] = seed
+        if sampling_values:
+            values["sampling"] = SamplingConfig(**sampling_values)
+
+        values.update(overrides)
+        return cls(**values)
+
+    def replace(self, **changes) -> "PipelineConfig":
+        """A copy with ``changes`` applied (frozen-dataclass helper)."""
+        return replace(self, **changes)

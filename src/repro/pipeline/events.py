@@ -1,0 +1,69 @@
+"""The compact event vocabulary flowing through the pipeline queue.
+
+The producer (monitored core) places three kinds of records in the
+shared FIFO, in commit order:
+
+=========  ===========================================  ==============
+kind       payload                                      ordering role
+=========  ===========================================  ==============
+``STEP``   :class:`repro.machine.events.StepEvent`      one committed
+           (pc, registers read/written, memory reads/   instruction
+           writes) — only if the LATCH gate admits it
+``INPUT``  :class:`repro.machine.events.InputEvent`     taint source;
+           (address, data, source, taint hint)          applied by the
+                                                        consumer *in
+                                                        sequence* with
+                                                        neighbouring
+                                                        steps
+``OUTPUT`` :class:`repro.machine.events.OutputEvent`    taint sink /
+           (address, data, sink name)                   leak check
+=========  ===========================================  ==============
+
+Routing INPUT/OUTPUT through the queue (rather than applying them
+immediately at syscall time) is what makes the asynchronous consumer
+order-correct: a queued store that clears an input buffer must be
+analysed *before* a later input re-taints it, exactly as an always-on
+reference tracker would interleave them.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class EventKind(enum.Enum):
+    """Discriminator for queue records."""
+
+    STEP = "step"
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+class PipelineEvent:
+    """One bounded-queue record: a kind, its payload, and bookkeeping.
+
+    ``sequence`` is the pending-update FIFO ticket guarding the step's
+    memory write (-1 when the step wrote no memory or for control
+    events); the consumer retires it once the write has been analysed.
+
+    A plain ``__slots__`` class rather than a dataclass: the queue is
+    the hot path of every monitored run and slotted dataclasses need
+    Python >= 3.10 (the CI matrix starts at 3.9).
+    """
+
+    __slots__ = ("kind", "payload", "sequence")
+
+    def __init__(self, kind: EventKind, payload, sequence: int = -1) -> None:
+        self.kind = kind
+        self.payload = payload
+        self.sequence = sequence
+
+    @property
+    def is_step(self) -> bool:
+        return self.kind is EventKind.STEP
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PipelineEvent({self.kind.value}, seq={self.sequence}, "
+            f"{self.payload!r})"
+        )

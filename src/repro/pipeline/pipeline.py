@@ -1,0 +1,475 @@
+"""The streaming P-LATCH pipeline: machine → gate → queue → DIFT.
+
+This is the runtime shape the paper's Figure 11-b sketches, decomposed
+into stages that each do one thing:
+
+1. **Produce** — the monitored :class:`repro.machine.CPU` commits
+   instructions; each :class:`StepEvent` enters a small gate batch.
+   Taint-source/sink syscalls (INPUT/OUTPUT) flush the batch and enter
+   the queue as ordered control events, so the asynchronous consumer
+   replays sources, sinks, and stores in exact commit order.
+2. **Gate** — :class:`repro.pipeline.gate.LatchGate` runs the coarse
+   LATCH classification (scalar ``check_step`` or windowed
+   ``repro.kernels`` classification) plus the pending-update guard;
+   provably taint-free instructions are suppressed here and never
+   reach the queue.
+3. **Sample** — an optional :class:`WindowSampler` drops whole windows
+   of would-be-monitored events (the HardTaint coverage/overhead dial).
+4. **Queue** — a :class:`BoundedEventQueue` with real backpressure: a
+   full queue stalls the producer and forces a partial drain, and an
+   inline :class:`StallModel` charges the stall cycles the paper's
+   2-core analysis predicts.
+5. **Consume** — the byte-precise :class:`repro.dift.DIFTEngine`
+   analyses only what survived the gate; its tag writes flow back into
+   the CTT (keeping the gate sound) and retire pending entries.
+
+Soundness invariant: every instruction that could read, write, or
+clear taint is enqueued (unless deliberately sampled out), so the
+suppressed majority provably cannot change taint state and the final
+precise state equals an always-on tracker's — differentially verified
+by ``tests/test_pipeline.py`` and the ``stream`` path of the
+``repro-check`` oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.latch import LatchConfig, LatchModule
+from repro.dift.engine import DIFTEngine
+from repro.dift.policy import TaintPolicy
+from repro.machine.cpu import CPU
+from repro.machine.events import InputEvent, Observer, OutputEvent, StepEvent
+from repro.obs import MetricsRegistry
+from repro.obs.queues import QueueInstruments
+from repro.obs.spans import emit_event, maybe_span
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.events import EventKind, PipelineEvent
+from repro.pipeline.gate import LatchGate
+from repro.pipeline.model import StallModel
+from repro.pipeline.queue import BoundedEventQueue
+from repro.pipeline.sampling import WindowSampler
+from repro.workloads.trace import EpochStream
+
+
+@dataclass
+class PipelineStats:
+    """Native-integer accounting for one pipeline run."""
+
+    instructions: int = 0
+    enqueued: int = 0            # step events admitted to the queue
+    suppressed: int = 0          # step events the gate proved taint-free
+    sampled_out: int = 0         # admitted but dropped by the sampler
+    control_events: int = 0      # INPUT/OUTPUT records enqueued
+    drained: int = 0             # step events the monitor analysed
+    control_drained: int = 0     # control records the monitor applied
+    queue_full_stalls: int = 0   # producer stalls on a full queue
+    batches: int = 0             # gate flushes
+
+    @property
+    def enqueue_fraction(self) -> float:
+        """Fraction of instructions that entered the monitor queue."""
+        if self.instructions == 0:
+            return 0.0
+        return self.enqueued / self.instructions
+
+
+class StreamingPipeline(Observer):
+    """Decoupled two-core monitoring attached to one CPU.
+
+    Args:
+        cpu: the monitored machine (the pipeline attaches itself).
+        policy: DIFT policy for the monitor core.
+        latch_config: LATCH structural parameters.
+        config: pipeline shape (queue, batching, backend, sampling).
+        registry: obs registry to publish into (one is created if
+            omitted); the queue-occupancy histogram records into it
+            during the run.
+        tracer: optional :class:`repro.obs.Tracer` for stall events
+            (span tracing additionally follows the ambient
+            ``maybe_span`` context, as everywhere else in the tree).
+    """
+
+    def __init__(
+        self,
+        cpu: CPU,
+        policy: Optional[TaintPolicy] = None,
+        latch_config: Optional[LatchConfig] = None,
+        config: Optional[PipelineConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer=None,
+    ) -> None:
+        from repro.platch.pending import PendingUpdateTracker
+
+        self.config = config if config is not None else PipelineConfig()
+        self.cpu = cpu
+        self.engine = DIFTEngine(policy)
+        self.latch = LatchModule(latch_config)
+        self.queue = BoundedEventQueue(self.config.queue_capacity)
+        self.pending = PendingUpdateTracker(
+            capacity=self.config.pending_capacity
+        )
+        self.sampler = WindowSampler(self.config.sampling)
+        self.gate = LatchGate(
+            self.latch, self.pending, backend=self.config.resolved_backend
+        )
+        self.model = StallModel(
+            self.config.analysis_cycles_per_event,
+            self.config.queue_capacity,
+            self.config.model_epoch,
+        )
+        self.stats = PipelineStats()
+        self.obs = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
+        self._queue_instruments = QueueInstruments(
+            self.obs, "pipeline.queue",
+            occupancy_description="Monitor-queue entries after each drain",
+        )
+        self._batch: List[StepEvent] = []
+        self._carried_events = 0
+        self._deferred_retires: List[int] = []
+        self._defer_retires = False
+        self._stale_flags = False
+        self.engine.add_tag_listener(self._on_tag_write)
+        cpu.attach(self)
+
+    # ----------------------------------------------------- compat surface
+
+    @property
+    def queue_capacity(self) -> int:
+        return self.config.queue_capacity
+
+    @property
+    def drain_batch(self) -> int:
+        return self.config.drain_batch
+
+    @property
+    def alerts(self) -> List:
+        """Alerts raised by the monitor so far."""
+        return self.engine.alerts
+
+    # ------------------------------------------------------------ observer
+
+    def on_step(self, event: StepEvent) -> None:
+        self.stats.instructions += 1
+        self._batch.append(event)
+        if len(self._batch) >= self.config.resolved_gate_batch:
+            self.flush()
+
+    def on_input(self, event: InputEvent) -> None:
+        """Queue the taint source in sequence with neighbouring steps.
+
+        The precise tags are applied when the consumer reaches the
+        record, but the *coarse* CTT bits are set right here: readers
+        of the input buffer that commit before the monitor catches up
+        must already hit the gate.  (The converse — an untainted input
+        overwriting tainted bytes — leaves the stale coarse bits in
+        place until the drain clears them: conservative, never unsound.)
+        """
+        self.flush()
+        if event.data and self.engine.policy.should_taint(event):
+            self.latch.update_memory_tags(
+                event.address, b"\x01" * len(event.data), defer_clear=True
+            )
+            self.gate.invalidate_index()
+        self._enqueue_control(EventKind.INPUT, event)
+
+    def on_output(self, event: OutputEvent) -> None:
+        """Queue the sink check behind every event it must observe."""
+        self.flush()
+        self._enqueue_control(EventKind.OUTPUT, event)
+
+    def on_halt(self, step_index: int) -> None:
+        self.finish()
+
+    # ------------------------------------------------------------ produce
+
+    def flush(self) -> None:
+        """Gate the buffered batch and enqueue the admitted events."""
+        if not self._batch:
+            return
+        events, self._batch = self._batch, []
+        self.stats.batches += 1
+        flags = self.gate.memory_flags(events)
+        # Precomputed flags are snapshots of the CTT at batch entry; a
+        # mid-batch drain may mutate the CTT, but deferred retires keep
+        # the pending guard covering every in-flight write, so the
+        # snapshot stays sound for the rest of the batch.
+        self._defer_retires = len(events) > 1
+        self._stale_flags = False
+        try:
+            for index, event in enumerate(events):
+                flag = None if self._stale_flags else flags[index]
+                if self.gate.admit(event, flag):
+                    if self.sampler.admit():
+                        self._enqueue_step(event)
+                        contributed = 1
+                    else:
+                        self.stats.sampled_out += 1
+                        contributed = 0
+                else:
+                    self.stats.suppressed += 1
+                    contributed = 0
+                self.model.commit(contributed + self._carried_events)
+                self._carried_events = 0
+                if len(self.queue) >= self.config.drain_batch:
+                    self.drain(self.config.drain_batch)
+        finally:
+            self._defer_retires = False
+            self._apply_deferred_retires()
+
+    def _enqueue_step(self, event: StepEvent) -> None:
+        if self.queue.full:
+            self._stall()
+        sequence = -1
+        for access in event.writes:
+            pushed = self.pending.push(access.address, access.size)
+            while pushed is None:
+                drained = self.drain(self.config.drain_batch)
+                if self._deferred_retires:
+                    self._apply_deferred_retires()
+                    # Precomputed flags no longer guarded by pending
+                    # entries: recompute the rest of the batch live.
+                    self._stale_flags = True
+                elif drained == 0:
+                    raise RuntimeError(
+                        "pending tracker full with an empty queue"
+                    )
+                pushed = self.pending.push(access.address, access.size)
+            sequence = pushed
+        self.queue.append(PipelineEvent(EventKind.STEP, event, sequence))
+        self.stats.enqueued += 1
+        # Conservative TRF: destinations of queued events count as
+        # tainted until the monitor resolves them.
+        for register in event.regs_written:
+            self.latch.trf.taint(register)
+
+    def _enqueue_control(self, kind: EventKind, event) -> None:
+        if self.queue.full:
+            self._stall()
+        self.queue.append(PipelineEvent(kind, event))
+        self.stats.control_events += 1
+        self._carried_events += 1
+
+    def _stall(self) -> None:
+        self.stats.queue_full_stalls += 1
+        emit_event("pipeline.stall", depth=len(self.queue))
+        if self.tracer is not None:
+            self.tracer.event("pipeline.stall", depth=len(self.queue))
+        self.drain(self.config.drain_batch)
+
+    # ------------------------------------------------------------ consume
+
+    def drain(self, max_events: Optional[int] = None) -> int:
+        """Run the monitor core over up to ``max_events`` queued events."""
+        processed = 0
+        if self.queue:
+            with maybe_span("pipeline.drain", depth=len(self.queue)):
+                while self.queue and (
+                    max_events is None or processed < max_events
+                ):
+                    item = self.queue.popleft()
+                    if item.kind is EventKind.STEP:
+                        self.engine.on_step(item.payload)
+                        if item.sequence >= 0:
+                            if self._defer_retires:
+                                self._deferred_retires.append(item.sequence)
+                            else:
+                                self.pending.retire(item.sequence)
+                        self.stats.drained += 1
+                    elif item.kind is EventKind.INPUT:
+                        self.engine.on_input(item.payload)
+                        self.stats.control_drained += 1
+                    else:
+                        self.engine.on_output(item.payload)
+                        self.stats.control_drained += 1
+                    processed += 1
+        if not self.queue:
+            # Queue empty: resynchronise the conservative TRF with the
+            # monitor's precise register taint (the strf path).
+            self.latch.set_trf_mask(self.engine.trf.register_mask())
+        self._queue_instruments.record_occupancy(len(self.queue))
+        return processed
+
+    def drain_all(self) -> int:
+        """Process every outstanding event (flushing the gate first)."""
+        self.flush()
+        return self.drain(None)
+
+    def finish(self) -> None:
+        """Flush, drain everything, and close the stall accounting."""
+        self.flush()
+        self.drain(None)
+        if self._carried_events:
+            self.model.absorb(self._carried_events)
+            self._carried_events = 0
+
+    def run(self, max_steps: int = 5_000_000) -> int:
+        """Drive the CPU to completion under the pipeline."""
+        with maybe_span(
+            "pipeline.run",
+            backend=self.config.resolved_backend,
+            queue_capacity=self.config.queue_capacity,
+        ):
+            executed = self.cpu.run(max_steps)
+            self.finish()
+        return executed
+
+    def _apply_deferred_retires(self) -> None:
+        if self._deferred_retires:
+            retires, self._deferred_retires = self._deferred_retires, []
+            for sequence in retires:
+                self.pending.retire(sequence)
+
+    # ------------------------------------------------------------- wiring
+
+    def _on_tag_write(self, address: int, tags: bytes) -> None:
+        self.latch.update_memory_tags(
+            address,
+            tags,
+            defer_clear=False,
+            clean_oracle=self.engine.shadow.region_clean,
+        )
+        self.gate.invalidate_index()
+
+    # ------------------------------------------------------------- export
+
+    def measured_stream(self, name: Optional[str] = None) -> EpochStream:
+        """The measured per-epoch event stream (for the analytic model)."""
+        return self.model.epoch_stream(name or "pipeline")
+
+    def validate_model(self):
+        """Replay the measured stream through ``repro.platch.queue_sim``."""
+        from repro.pipeline.validate import validate_against_model
+
+        return validate_against_model(self)
+
+    def publish_metrics(
+        self, registry: Optional[MetricsRegistry] = None
+    ) -> MetricsRegistry:
+        """Publish the whole stack's counters (pipeline, LATCH, DIFT, CPU)."""
+        registry = registry if registry is not None else self.obs
+        stats = self.stats
+        registry.counter(
+            "pipeline.instructions", unit="instructions",
+            description="Instructions committed by the monitored core",
+        ).set(stats.instructions)
+        registry.counter(
+            "pipeline.events.enqueued", unit="events",
+            description="Step events admitted to the monitor queue",
+        ).set(stats.enqueued)
+        registry.counter(
+            "pipeline.events.suppressed", unit="events",
+            description="Step events the gate proved taint-free",
+        ).set(stats.suppressed)
+        registry.counter(
+            "pipeline.events.sampled_out", unit="events",
+            description="Admitted events dropped by the sampling dial",
+        ).set(stats.sampled_out)
+        registry.counter(
+            "pipeline.events.control", unit="events",
+            description="INPUT/OUTPUT records routed through the queue",
+        ).set(stats.control_events)
+        registry.counter(
+            "pipeline.events.drained", unit="events",
+            description="Step events the monitor core analysed",
+        ).set(stats.drained)
+        registry.counter(
+            "pipeline.batches", unit="batches",
+            description="Gate flushes (micro-batches classified)",
+        ).set(stats.batches)
+        gate = self.gate.stats
+        registry.counter(
+            "pipeline.gate.register_hits", unit="events",
+            description="Admissions from a tainted source register (TRF)",
+        ).set(gate.register_hits)
+        registry.counter(
+            "pipeline.gate.memory_hits", unit="events",
+            description="Admissions from a coarsely tainted memory domain",
+        ).set(gate.memory_hits)
+        registry.counter(
+            "pipeline.gate.pending_hits", unit="events",
+            description="Admissions forced by the pending-update guard",
+        ).set(gate.pending_hits)
+        registry.counter(
+            "pipeline.gate.writeback_hits", unit="events",
+            description="Admissions from overwriting a tainted register",
+        ).set(gate.writeback_hits)
+        registry.gauge(
+            "pipeline.enqueue_frac", unit="fraction",
+            description="Instructions producing a monitored event (§5.2)",
+        ).set(stats.enqueue_fraction)
+        self._queue_instruments.publish(
+            depth=len(self.queue),
+            high_water=self.queue.high_water,
+            stalls=stats.queue_full_stalls,
+            stall_cycles=int(self.model.stall_cycles),
+            registry=registry,
+        )
+        registry.gauge(
+            "pipeline.overhead", unit="fraction",
+            description="Producer stall overhead over native (Figure 15)",
+        ).set(
+            self.model.stall_cycles / stats.instructions
+            if stats.instructions else 0.0
+        )
+        registry.gauge(
+            "pipeline.sampling.rate", unit="fraction",
+            description="Configured window-monitoring probability",
+        ).set(self.config.sampling.rate)
+        registry.counter(
+            "pipeline.sampling.windows", unit="windows",
+            description="Sampling windows started",
+        ).set(self.sampler.windows)
+        registry.counter(
+            "pipeline.sampling.windows_skipped", unit="windows",
+            description="Sampling windows dropped unmonitored",
+        ).set(self.sampler.windows_skipped)
+        validation = self.validate_model()
+        registry.gauge(
+            "pipeline.model.predicted_stall_cycles", unit="cycles",
+            description="queue_sim replay of the measured event stream",
+        ).set(validation.predicted_stall_cycles)
+        registry.gauge(
+            "pipeline.model.stall_rel_error", unit="fraction",
+            description="Relative measured-vs-model stall disagreement",
+        ).set(
+            0.0 if validation.relative_error == float("inf")
+            else validation.relative_error
+        )
+        self.latch.publish_metrics(registry)
+        self.engine.publish_metrics(registry)
+        self.cpu.publish_metrics(registry)
+        return registry
+
+    def snapshot(self):
+        """Publish all counters and freeze :attr:`obs` into a snapshot."""
+        return self.publish_metrics().snapshot()
+
+    def accumulate_metrics(self, registry: MetricsRegistry) -> None:
+        """Add this run's queue/stall accounting into a shared registry.
+
+        Unlike :meth:`publish_metrics` (which *sets* point-in-time
+        values), this increments counters so many runs aggregate — the
+        ``repro-check --stats-out`` artifact path.
+        """
+        validation = self.validate_model()
+        for name, value, unit in (
+            ("pipeline.runs", 1, "runs"),
+            ("pipeline.instructions", self.stats.instructions,
+             "instructions"),
+            ("pipeline.events.enqueued", self.stats.enqueued, "events"),
+            ("pipeline.events.suppressed", self.stats.suppressed, "events"),
+            ("pipeline.events.sampled_out", self.stats.sampled_out,
+             "events"),
+            ("pipeline.events.control", self.stats.control_events, "events"),
+            ("pipeline.events.drained", self.stats.drained, "events"),
+            ("pipeline.queue.stalls", self.stats.queue_full_stalls,
+             "events"),
+            ("pipeline.queue.stall_cycles", int(self.model.stall_cycles),
+             "cycles"),
+            ("pipeline.model.predicted_stall_cycles",
+             validation.predicted_stall_cycles, "cycles"),
+        ):
+            registry.counter(name, unit=unit).inc(value)

@@ -1,0 +1,53 @@
+"""The bounded producer/consumer FIFO between the two cores.
+
+Deliberately minimal: capacity enforcement (the *backpressure policy* —
+stall-then-drain — lives in the pipeline, which knows how to run the
+consumer) plus the native-integer accounting the obs layer publishes at
+snapshot time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.pipeline.events import PipelineEvent
+
+
+class BoundedEventQueue:
+    """A capacity-limited FIFO with high-water accounting.
+
+    ``append`` never blocks and never drops: callers must check
+    :attr:`full` first and apply their backpressure policy (the
+    pipeline stalls the producer and drains the consumer).  This keeps
+    the queue agnostic of who its consumer is.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self.high_water = 0
+        self.puts = 0
+        self._items: Deque[PipelineEvent] = deque()
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def append(self, event: PipelineEvent) -> None:
+        """Enqueue one event; the caller has already handled fullness."""
+        self._items.append(event)
+        self.puts += 1
+        depth = len(self._items)
+        if depth > self.high_water:
+            self.high_water = depth
+
+    def popleft(self) -> PipelineEvent:
+        return self._items.popleft()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)

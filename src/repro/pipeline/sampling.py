@@ -1,0 +1,47 @@
+"""Windowed deterministic sampling (the HardTaint-style dial).
+
+The sampler sees only *candidate* events — those the LATCH gate already
+admitted — and decides per window of ``window`` candidates whether that
+window is monitored.  Windowing (rather than per-event coin flips)
+keeps dependent instruction runs together: a tainted load and the store
+that consumes it usually land in the same window, so low rates degrade
+coverage by dropping whole episodes instead of shredding every episode.
+
+Decisions come from a private ``random.Random(seed)``, so coverage is a
+pure function of (rate, window, seed, program) — replays are exact.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.pipeline.config import SamplingConfig
+
+
+class WindowSampler:
+    """Deterministic per-window admit/skip decisions."""
+
+    def __init__(self, config: SamplingConfig) -> None:
+        self.config = config
+        self.windows = 0
+        self.windows_skipped = 0
+        self._rng = random.Random(config.seed)
+        self._remaining = 0
+        self._monitoring = True
+
+    @property
+    def active(self) -> bool:
+        return self.config.active
+
+    def admit(self) -> bool:
+        """Decide the fate of the next candidate event."""
+        if not self.config.active:
+            return True
+        if self._remaining == 0:
+            self.windows += 1
+            self._monitoring = self._rng.random() < self.config.rate
+            if not self._monitoring:
+                self.windows_skipped += 1
+            self._remaining = self.config.window
+        self._remaining -= 1
+        return self._monitoring

@@ -1,0 +1,84 @@
+"""Closing the loop: measured pipeline vs analytic queue model.
+
+The paper's queue-saturation analysis (Section 5.2 / Figure 11) lives
+in :class:`repro.platch.queue_sim.TwoCoreQueueSimulator`.  The
+streaming pipeline *measures* the same quantities while actually
+running a program, and this module replays the measured event stream
+through the analytic model:
+
+* ``model_epoch == 1`` — the replay is **exact**: both sides run the
+  identical Lindley recursion over the identical per-instruction event
+  counts, so predicted and measured stall cycles match bit for bit.
+* coarser epochs — the model sees epoch totals instead of the
+  per-instruction arrival pattern; burstiness inside an epoch is
+  smeared, so the prediction carries a discretisation error.  The
+  documented tolerance (see docs/PIPELINE.md) is 10% relative plus one
+  epoch's worth of monitor work absolute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Documented default tolerance for coarse-epoch validation.
+RELATIVE_TOLERANCE = 0.10
+
+
+@dataclass(frozen=True)
+class ModelValidation:
+    """Measured-vs-predicted stall accounting for one pipeline run."""
+
+    measured_stall_cycles: int
+    predicted_stall_cycles: int
+    measured_events: int
+    predicted_events: int
+    instructions: int
+    model_epoch: int
+    analysis_cycles_per_event: float
+
+    @property
+    def absolute_error(self) -> int:
+        return abs(self.predicted_stall_cycles - self.measured_stall_cycles)
+
+    @property
+    def relative_error(self) -> float:
+        """Error relative to the measured stall (0.0 when both are 0)."""
+        if self.measured_stall_cycles == 0:
+            return 0.0 if self.predicted_stall_cycles == 0 else float("inf")
+        return self.absolute_error / self.measured_stall_cycles
+
+    @property
+    def tolerance_cycles(self) -> float:
+        """The documented error budget for this epoch granularity."""
+        slack = self.model_epoch * self.analysis_cycles_per_event
+        return RELATIVE_TOLERANCE * self.measured_stall_cycles + slack
+
+    @property
+    def within_tolerance(self) -> bool:
+        return self.absolute_error <= self.tolerance_cycles
+
+    @property
+    def exact(self) -> bool:
+        return self.absolute_error == 0
+
+
+def validate_against_model(pipeline) -> ModelValidation:
+    """Replay ``pipeline``'s measured stream through the analytic model."""
+    from repro.platch.queue_sim import TwoCoreQueueSimulator
+
+    stream = pipeline.measured_stream()
+    simulator = TwoCoreQueueSimulator(
+        baseline=pipeline.config.lba_parameters(),
+        filtered=True,
+        fp_rate=0.0,
+    )
+    report = simulator.run(stream)
+    return ModelValidation(
+        measured_stall_cycles=int(pipeline.model.stall_cycles),
+        predicted_stall_cycles=report.stall_cycles,
+        measured_events=pipeline.model.events,
+        predicted_events=report.events_enqueued,
+        instructions=pipeline.model.instructions,
+        model_epoch=pipeline.config.model_epoch,
+        analysis_cycles_per_event=pipeline.config.analysis_cycles_per_event,
+    )

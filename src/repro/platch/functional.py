@@ -1,45 +1,35 @@
 """Functional P-LATCH: a two-core monitored execution on the emulator.
 
-The paper evaluates P-LATCH analytically; this module additionally
-*implements* it so the design can be checked end to end (Figure 11-b):
+The paper evaluates P-LATCH analytically; the reproduction additionally
+*implements* it so the design can be checked end to end (Figure 11-b).
+Since the streaming refactor, the implementation lives in
+:mod:`repro.pipeline` — machine → LATCH gate → bounded queue → precise
+DIFT, with real backpressure, stall accounting, and a sampling dial —
+and this module keeps the long-standing whole-run API as a thin wrapper
+configured for the classic cadence:
 
-* the **monitored core** (the :class:`repro.machine.CPU` this system
-  attaches to) carries the unmodified LATCH module.  Each committed
-  instruction is coarse-checked; only instructions that *might* involve
-  taint are placed in the shared FIFO queue:
+* scalar gating backend (``check_step`` per event, driving the CTC/TLB
+  cost model at admission time);
+* event-at-a-time gate batches (``gate_batch=1``);
+* sampling disabled.
 
-  - a source register is tainted in the (conservative) TRF, or
-  - a memory operand hits a coarsely tainted domain, or
-  - a memory operand is covered by a queued-but-unprocessed update
-    (the :class:`~repro.platch.pending.PendingUpdateTracker` guard the
-    paper sketches for false-negative prevention), or
-  - a written register is currently marked tainted (the instruction
-    changes taint state by overwriting it).
-
-* the **monitor core** drains the queue asynchronously, running the
-  byte-precise DIFT engine over the queued events, propagating tags,
-  raising alerts, and updating the CTT (which write-through keeps the
-  CTC coherent); completed events retire their pending entries.
-
-Because every instruction that could read, write, or clear taint is
-enqueued, the skipped instructions provably cannot change taint state,
-and the monitor's precise state equals an always-on tracker's
-(differentially tested in ``tests/test_platch_functional.py``).
-Detection is *delayed* by queue occupancy — the LBA trade-off — but
-never lost.
+Under that configuration the wrapper reproduces the original
+event-at-a-time P-LATCH loop decision for decision, so the long-standing
+differential tests in ``tests/test_platch_functional.py`` pin the
+pipeline to the seed behaviour.  See docs/PIPELINE.md for the pipeline
+architecture and the knobs the wrapper deliberately does not expose.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Tuple
+from typing import Optional
 
-from repro.core.latch import LatchConfig, LatchModule
-from repro.dift.engine import DIFTEngine
+from repro.core.latch import LatchConfig
 from repro.dift.policy import TaintPolicy
 from repro.machine.cpu import CPU
-from repro.machine.events import InputEvent, Observer, OutputEvent, StepEvent
+from repro.pipeline.config import PipelineConfig, SamplingConfig
+from repro.pipeline.pipeline import StreamingPipeline
 
 
 @dataclass
@@ -60,7 +50,7 @@ class PLatchCounters:
         return self.enqueued / self.instructions
 
 
-class PLatchSystem(Observer):
+class PLatchSystem(StreamingPipeline):
     """LATCH-filtered two-core monitoring attached to one CPU.
 
     Args:
@@ -80,111 +70,26 @@ class PLatchSystem(Observer):
         queue_capacity: int = 256,
         drain_batch: int = 64,
     ) -> None:
-        from repro.platch.pending import PendingUpdateTracker
-
-        self.cpu = cpu
-        self.engine = DIFTEngine(policy)
-        self.latch = LatchModule(latch_config)
-        self.queue: Deque[Tuple[StepEvent, int]] = deque()
-        self.queue_capacity = queue_capacity
-        self.drain_batch = drain_batch
-        self.pending = PendingUpdateTracker(capacity=4 * queue_capacity)
-        self.counters = PLatchCounters()
-        self.engine.add_tag_listener(self._on_tag_write)
-        cpu.attach(self)
-
-    # ------------------------------------------------------------ observer
-
-    def on_input(self, event: InputEvent) -> None:
-        """Taint sources are applied immediately (kernel-side stnt)."""
-        self.engine.on_input(event)
-
-    def on_output(self, event: OutputEvent) -> None:
-        """Sink checks must see all prior propagation: drain first."""
-        self.drain_all()
-        self.engine.on_output(event)
-
-    def on_step(self, event: StepEvent) -> None:
-        self.counters.instructions += 1
-        if self._needs_monitoring(event):
-            self._enqueue(event)
-        else:
-            # Provably taint-free: sources clean, memory operands clean
-            # and not pending, written registers already clean.  Nothing
-            # for the monitor to see.
-            pass
-        if len(self.queue) >= self.drain_batch:
-            self.drain(self.drain_batch)
-
-    def on_halt(self, step_index: int) -> None:
-        self.drain_all()
-
-    # ------------------------------------------------------------- filter
-
-    def _needs_monitoring(self, event: StepEvent) -> bool:
-        check = self.latch.check_step(event)
-        if check.coarse_tainted:
-            return True
-        for access in event.memory_accesses:
-            if self.pending.covers(access.address, access.size):
-                self.counters.pending_hits += 1
-                return True
-        for register in event.regs_written:
-            if self.latch.trf.is_tainted(register):
-                return True
-        return False
-
-    def _enqueue(self, event: StepEvent) -> None:
-        if len(self.queue) >= self.queue_capacity:
-            self.counters.queue_full_stalls += 1
-            self.drain(self.drain_batch)
-        sequence = -1
-        for access in event.writes:
-            pushed = self.pending.push(access.address, access.size)
-            while pushed is None:
-                self.drain(self.drain_batch)
-                pushed = self.pending.push(access.address, access.size)
-            sequence = pushed
-        self.queue.append((event, sequence))
-        self.counters.enqueued += 1
-        # Conservative TRF: destinations of queued events count as
-        # tainted until the monitor resolves them.
-        for register in event.regs_written:
-            self.latch.trf.taint(register)
-
-    # ------------------------------------------------------------ monitor
-
-    def drain(self, max_events: Optional[int] = None) -> int:
-        """Run the monitor core over up to ``max_events`` queued events."""
-        processed = 0
-        while self.queue and (max_events is None or processed < max_events):
-            event, sequence = self.queue.popleft()
-            self.engine.on_step(event)
-            if sequence >= 0:
-                self.pending.retire(sequence)
-            processed += 1
-            self.counters.drained += 1
-        if not self.queue:
-            # Queue empty: resynchronise the conservative TRF with the
-            # monitor's precise register taint (the strf path).
-            self.latch.set_trf_mask(self.engine.trf.register_mask())
-        return processed
-
-    def drain_all(self) -> int:
-        """Process every outstanding event."""
-        return self.drain(None)
-
-    # ------------------------------------------------------------- wiring
-
-    def _on_tag_write(self, address: int, tags: bytes) -> None:
-        self.latch.update_memory_tags(
-            address,
-            tags,
-            defer_clear=False,
-            clean_oracle=self.engine.shadow.region_clean,
+        super().__init__(
+            cpu,
+            policy=policy,
+            latch_config=latch_config,
+            config=PipelineConfig(
+                queue_capacity=queue_capacity,
+                drain_batch=drain_batch,
+                gate_batch=1,
+                backend="scalar",
+                sampling=SamplingConfig(),
+            ),
         )
 
     @property
-    def alerts(self) -> List:
-        """Alerts raised by the monitor so far."""
-        return self.engine.alerts
+    def counters(self) -> PLatchCounters:
+        """The classic counter view over the pipeline's accounting."""
+        return PLatchCounters(
+            instructions=self.stats.instructions,
+            enqueued=self.stats.enqueued,
+            drained=self.stats.drained,
+            queue_full_stalls=self.stats.queue_full_stalls,
+            pending_hits=self.gate.stats.pending_hits,
+        )

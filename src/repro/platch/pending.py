@@ -25,6 +25,25 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Optional, Tuple
 
+_MASK32 = 0xFFFFFFFF
+
+
+def _wrap_segments(address: int, size: int) -> Tuple[Tuple[int, int], ...]:
+    """``[address, address+size)`` folded into the 32-bit space.
+
+    Returns one linear ``(start, size)`` run, or two when the range
+    crosses the top of the address space — the same canonicalisation
+    the CTT domain walk and the vector kernels apply, so the pending
+    guard agrees with the coarse state about which bytes a wrapping
+    store touches.
+    """
+    address &= _MASK32
+    size = max(size, 1)
+    end = address + size
+    if end <= _MASK32 + 1:
+        return ((address, size),)
+    return ((address, _MASK32 + 1 - address), (0, end - (_MASK32 + 1)))
+
 
 @dataclass(frozen=True)
 class PendingEntry:
@@ -75,11 +94,16 @@ class PendingUpdateTracker:
         """Is any byte of [address, address+size) pending an update?
 
         While true, the coarse check must conservatively report taint.
+        Ranges are compared in the 32-bit space, so a store straddling
+        the top of memory covers the wrapped-around low bytes too.
         """
-        end = address + max(size, 1)
+        query = _wrap_segments(address, size)
         for entry in self._fifo:
-            if address < entry.address + entry.size and entry.address < end:
-                return True
+            for e_start, e_size in _wrap_segments(entry.address, entry.size):
+                e_end = e_start + e_size
+                for q_start, q_size in query:
+                    if q_start < e_end and e_start < q_start + q_size:
+                        return True
         return False
 
     # ----------------------------------------------------------- mutation

@@ -14,6 +14,14 @@ remaining cycle-faithful in steady state:
   the epoch's wall-clock duration;
 * whenever the backlog exceeds the queue's cycle capacity, the producer
   stalls for the difference (that time is pure overhead).
+
+Since the streaming refactor this model is no longer standalone: the
+*measured* pipeline (:class:`repro.pipeline.StreamingPipeline`) runs the
+identical recursion inline per committed instruction and exports its
+event stream as an :class:`~repro.workloads.trace.EpochStream`, so
+replaying that stream here reproduces the measurement — exactly at
+epoch granularity 1, within a documented tolerance at coarser epochs
+(:mod:`repro.pipeline.validate`).
 """
 
 from __future__ import annotations
@@ -107,12 +115,16 @@ class TwoCoreQueueSimulator:
         histogram (end-of-epoch queue entries in use) and publishes the
         stall/enqueue counters; without one, the loop is untouched.
         """
+        from repro.obs.queues import QueueInstruments
+
         analysis = self.baseline.analysis_cycles_per_event
         capacity_cycles = self.baseline.queue_entries * analysis
-        occupancy = (
-            obs.histogram(
-                "platch.queue.occupancy", unit="entries",
-                description="Monitor-queue entries in use at epoch ends",
+        instruments = (
+            QueueInstruments(
+                obs, "platch.queue",
+                occupancy_description=(
+                    "Monitor-queue entries in use at epoch ends"
+                ),
             )
             if obs is not None
             else None
@@ -142,8 +154,8 @@ class TwoCoreQueueSimulator:
                 # Producer stalls until the backlog fits the queue again.
                 stall += backlog - capacity_cycles
                 backlog = capacity_cycles
-            if occupancy is not None:
-                occupancy.record(backlog / analysis)
+            if instruments is not None:
+                instruments.record_occupancy(backlog / analysis)
         # Whatever backlog remains delays completion of monitoring, but
         # not the producer; the paper charges producer-visible overhead
         # only, so it is not added to the stall count.

@@ -36,9 +36,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("source", type=Path, help="assembly source file")
     parser.add_argument(
         "--monitor",
-        choices=["none", "dift", "slatch"],
+        choices=["none", "dift", "slatch", "platch"],
         default="none",
-        help="attach no monitoring, software DIFT, or S-LATCH gating",
+        help="attach no monitoring, software DIFT, S-LATCH gating, or "
+             "the streaming two-core P-LATCH pipeline",
     )
     parser.add_argument(
         "--file",
@@ -86,6 +87,7 @@ def main(argv=None) -> int:
     cpu = CPU(program, devices=devices)
     engine = None
     slatch = None
+    pipeline = None
     if args.monitor == "dift":
         engine = DIFTEngine()
         cpu.attach(engine)
@@ -95,12 +97,19 @@ def main(argv=None) -> int:
         )
         slatch = SLatchSystem(cpu, costs=costs)
         engine = slatch.engine
+    elif args.monitor == "platch":
+        from repro.pipeline import PipelineConfig, StreamingPipeline
+
+        pipeline = StreamingPipeline(cpu, config=PipelineConfig.from_env())
+        engine = pipeline.engine
 
     try:
         executed = cpu.run(args.max_steps)
     except ExecutionError as error:
         print(f"execution fault after {cpu.step_count} instructions: {error}")
         executed = cpu.step_count
+    if pipeline is not None:
+        pipeline.finish()
 
     if cpu.console:
         sys.stdout.write(cpu.console.decode("latin-1"))
@@ -120,6 +129,14 @@ def main(argv=None) -> int:
         for alert in engine.alerts:
             print(f"   ALERT {alert.kind.value} at pc={alert.pc:#x}: "
                   f"{alert.detail}")
+    if pipeline is not None:
+        stats = pipeline.stats
+        print(
+            f"-- p-latch: {stats.enqueued}/{stats.instructions} events "
+            f"enqueued ({stats.enqueue_fraction:.1%}), "
+            f"{stats.queue_full_stalls} queue stalls, "
+            f"{stats.sampled_out} sampled out"
+        )
     if slatch is not None:
         counters = slatch.counters
         print(

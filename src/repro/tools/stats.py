@@ -67,7 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="list available workload profiles and exit",
     )
     parser.add_argument(
-        "--monitor", choices=["slatch", "dift"], default="slatch",
+        "--monitor", choices=["slatch", "dift", "platch"], default="slatch",
         help="program mode: monitoring system to attach (default slatch)",
     )
     parser.add_argument(
@@ -104,7 +104,35 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--trace", type=Path,
         help="stream JSONL trap/return events to this file "
-             "(program mode, --monitor slatch)",
+             "(program mode, --monitor slatch/platch)",
+    )
+    platch = parser.add_argument_group(
+        "p-latch pipeline knobs (program mode, --monitor platch; "
+        "each overrides its REPRO_PIPELINE_* environment variable)"
+    )
+    platch.add_argument(
+        "--queue-capacity", type=int, default=None,
+        help="bounded event-queue capacity in entries",
+    )
+    platch.add_argument(
+        "--gate-batch", type=int, default=None,
+        help="events classified per gating batch",
+    )
+    platch.add_argument(
+        "--backend", choices=["scalar", "vector"], default=None,
+        help="gating backend for the coarse classification stage",
+    )
+    platch.add_argument(
+        "--sample-rate", type=float, default=None,
+        help="fraction of admitted windows to monitor (0 < rate <= 1)",
+    )
+    platch.add_argument(
+        "--sample-window", type=int, default=None,
+        help="sampling window size in admitted events",
+    )
+    platch.add_argument(
+        "--sample-seed", type=int, default=None,
+        help="seed for the sampling decision stream",
     )
     return parser
 
@@ -119,6 +147,33 @@ def _parse_file_spec(spec: str) -> VirtualFile:
 
 
 # ---------------------------------------------------------------- modes
+
+
+def _platch_config(args):
+    """The pipeline config: env knobs with CLI flags layered on top."""
+    from repro.pipeline import PipelineConfig
+
+    overrides = {}
+    if args.queue_capacity is not None:
+        overrides["queue_capacity"] = args.queue_capacity
+    if args.gate_batch is not None:
+        overrides["gate_batch"] = args.gate_batch
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    config = PipelineConfig.from_env(**overrides)
+
+    sampling = {}
+    if args.sample_rate is not None:
+        sampling["rate"] = args.sample_rate
+    if args.sample_window is not None:
+        sampling["window"] = args.sample_window
+    if args.sample_seed is not None:
+        sampling["seed"] = args.sample_seed
+    if sampling:
+        config = config.replace(
+            sampling=dataclasses.replace(config.sampling, **sampling)
+        )
+    return config
 
 
 def run_program(args) -> StatsSnapshot:
@@ -141,6 +196,26 @@ def run_program(args) -> StatsSnapshot:
             if tracer is not None:
                 tracer.close()
         snapshot = system.snapshot()
+    elif args.monitor == "platch":
+        from repro.pipeline import StreamingPipeline
+
+        config = _platch_config(args)
+        pipeline = StreamingPipeline(cpu, config=config, tracer=tracer)
+        try:
+            cpu.run(args.max_steps)
+            pipeline.finish()
+        finally:
+            if tracer is not None:
+                tracer.close()
+        snapshot = pipeline.snapshot()
+        snapshot.meta.update({
+            "backend": config.resolved_backend,
+            "queue_capacity": config.queue_capacity,
+            "gate_batch": config.resolved_gate_batch,
+            "sample_rate": config.sampling.rate,
+            "sample_window": config.sampling.window,
+            "sample_seed": config.sampling.seed,
+        })
     else:
         engine = DIFTEngine()
         cpu.attach(engine)

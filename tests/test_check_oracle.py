@@ -109,6 +109,55 @@ class TestCorpusRoundTrip:
         assert load_corpus(tmp_path / "absent") == []
 
 
+class TestStreamPath:
+    def test_stream_path_runs_both_backends(self):
+        from repro.check.oracle import ALL_PATHS
+
+        assert "stream" in ALL_PATHS
+        report = check_program(generate_program(2), paths=("stream",))
+        assert report.ok, "\n".join(str(v) for v in report.violations)
+        assert report.runs == 3  # reference + scalar + vector
+
+    def test_env_knobs_reach_the_stream_runs(self, monkeypatch):
+        from repro.check.oracle import run_stream
+
+        monkeypatch.setenv("REPRO_PIPELINE_QUEUE_CAPACITY", "4")
+        monkeypatch.setenv("REPRO_PIPELINE_DRAIN_BATCH", "64")
+        monkeypatch.setenv("REPRO_PIPELINE_MODEL_EPOCH", "1")
+        pipeline = run_stream(generate_program(2), backend="scalar")
+        assert pipeline.config.queue_capacity == 4
+        assert pipeline.config.drain_batch == 64
+        # Exact replay still holds under oracle-driven runs.
+        assert pipeline.validate_model().exact
+
+    def test_sampling_env_skips_signature_but_not_invariants(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_PIPELINE_SAMPLE_RATE", "0.3")
+        monkeypatch.setenv("REPRO_PIPELINE_SAMPLE_WINDOW", "8")
+        monkeypatch.setenv("REPRO_PIPELINE_SAMPLE_SEED", "5")
+        # Sampling legitimately under-approximates the reference: the
+        # oracle must not flag the coverage loss as a divergence, but
+        # the coarse/precise containment invariant still has to hold.
+        report = check_program(generate_program(2), paths=("stream",))
+        assert report.ok, "\n".join(str(v) for v in report.violations)
+
+    def test_stream_obs_accumulates_across_runs(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        check_many(
+            [generate_program(2), generate_program(3)],
+            paths=("stream",),
+            stream_obs=registry,
+        )
+        snapshot = registry.snapshot()
+        assert snapshot.get("pipeline.runs") == 4  # 2 programs x 2 backends
+        assert snapshot.get("pipeline.instructions") > 0
+        assert "pipeline.queue.stall_cycles" in snapshot
+        assert "pipeline.model.predicted_stall_cycles" in snapshot
+
+
 class TestCli:
     def test_replay_corpus_exits_zero(self, capsys):
         from repro.check.cli import cli
@@ -131,3 +180,21 @@ class TestCli:
         assert cli(["selftest"]) == 0
         out = capsys.readouterr().out
         assert "planted bug detected" in out
+
+    def test_fuzz_stats_out_writes_queue_metrics(self, tmp_path, capsys):
+        import json
+
+        from repro.check.cli import cli
+
+        stats_path = tmp_path / "artifacts" / "queue-stats.json"
+        assert cli([
+            "fuzz", "--seeds", "2", "--out", str(tmp_path / "fails"),
+            "--stats-out", str(stats_path),
+        ]) == 0
+        assert "wrote streaming queue metrics" in capsys.readouterr().out
+        payload = json.loads(stats_path.read_text())
+        assert payload["meta"]["command"] == "fuzz"
+        assert payload["meta"]["programs"] == 2
+        names = {record["name"] for record in payload["metrics"]}
+        assert "pipeline.runs" in names
+        assert "pipeline.queue.stall_cycles" in names

@@ -1,0 +1,118 @@
+"""Measured pipeline vs analytic queue model (Section 5.2 closure).
+
+``repro.platch.queue_sim`` predicts producer stalls from an *assumed*
+event stream; the streaming pipeline measures them while running real
+programs.  ``validate_against_model`` replays the measured stream
+through the analytic model, and these tests pin the agreement contract:
+exact at ``model_epoch == 1``, within the documented tolerance at
+coarser epochs.
+"""
+
+import pytest
+
+from repro.pipeline import PipelineConfig, StreamingPipeline, validate_against_model
+from repro.workloads import programs
+
+from tests.test_pipeline import run_pipeline
+
+
+def run_with_epoch(build, model_epoch, **config_kwargs):
+    scenario = build()
+    cpu = scenario.make_cpu()
+    pipeline = StreamingPipeline(cpu, config=PipelineConfig(
+        model_epoch=model_epoch, **config_kwargs,
+    ))
+    cpu.run(300_000)
+    pipeline.finish()
+    return pipeline
+
+
+SATURATED = dict(queue_capacity=4, drain_batch=64)
+
+
+class TestExactReplay:
+    def test_epoch_one_is_exact_on_saturated_queue(self):
+        pipeline = run_with_epoch(
+            lambda: programs.echo_server(), model_epoch=1, **SATURATED
+        )
+        assert pipeline.model.stall_cycles > 0, "need real backpressure"
+        validation = pipeline.validate_model()
+        assert validation.exact
+        assert validation.predicted_stall_cycles == (
+            validation.measured_stall_cycles
+        )
+
+    def test_epoch_one_exact_across_queue_depths(self):
+        for queue_capacity in (4, 8, 16):
+            pipeline = run_with_epoch(
+                lambda: programs.echo_server(), model_epoch=1,
+                queue_capacity=queue_capacity, drain_batch=64,
+            )
+            validation = validate_against_model(pipeline)
+            assert validation.exact, (
+                f"q={queue_capacity}: predicted "
+                f"{validation.predicted_stall_cycles} != measured "
+                f"{validation.measured_stall_cycles}"
+            )
+
+    def test_clean_run_is_trivially_exact(self):
+        pipeline = run_with_epoch(
+            lambda: programs.file_filter(tainted=False), model_epoch=1
+        )
+        validation = pipeline.validate_model()
+        assert validation.exact
+        assert validation.measured_stall_cycles == 0
+        assert validation.relative_error == 0.0
+
+
+class TestEventAccounting:
+    def test_model_sees_every_queued_event(self):
+        pipeline = run_with_epoch(
+            lambda: programs.echo_server(), model_epoch=1, **SATURATED
+        )
+        validation = pipeline.validate_model()
+        queued = pipeline.stats.enqueued + pipeline.stats.control_events
+        assert pipeline.model.events == queued
+        assert validation.measured_events == queued
+        assert validation.predicted_events == queued
+        assert validation.instructions == pipeline.stats.instructions
+
+    def test_measured_stream_shape(self):
+        pipeline = run_with_epoch(
+            lambda: programs.echo_server(), model_epoch=100, **SATURATED
+        )
+        stream = pipeline.measured_stream()
+        assert stream.total_instructions == pipeline.stats.instructions
+        assert int(sum(stream.tainted_counts)) == pipeline.model.events
+
+
+class TestCoarseEpochTolerance:
+    def test_coarse_epoch_within_documented_tolerance(self):
+        pipeline = run_with_epoch(
+            lambda: programs.echo_server(), model_epoch=1000, **SATURATED
+        )
+        validation = pipeline.validate_model()
+        assert validation.within_tolerance, (
+            f"error {validation.absolute_error} exceeds budget "
+            f"{validation.tolerance_cycles}"
+        )
+
+    def test_tolerance_tightens_with_epoch(self):
+        coarse = run_with_epoch(
+            lambda: programs.echo_server(), model_epoch=1000, **SATURATED
+        ).validate_model()
+        fine = run_with_epoch(
+            lambda: programs.echo_server(), model_epoch=10, **SATURATED
+        ).validate_model()
+        assert fine.tolerance_cycles < coarse.tolerance_cycles
+        assert fine.within_tolerance
+
+    def test_stall_rel_error_published(self):
+        pipeline = run_with_epoch(
+            lambda: programs.echo_server(), model_epoch=1, **SATURATED
+        )
+        snapshot = pipeline.snapshot()
+        assert snapshot.get("pipeline.model.predicted_stall_cycles") == (
+            pipeline.validate_model().predicted_stall_cycles
+        )
+        assert snapshot.get("pipeline.model.stall_rel_error") == 0.0

@@ -131,6 +131,15 @@ class TestRun:
         out = capsys.readouterr().out
         assert "s-latch" in out and "traps" in out
 
+    def test_platch_monitoring(self, source_file, payload_file, capsys):
+        run_main(
+            [str(source_file), "--monitor", "platch",
+             "--file", f"in.txt={payload_file}"]
+        )
+        out = capsys.readouterr().out
+        assert "p-latch" in out
+        assert "events enqueued" in out and "queue stalls" in out
+
     def test_budget_exhaustion_exit_code(self, tmp_path, capsys):
         loop = tmp_path / "loop.s"
         loop.write_text("spin: j spin\n")
@@ -255,6 +264,45 @@ class TestStats:
         assert snapshot.get("dift.instructions") == snapshot.get(
             "cpu.instructions"
         )
+
+    def test_platch_monitor_with_knobs(
+        self, stats_source_file, payload_file, capsys
+    ):
+        from repro.obs import StatsSnapshot
+
+        assert stats_main(
+            [str(stats_source_file), "--monitor", "platch",
+             "--format", "json", "--file", f"in.txt={payload_file}",
+             "--queue-capacity", "8", "--gate-batch", "4",
+             "--backend", "scalar",
+             "--sample-rate", "1.0", "--sample-seed", "7"]
+        ) == 0
+        snapshot = StatsSnapshot.from_json(capsys.readouterr().out)
+        assert snapshot.meta["monitor"] == "platch"
+        assert snapshot.meta["backend"] == "scalar"
+        assert snapshot.meta["queue_capacity"] == 8
+        assert snapshot.meta["gate_batch"] == 4
+        assert snapshot.meta["sample_seed"] == 7
+        assert snapshot.get("pipeline.instructions") > 0
+        assert snapshot.get("pipeline.events.enqueued") > 0
+        assert "pipeline.queue.stall_cycles" in snapshot
+        assert "dift.instructions" in snapshot
+
+    def test_platch_trace_stream(
+        self, stats_source_file, payload_file, tmp_path, capsys
+    ):
+        from repro.obs import read_jsonl
+
+        trace_path = tmp_path / "pipeline.jsonl"
+        assert stats_main(
+            [str(stats_source_file), "--monitor", "platch",
+             "--file", f"in.txt={payload_file}",
+             "--queue-capacity", "1", "--gate-batch", "1",
+             "--trace", str(trace_path), "-o", str(tmp_path / "out.md")]
+        ) == 0
+        capsys.readouterr()
+        events = read_jsonl(str(trace_path))
+        assert any(e["name"] == "pipeline.stall" for e in events)
 
     def test_output_file_and_trace(
         self, stats_source_file, payload_file, tmp_path, capsys
