@@ -58,6 +58,7 @@ from repro.obs.metrics import (
     Histogram,
     Metric,
     MetricsRegistry,
+    ScopedRegistry,
     Timer,
 )
 from repro.obs.queues import QueueInstruments
@@ -82,6 +83,7 @@ __all__ = [
     "MetricRecord",
     "MetricsRegistry",
     "QueueInstruments",
+    "ScopedRegistry",
     "SpanHandle",
     "SpanTracer",
     "StatsSnapshot",

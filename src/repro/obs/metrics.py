@@ -285,6 +285,11 @@ class MetricsRegistry:
     differs), so independent subsystems can publish into one registry.
     Iteration order is insertion order, which the snapshot and the
     rendered tables preserve.
+
+    Two *instances* of one subsystem (e.g. two pipelines in a
+    multi-tenant server process) would collide on the shared names, so
+    each should publish through :meth:`scoped`, which namespaces every
+    metric under an instance prefix instead of silently sharing.
     """
 
     def __init__(self) -> None:
@@ -363,6 +368,19 @@ class MetricsRegistry:
         """Registered metrics in insertion order."""
         return list(self._metrics.values())
 
+    # ------------------------------------------------------------ scoping
+
+    def scoped(self, prefix: str) -> "ScopedRegistry":
+        """A namespaced view of this registry.
+
+        Every metric created through the view carries ``prefix.`` in
+        front of its name, so N instances of one instrumented subsystem
+        (the multi-tenant case: one pipeline per tenant in a single
+        server process) publish side by side instead of colliding on
+        the registry's shared names.
+        """
+        return ScopedRegistry(self, prefix)
+
     # ------------------------------------------------------------ lifecycle
 
     def reset(self) -> None:
@@ -372,6 +390,106 @@ class MetricsRegistry:
 
     def snapshot(self):
         """Freeze every metric into a :class:`repro.obs.StatsSnapshot`."""
+        from repro.obs.snapshot import StatsSnapshot
+
+        return StatsSnapshot.from_registry(self)
+
+
+class ScopedRegistry:
+    """A prefix-namespaced view over a base :class:`MetricsRegistry`.
+
+    The view exposes the full registry surface — ``counter`` /
+    ``gauge`` / ``histogram`` / ``timer`` get-or-create accessors,
+    lookup, iteration, reset, snapshot — but rewrites every name to
+    ``<prefix>.<name>`` before touching the base registry, and filters
+    iteration down to its own namespace.  Scopes nest
+    (``registry.scoped("serve").scoped("tenant-a")``), and the *metric
+    objects* carry their fully qualified names, so snapshots taken from
+    the base registry show the namespaced rows directly.
+    """
+
+    def __init__(self, base, prefix: str) -> None:
+        if not prefix or prefix.endswith("."):
+            raise ValueError(f"invalid scope prefix: {prefix!r}")
+        self._base = base
+        self.prefix = prefix
+
+    def _qualify(self, name: str) -> str:
+        return f"{self.prefix}.{name}"
+
+    # ---------------------------------------------------------- accessors
+
+    def counter(self, name: str, unit: str = "count",
+                description: str = "") -> Counter:
+        """Get or create a counter under this scope's prefix."""
+        return self._base.counter(
+            self._qualify(name), unit=unit, description=description
+        )
+
+    def gauge(
+        self,
+        name: str,
+        unit: str = "",
+        description: str = "",
+        callback: Optional[Callable[[], Number]] = None,
+    ) -> Gauge:
+        """Get or create a gauge under this scope's prefix."""
+        return self._base.gauge(
+            self._qualify(name), unit=unit, description=description,
+            callback=callback,
+        )
+
+    def histogram(self, name: str, unit: str = "",
+                  description: str = "") -> Histogram:
+        """Get or create a histogram under this scope's prefix."""
+        return self._base.histogram(
+            self._qualify(name), unit=unit, description=description
+        )
+
+    def timer(self, name: str, unit: str = "seconds",
+              description: str = "") -> Timer:
+        """Get or create a timer under this scope's prefix."""
+        return self._base.timer(
+            self._qualify(name), unit=unit, description=description
+        )
+
+    def scoped(self, prefix: str) -> "ScopedRegistry":
+        """A nested scope (``<this prefix>.<prefix>.<name>``)."""
+        return ScopedRegistry(self._base, self._qualify(prefix))
+
+    # ------------------------------------------------------------- access
+
+    def get(self, name: str) -> Metric:
+        """Look up ``name`` within this scope (KeyError if absent)."""
+        return self._base.get(self._qualify(name))
+
+    def __contains__(self, name: str) -> bool:
+        return self._qualify(name) in self._base
+
+    def __len__(self) -> int:
+        return len(self.metrics())
+
+    def names(self) -> List[str]:
+        """Fully qualified names registered under this scope."""
+        return [metric.name for metric in self.metrics()]
+
+    def metrics(self) -> List[Metric]:
+        """Metrics registered under this scope, in insertion order."""
+        marker = self.prefix + "."
+        return [
+            metric for metric in self._base.metrics()
+            if metric.name.startswith(marker)
+        ]
+
+    # ---------------------------------------------------------- lifecycle
+
+    def reset(self) -> None:
+        """Zero every metric under this scope only."""
+        for metric in self.metrics():
+            metric.reset()
+
+    def snapshot(self):
+        """Freeze this scope's metrics into a ``StatsSnapshot``."""
         from repro.obs.snapshot import StatsSnapshot
 
         return StatsSnapshot.from_registry(self)

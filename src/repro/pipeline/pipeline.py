@@ -79,7 +79,15 @@ class StreamingPipeline(Observer):
     """Decoupled two-core monitoring attached to one CPU.
 
     Args:
-        cpu: the monitored machine (the pipeline attaches itself).
+        cpu: the monitored machine (the pipeline attaches itself), or
+            ``None`` for a *detached* pipeline whose producer lives
+            elsewhere — e.g. a ``repro.serve`` tenant session feeding
+            deserialised :class:`StepEvent`/:class:`InputEvent`/
+            :class:`OutputEvent` records straight into the observer
+            hooks.  A detached pipeline cannot :meth:`run` and skips
+            the CPU rows when publishing metrics; everything else
+            (gating, backpressure, stall accounting) is identical, so
+            a remote trace replays bit-identically to a local run.
         policy: DIFT policy for the monitor core.
         latch_config: LATCH structural parameters.
         config: pipeline shape (queue, batching, backend, sampling).
@@ -93,7 +101,7 @@ class StreamingPipeline(Observer):
 
     def __init__(
         self,
-        cpu: CPU,
+        cpu: Optional[CPU],
         policy: Optional[TaintPolicy] = None,
         latch_config: Optional[LatchConfig] = None,
         config: Optional[PipelineConfig] = None,
@@ -132,7 +140,8 @@ class StreamingPipeline(Observer):
         self._defer_retires = False
         self._stale_flags = False
         self.engine.add_tag_listener(self._on_tag_write)
-        cpu.attach(self)
+        if cpu is not None:
+            cpu.attach(self)
 
     # ----------------------------------------------------- compat surface
 
@@ -262,29 +271,38 @@ class StreamingPipeline(Observer):
     # ------------------------------------------------------------ consume
 
     def drain(self, max_events: Optional[int] = None) -> int:
-        """Run the monitor core over up to ``max_events`` queued events."""
+        """Run the monitor core over up to ``max_events`` queued events.
+
+        Draining an empty queue is a *true* no-op: no TRF resync, no
+        occupancy sample, no metric movement.  That makes repeated
+        ``finish()`` calls idempotent under both gate backends — the
+        multi-tenant disconnect path drains once when the client
+        vanishes and again at teardown without skewing per-tenant
+        metrics or state.
+        """
+        if not self.queue:
+            return 0
         processed = 0
-        if self.queue:
-            with maybe_span("pipeline.drain", depth=len(self.queue)):
-                while self.queue and (
-                    max_events is None or processed < max_events
-                ):
-                    item = self.queue.popleft()
-                    if item.kind is EventKind.STEP:
-                        self.engine.on_step(item.payload)
-                        if item.sequence >= 0:
-                            if self._defer_retires:
-                                self._deferred_retires.append(item.sequence)
-                            else:
-                                self.pending.retire(item.sequence)
-                        self.stats.drained += 1
-                    elif item.kind is EventKind.INPUT:
-                        self.engine.on_input(item.payload)
-                        self.stats.control_drained += 1
-                    else:
-                        self.engine.on_output(item.payload)
-                        self.stats.control_drained += 1
-                    processed += 1
+        with maybe_span("pipeline.drain", depth=len(self.queue)):
+            while self.queue and (
+                max_events is None or processed < max_events
+            ):
+                item = self.queue.popleft()
+                if item.kind is EventKind.STEP:
+                    self.engine.on_step(item.payload)
+                    if item.sequence >= 0:
+                        if self._defer_retires:
+                            self._deferred_retires.append(item.sequence)
+                        else:
+                            self.pending.retire(item.sequence)
+                    self.stats.drained += 1
+                elif item.kind is EventKind.INPUT:
+                    self.engine.on_input(item.payload)
+                    self.stats.control_drained += 1
+                else:
+                    self.engine.on_output(item.payload)
+                    self.stats.control_drained += 1
+                processed += 1
         if not self.queue:
             # Queue empty: resynchronise the conservative TRF with the
             # monitor's precise register taint (the strf path).
@@ -307,6 +325,11 @@ class StreamingPipeline(Observer):
 
     def run(self, max_steps: int = 5_000_000) -> int:
         """Drive the CPU to completion under the pipeline."""
+        if self.cpu is None:
+            raise RuntimeError(
+                "detached pipeline has no CPU to drive; feed events via "
+                "on_step/on_input/on_output instead"
+            )
         with maybe_span(
             "pipeline.run",
             backend=self.config.resolved_backend,
@@ -440,7 +463,8 @@ class StreamingPipeline(Observer):
         )
         self.latch.publish_metrics(registry)
         self.engine.publish_metrics(registry)
-        self.cpu.publish_metrics(registry)
+        if self.cpu is not None:
+            self.cpu.publish_metrics(registry)
         return registry
 
     def snapshot(self):

@@ -29,14 +29,26 @@ class BoundedEventQueue:
         self.capacity = capacity
         self.high_water = 0
         self.puts = 0
+        self.closed = False
         self._items: Deque[PipelineEvent] = deque()
 
     @property
     def full(self) -> bool:
         return len(self._items) >= self.capacity
 
+    def close(self) -> None:
+        """Refuse further producer traffic (idempotent).
+
+        A multi-tenant session closes its queue once the final drain has
+        run, so a straggler batch arriving after disconnect fails loudly
+        instead of silently mutating already-reported taint state.
+        """
+        self.closed = True
+
     def append(self, event: PipelineEvent) -> None:
         """Enqueue one event; the caller has already handled fullness."""
+        if self.closed:
+            raise RuntimeError("event queue is closed")
         self._items.append(event)
         self.puts += 1
         depth = len(self._items)

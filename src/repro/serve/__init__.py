@@ -1,0 +1,98 @@
+"""LATCH-as-a-service: the async multi-tenant taint-checking server.
+
+The subsystem turns the in-process streaming pipeline into a network
+service (ROADMAP item: *serving*):
+
+* :mod:`repro.serve.protocol` — length-prefixed JSON framing, the
+  message vocabulary, the trace-event codec, and the canonical result
+  signature;
+* :mod:`repro.serve.ratelimit` / :mod:`repro.serve.admission` —
+  token buckets, the bounded in-flight table, and RETRY-never-drop
+  verdict logic;
+* :mod:`repro.serve.tenant` — per-tenant limits, state, and
+  namespaced metrics (``serve.tenant.<name>.*``);
+* :mod:`repro.serve.session` — one private detached pipeline per
+  admitted stream, idempotent teardown;
+* :mod:`repro.serve.server` — the asyncio server, thread runner, and
+  :func:`running_server` helper;
+* :mod:`repro.serve.client` — blocking + asyncio clients, the trace
+  recorder, and the local bit-identity reference;
+* :mod:`repro.serve.loadgen` — thousands of simulated clients with
+  bursty/diurnal arrival phases.
+
+See docs/SERVICE.md for the executable walkthrough.
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    InFlightTable,
+    RetryAdvice,
+    Slot,
+)
+from repro.serve.client import (
+    AsyncServeClient,
+    RetryExhausted,
+    ServeClient,
+    ServeError,
+    ServedResult,
+    TraceRecorder,
+    local_reference,
+    record_trace,
+)
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    ProtocolError,
+    canonical_json,
+    canonical_signature,
+)
+from repro.serve.ratelimit import TokenBucket, backoff_hint_ms
+from repro.serve.server import (
+    ServeConfig,
+    ServerThread,
+    TaintServer,
+    running_server,
+)
+from repro.serve.session import JobRunner, StreamSession
+from repro.serve.tenant import (
+    TenantDirectory,
+    TenantLimits,
+    TenantNameError,
+    TenantState,
+    validate_tenant_name,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AsyncServeClient",
+    "FrameDecoder",
+    "InFlightTable",
+    "JobRunner",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RetryAdvice",
+    "RetryExhausted",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServedResult",
+    "ServerThread",
+    "Slot",
+    "StreamSession",
+    "TaintServer",
+    "TenantDirectory",
+    "TenantLimits",
+    "TenantNameError",
+    "TenantState",
+    "TokenBucket",
+    "TraceRecorder",
+    "backoff_hint_ms",
+    "canonical_json",
+    "canonical_signature",
+    "local_reference",
+    "record_trace",
+    "running_server",
+    "validate_tenant_name",
+]

@@ -1,0 +1,159 @@
+"""Admission control: the bounded in-flight table and the verdict logic.
+
+Two layers gate every request before it can touch taint state:
+
+1. a **global in-flight table** bounding simultaneously open work
+   (streams + executing jobs) across all tenants — the server's memory
+   ceiling, since each admitted stream owns a pipeline with its own
+   CTT/CTC/shadow structures;
+2. the **per-tenant token bucket** (:mod:`repro.serve.ratelimit`)
+   bounding event throughput.
+
+Refusals are never drops: every refusal carries a
+:class:`RetryAdvice` with a backoff hint that the server forwards as a
+``retry`` frame (HTTP 429 with Retry-After, in this protocol's
+vocabulary).  The mirror image — hopperkv's ``inflight.cpp`` — bounds
+its redis module the same way.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class RetryAdvice:
+    """A graceful refusal: why, and how long to wait before retrying."""
+
+    reason: str  # "rate" | "inflight" | "streams"
+    backoff_ms: int
+
+    def message(self) -> Dict:
+        """The wire frame for this refusal."""
+        from repro.serve.protocol import retry_message
+
+        return retry_message(self.reason, self.backoff_ms)
+
+
+@dataclass(frozen=True)
+class Slot:
+    """One granted in-flight table entry."""
+
+    token: int
+    tenant: str
+    kind: str  # "stream" | "job"
+
+
+class InFlightTable:
+    """Bounded table of currently open streams and executing jobs.
+
+    ``try_acquire`` either grants a :class:`Slot` or returns ``None``
+    (table full); ``release`` is idempotent per slot so the disconnect
+    path and the normal close path can both call it.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("in-flight capacity must be >= 1")
+        self.capacity = capacity
+        self.peak = 0
+        self._counter = itertools.count(1)
+        self._slots: Dict[int, Slot] = {}
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    @property
+    def full(self) -> bool:
+        return len(self._slots) >= self.capacity
+
+    def try_acquire(self, tenant: str, kind: str) -> Optional[Slot]:
+        """Grant a slot, or ``None`` when the table is full."""
+        if self.full:
+            return None
+        slot = Slot(token=next(self._counter), tenant=tenant, kind=kind)
+        self._slots[slot.token] = slot
+        if len(self._slots) > self.peak:
+            self.peak = len(self._slots)
+        return slot
+
+    def release(self, slot: Slot) -> bool:
+        """Free a slot; True if it was still held (idempotent)."""
+        return self._slots.pop(slot.token, None) is not None
+
+    def held_by(self, tenant: str) -> int:
+        """Slots currently held by one tenant."""
+        return sum(
+            1 for slot in self._slots.values() if slot.tenant == tenant
+        )
+
+
+class AdmissionController:
+    """Combines the in-flight table with per-tenant limits.
+
+    Args:
+        inflight: the shared bounded table.
+        inflight_backoff_ms: RETRY hint when the table is full (the
+            wait is for *other* tenants' work, so no bucket can price
+            it).
+        max_backoff_ms: hint ceiling, also used when a bucket can
+            never satisfy the charge (zero-capacity tenant).
+    """
+
+    def __init__(
+        self,
+        inflight: InFlightTable,
+        inflight_backoff_ms: int = 25,
+        max_backoff_ms: int = 1000,
+    ) -> None:
+        self.inflight = inflight
+        self.inflight_backoff_ms = inflight_backoff_ms
+        self.max_backoff_ms = max_backoff_ms
+
+    # ------------------------------------------------------------ requests
+
+    def admit_request(self, tenant, kind: str):
+        """Admit a stream-open or job: returns a Slot or RetryAdvice.
+
+        Order matters: the bucket is charged only after a slot is
+        granted, so a refused request never burns tenant budget.
+        """
+        from repro.serve.ratelimit import backoff_hint_ms
+
+        if tenant.max_streams is not None:
+            if self.inflight.held_by(tenant.name) >= tenant.max_streams:
+                return RetryAdvice("streams", self.inflight_backoff_ms)
+        if self.inflight.full:
+            return RetryAdvice("inflight", self.inflight_backoff_ms)
+        if not tenant.bucket.try_take(1.0):
+            return RetryAdvice(
+                "rate",
+                backoff_hint_ms(
+                    tenant.bucket.retry_after(1.0), self.max_backoff_ms
+                ),
+            )
+        slot = self.inflight.try_acquire(tenant.name, kind)
+        assert slot is not None  # guarded by the full check above
+        return slot
+
+    def admit_events(self, tenant, count: int):
+        """Admit one event batch (charged per event): None or advice."""
+        from repro.serve.ratelimit import backoff_hint_ms
+
+        if count <= 0:
+            return None
+        if tenant.bucket.try_take(float(count)):
+            return None
+        return RetryAdvice(
+            "rate",
+            backoff_hint_ms(
+                tenant.bucket.retry_after(float(count)),
+                self.max_backoff_ms,
+            ),
+        )
+
+    def release(self, slot: Slot) -> bool:
+        """Return a slot to the table (idempotent)."""
+        return self.inflight.release(slot)

@@ -1,0 +1,434 @@
+"""Pure-python clients for the taint-checking service.
+
+Two transports over one message vocabulary:
+
+* :class:`ServeClient` — blocking sockets; the ergonomic choice for
+  tests, tools, and the executable docs.
+* :class:`AsyncServeClient` — asyncio streams; what the load generator
+  multiplexes thousands of simulated clients over.
+
+Both honour the protocol's overload contract: a ``retry`` frame is not
+an error — the client sleeps the hinted backoff and resends the same
+request, up to ``max_retries`` attempts
+(:class:`RetryExhausted` after that).  Nothing is ever dropped on
+either side.
+
+:class:`TraceRecorder` is the producer half of remote checking: attach
+it to a local CPU, run, and it captures the committed event stream in
+wire form.  :func:`local_reference` replays the same trace through an
+in-process :class:`repro.platch.PLatchSystem` so callers can assert the
+served result is bit-identical.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.machine.events import InputEvent, Observer, OutputEvent, StepEvent
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    ProtocolError,
+    canonical_signature,
+    encode_frame,
+    encode_halt,
+    encode_input,
+    encode_output,
+    encode_step,
+)
+
+
+class ServeError(Exception):
+    """Server answered ``error`` (or the transport broke)."""
+
+    def __init__(self, detail: str, code: Optional[str] = None) -> None:
+        super().__init__(detail)
+        self.code = code
+
+
+class RetryExhausted(ServeError):
+    """The admission layer kept answering RETRY past ``max_retries``."""
+
+    def __init__(self, reason: str, attempts: int) -> None:
+        super().__init__(
+            f"request still refused ({reason}) after {attempts} attempts",
+            code="retry",
+        )
+        self.reason = reason
+        self.attempts = attempts
+
+
+@dataclass
+class ServedResult:
+    """A terminal ``result`` frame, parsed."""
+
+    signature: Dict
+    stats: Dict
+    halted: bool
+    events: int
+    retries: int = 0
+
+    @classmethod
+    def from_message(cls, message: Dict, retries: int = 0) -> "ServedResult":
+        return cls(
+            signature=message.get("signature", {}),
+            stats=message.get("stats", {}),
+            halted=bool(message.get("halted", False)),
+            events=int(message.get("events", 0)),
+            retries=retries + int(message.get("retries", 0)),
+        )
+
+
+# ------------------------------------------------------------- trace side
+
+
+class TraceRecorder(Observer):
+    """Capture a CPU's committed event stream in wire form."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict] = []
+
+    def on_step(self, event: StepEvent) -> None:
+        self.events.append(encode_step(event))
+
+    def on_input(self, event: InputEvent) -> None:
+        self.events.append(encode_input(event))
+
+    def on_output(self, event: OutputEvent) -> None:
+        self.events.append(encode_output(event))
+
+    def on_halt(self, step_index: int) -> None:
+        self.events.append(encode_halt(step_index))
+
+
+def record_trace(make_cpu: Callable, max_steps: int = 1_000_000) -> List[Dict]:
+    """Run a fresh CPU from ``make_cpu`` and return its wire trace."""
+    from repro.machine.cpu import ExecutionError
+
+    cpu = make_cpu()
+    recorder = TraceRecorder()
+    cpu.attach(recorder)
+    try:
+        cpu.run(max_steps)
+    except ExecutionError:
+        pass
+    return recorder.events
+
+
+def local_reference(
+    make_cpu: Callable,
+    queue_capacity: int = 256,
+    drain_batch: int = 64,
+    max_steps: int = 1_000_000,
+) -> Dict:
+    """The bit-identity oracle: a local P-LATCH run's canonical result.
+
+    Returns the same ``{"signature": ..., "stats": ...}`` shape a
+    served stream produces, computed by attaching a
+    :class:`repro.platch.PLatchSystem` (scalar gate, batch 1 — the
+    served default) to a fresh local CPU.
+    """
+    from repro.machine.cpu import ExecutionError
+    from repro.platch.functional import PLatchSystem
+
+    cpu = make_cpu()
+    system = PLatchSystem(
+        cpu, queue_capacity=queue_capacity, drain_batch=drain_batch
+    )
+    try:
+        cpu.run(max_steps)
+    except ExecutionError:
+        pass
+    system.finish()
+    from repro.serve.session import _stats_payload
+
+    return {
+        "signature": canonical_signature(system.engine),
+        "stats": _stats_payload(system),
+    }
+
+
+# ------------------------------------------------------------- sync client
+
+
+class ServeClient:
+    """Blocking-socket client for one tenant session.
+
+    Args:
+        host / port: server address.
+        tenant: tenant name sent in ``hello``.
+        timeout: socket timeout per read, seconds.
+        max_retries: RETRY answers tolerated per request before
+            :class:`RetryExhausted`.
+        sleep: injectable backoff sleeper (tests pass a stub).
+        trace_context: optional :class:`repro.obs.TraceContext` wire
+            dict propagated to the server's spans.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str = "default",
+        timeout: float = 30.0,
+        max_retries: int = 200,
+        sleep: Callable[[float], None] = time.sleep,
+        trace_context: Optional[Dict] = None,
+    ) -> None:
+        self.tenant = tenant
+        self.max_retries = max_retries
+        self._sleep = sleep
+        self._decoder = FrameDecoder()
+        self._pending: List[Dict] = []
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self.limits = self._hello(trace_context)
+
+    # ---------------------------------------------------------- transport
+
+    def _send(self, message: Dict) -> None:
+        self._sock.sendall(encode_frame(message))
+
+    def _recv(self) -> Dict:
+        while not self._pending:
+            data = self._sock.recv(65536)
+            if not data:
+                raise ServeError("server closed the connection")
+            self._pending.extend(self._decoder.feed(data))
+        return self._pending.pop(0)
+
+    def _roundtrip(self, message: Dict) -> Dict:
+        self._send(message)
+        return self._recv()
+
+    def _checked(self, message: Dict, *expected: str) -> Dict:
+        reply = self._roundtrip(message)
+        if reply.get("type") == "error":
+            raise ServeError(
+                str(reply.get("detail")), code=reply.get("code")
+            )
+        if expected and reply.get("type") not in expected:
+            raise ServeError(
+                f"unexpected reply type {reply.get('type')!r}"
+            )
+        return reply
+
+    def _with_retries(self, message: Dict, *expected: str):
+        """Roundtrip honouring RETRY backoff; returns (reply, retries)."""
+        retries = 0
+        while True:
+            reply = self._checked(message, *(expected + ("retry",)))
+            if reply.get("type") != "retry":
+                return reply, retries
+            retries += 1
+            if retries > self.max_retries:
+                raise RetryExhausted(str(reply.get("reason")), retries)
+            self._sleep(int(reply.get("backoff_ms", 1)) / 1000.0)
+
+    # ------------------------------------------------------------ protocol
+
+    def _hello(self, trace_context: Optional[Dict]) -> Dict:
+        message = {
+            "type": "hello",
+            "proto": PROTOCOL_VERSION,
+            "tenant": self.tenant,
+        }
+        if trace_context is not None:
+            message["trace"] = trace_context
+        reply = self._checked(message, "welcome")
+        return dict(reply.get("limits", {}))
+
+    def ping(self) -> bool:
+        """Liveness probe."""
+        return self._checked({"type": "ping"}, "pong")["type"] == "pong"
+
+    def open_stream(
+        self,
+        pipeline: Optional[Dict] = None,
+        latch: Optional[Dict] = None,
+    ):
+        """Open a streamed-trace session; returns (stream_id, retries)."""
+        message: Dict = {"type": "stream_open"}
+        if pipeline:
+            message["pipeline"] = pipeline
+        if latch:
+            message["latch"] = latch
+        reply, retries = self._with_retries(message, "stream_ack")
+        return str(reply["stream"]), retries
+
+    def send_events(self, stream: str, batch: List[Dict]) -> int:
+        """Send one batch (retrying on RETRY); returns retries taken."""
+        _, retries = self._with_retries(
+            {"type": "events", "stream": stream, "batch": batch}, "ok"
+        )
+        return retries
+
+    def query(self, stream: str, address: int, size: int) -> Dict:
+        """Online taint query against an open stream."""
+        return self._checked(
+            {"type": "query", "stream": stream,
+             "address": address, "size": size},
+            "taint",
+        )
+
+    def close_stream(self, stream: str) -> Dict:
+        """Finish the stream; returns the raw ``result`` frame."""
+        return self._checked(
+            {"type": "stream_close", "stream": stream}, "result"
+        )
+
+    # ------------------------------------------------------- conveniences
+
+    def check_trace(
+        self,
+        events: List[Dict],
+        batch_size: Optional[int] = None,
+        pipeline: Optional[Dict] = None,
+        latch: Optional[Dict] = None,
+    ) -> ServedResult:
+        """Stream a recorded trace end to end and return the result."""
+        limit = int(self.limits.get("max_batch") or 0)
+        if batch_size is None:
+            batch_size = limit if limit > 0 else 64
+        elif limit > 0:
+            batch_size = min(batch_size, limit)
+        if batch_size < 1:
+            raise ServeError(
+                "tenant has no admissible batch size (paused tenant?)"
+            )
+        stream, retries = self.open_stream(pipeline=pipeline, latch=latch)
+        for start in range(0, len(events), batch_size):
+            retries += self.send_events(
+                stream, events[start:start + batch_size]
+            )
+        result = self.close_stream(stream)
+        return ServedResult.from_message(result, retries=retries)
+
+    def submit_job(self, job: Dict) -> ServedResult:
+        """Whole-job mode: server assembles and executes ``job``."""
+        reply, retries = self._with_retries(
+            {"type": "submit", "job": job}, "result"
+        )
+        return ServedResult.from_message(reply, retries=retries)
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# ------------------------------------------------------------ async client
+
+
+class AsyncServeClient:
+    """Asyncio-streams client; one instance per simulated connection.
+
+    Mirrors :class:`ServeClient` with ``await`` in front of every
+    roundtrip; backoff uses ``asyncio.sleep`` so thousands of clients
+    interleave on one loop.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str = "default",
+        max_retries: int = 200,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.max_retries = max_retries
+        self.limits: Dict = {}
+        self.retry_events = 0
+        self._reader = None
+        self._writer = None
+
+    async def connect(self) -> "AsyncServeClient":
+        import asyncio
+
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        reply = await self._checked(
+            {"type": "hello", "proto": PROTOCOL_VERSION,
+             "tenant": self.tenant},
+            "welcome",
+        )
+        self.limits = dict(reply.get("limits", {}))
+        return self
+
+    async def _roundtrip(self, message: Dict) -> Dict:
+        from repro.serve.protocol import decode_payload
+
+        self._writer.write(encode_frame(message))
+        await self._writer.drain()
+        header = await self._reader.readexactly(4)
+        payload = await self._reader.readexactly(
+            int.from_bytes(header, "big")
+        )
+        return decode_payload(payload)
+
+    async def _checked(self, message: Dict, *expected: str) -> Dict:
+        reply = await self._roundtrip(message)
+        if reply.get("type") == "error":
+            raise ServeError(
+                str(reply.get("detail")), code=reply.get("code")
+            )
+        if expected and reply.get("type") not in expected:
+            raise ServeError(
+                f"unexpected reply type {reply.get('type')!r}"
+            )
+        return reply
+
+    async def _with_retries(self, message: Dict, *expected: str) -> Dict:
+        import asyncio
+
+        retries = 0
+        while True:
+            reply = await self._checked(message, *(expected + ("retry",)))
+            if reply.get("type") != "retry":
+                return reply
+            retries += 1
+            self.retry_events += 1
+            if retries > self.max_retries:
+                raise RetryExhausted(str(reply.get("reason")), retries)
+            await asyncio.sleep(int(reply.get("backoff_ms", 1)) / 1000.0)
+
+    async def check_trace(self, events: List[Dict]) -> ServedResult:
+        """Stream a recorded trace end to end and return the result."""
+        before = self.retry_events
+        limit = int(self.limits.get("max_batch") or 0)
+        batch_size = limit if limit > 0 else 64
+        ack = await self._with_retries({"type": "stream_open"}, "stream_ack")
+        stream = str(ack["stream"])
+        for start in range(0, len(events), batch_size):
+            await self._with_retries(
+                {"type": "events", "stream": stream,
+                 "batch": events[start:start + batch_size]},
+                "ok",
+            )
+        result = await self._checked(
+            {"type": "stream_close", "stream": stream}, "result"
+        )
+        return ServedResult.from_message(
+            result, retries=self.retry_events - before
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass

@@ -1,0 +1,327 @@
+"""Wire protocol of the LATCH taint-checking service.
+
+Framing
+-------
+
+Every message is one *frame*: a 4-byte big-endian payload length
+followed by that many bytes of UTF-8 JSON.  JSON keeps the protocol
+dependency-free and debuggable (``nc`` + ``python -m json.tool`` reads
+a capture); the length prefix makes message boundaries explicit so the
+server never scans for delimiters inside event batches.  Binary fields
+(input payload bytes) travel base64-encoded.
+
+Messages
+--------
+
+Client → server (``type`` field):
+
+=================  =====================================================
+``hello``          open a tenant session: ``tenant``, ``proto``, and an
+                   optional ``trace`` (:class:`repro.obs.TraceContext`
+                   wire dict) that parents the server-side spans
+``submit``         whole-job mode: ``job`` holds assembly ``source``,
+                   input ``files`` and optional config; the server
+                   executes the program under a pipeline and replies
+                   ``result``
+``stream_open``    open one streamed-trace session → ``stream_ack``
+``events``         ``stream`` id + ``batch`` of encoded trace events
+                   (see the event codec below) → ``ok`` or ``retry``
+``query``          online taint query: ``stream``, ``address``,
+                   ``size`` → ``taint`` (forces a drain so the answer
+                   reflects every acknowledged event)
+``stream_close``   finish the stream → ``result``
+``ping``           liveness → ``pong``
+=================  =====================================================
+
+Server → client:
+
+=================  =====================================================
+``welcome``        session accepted; advertises per-tenant ``limits``
+                   (``max_batch`` is the largest admissible batch)
+``stream_ack``     stream opened; carries the ``stream`` id
+``ok``             batch applied
+``retry``          admission refused *without* dropping anything —
+                   the 429 analogue: ``reason`` (``rate`` |
+                   ``inflight`` | ``streams``) plus a ``backoff_ms``
+                   hint; the client resends the same request later
+``result``         terminal answer: ``signature`` (alerts + tainted
+                   bytes + TRF), pipeline ``stats``, ``retries`` seen
+``taint``          online query answer
+``error``          protocol violation or failed job; terminal for the
+                   offending request, the connection stays usable
+``pong``           liveness answer
+=================  =====================================================
+
+The event codec serialises the exact observer vocabulary of
+:mod:`repro.machine.events` — one dict per ``StepEvent`` /
+``InputEvent`` / ``OutputEvent`` plus a ``halt`` marker — with
+instructions carried as their 32-bit encoded words
+(:mod:`repro.isa.encoding`), so a remote trace rebuilds losslessly and
+the served verdict is bit-identical to a local run.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.isa.encoding import decode as decode_instruction
+from repro.isa.encoding import encode as encode_instruction
+from repro.machine.events import (
+    InputEvent,
+    MemoryAccess,
+    OutputEvent,
+    StepEvent,
+)
+
+#: Protocol revision; ``hello`` carries it and the server refuses
+#: mismatches (a later revision may negotiate instead).
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame's payload, guarding the length prefix
+#: against garbage (and tenants against each other's memory use).
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """Malformed frame or message."""
+
+
+# ------------------------------------------------------------------ frames
+
+
+def encode_frame(message: Dict) -> bytes:
+    """Serialise one message dict into a length-prefixed frame."""
+    payload = json.dumps(
+        message, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Dict:
+    """Parse one frame payload back into a message dict."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable frame: {error}") from error
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError("message must be an object with a 'type'")
+    return message
+
+
+class FrameDecoder:
+    """Incremental frame splitter for byte-stream transports.
+
+    Feed it whatever ``recv`` returned; it yields complete messages and
+    buffers partial frames across calls — the sync client and the tests
+    share it (the asyncio server reads frames with ``readexactly``
+    instead).
+    """
+
+    def __init__(self, max_frame: int = MAX_FRAME_BYTES) -> None:
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Dict]:
+        """Absorb ``data``; return every message completed by it."""
+        self._buffer.extend(data)
+        messages = []
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                return messages
+            (length,) = _LENGTH.unpack_from(self._buffer)
+            if length > self.max_frame:
+                raise ProtocolError(
+                    f"announced frame of {length} bytes exceeds "
+                    f"{self.max_frame}"
+                )
+            end = _LENGTH.size + length
+            if len(self._buffer) < end:
+                return messages
+            payload = bytes(self._buffer[_LENGTH.size:end])
+            del self._buffer[:end]
+            messages.append(decode_payload(payload))
+
+
+# ------------------------------------------------------------- event codec
+
+#: Wire events are (kind, payload) after decoding; ``halt`` carries the
+#: final step index instead of an event object.
+WireEvent = Tuple[str, Union[StepEvent, InputEvent, OutputEvent, int]]
+
+
+def _b64(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def _unb64(text: str) -> bytes:
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except Exception as error:
+        raise ProtocolError(f"bad base64 payload: {error}") from error
+
+
+def encode_step(event: StepEvent) -> Dict:
+    """One committed instruction as a wire dict."""
+    record = {
+        "k": "s",
+        "i": event.index,
+        "pc": event.pc,
+        "w": encode_instruction(event.instruction),
+        "np": event.next_pc,
+    }
+    if event.regs_read:
+        record["rr"] = list(event.regs_read)
+    if event.regs_written:
+        record["rw"] = list(event.regs_written)
+    if event.reads:
+        record["rd"] = [[a.address, a.size] for a in event.reads]
+    if event.writes:
+        record["wr"] = [[a.address, a.size] for a in event.writes]
+    if event.syscall_number is not None:
+        record["sy"] = event.syscall_number
+    return record
+
+
+def encode_input(event: InputEvent) -> Dict:
+    """One taint-source record as a wire dict."""
+    return {
+        "k": "i",
+        "i": event.step_index,
+        "a": event.address,
+        "d": _b64(event.data),
+        "sk": event.source_kind,
+        "sn": event.source_name,
+        "th": event.tainted_hint,
+    }
+
+
+def encode_output(event: OutputEvent) -> Dict:
+    """One taint-sink record as a wire dict."""
+    return {
+        "k": "o",
+        "i": event.step_index,
+        "a": event.address,
+        "l": event.length,
+        "sk": event.sink_kind,
+        "sn": event.sink_name,
+    }
+
+
+def encode_halt(step_index: int) -> Dict:
+    """The end-of-trace marker."""
+    return {"k": "h", "i": step_index}
+
+
+def _accesses(raw, write: bool) -> Tuple[MemoryAccess, ...]:
+    return tuple(
+        MemoryAccess(address=int(a), size=int(s), is_write=write)
+        for a, s in raw
+    )
+
+
+def decode_event(record: Dict) -> WireEvent:
+    """Inverse of the ``encode_*`` family; validates the shape."""
+    try:
+        kind = record["k"]
+        if kind == "s":
+            return "step", StepEvent(
+                index=int(record["i"]),
+                pc=int(record["pc"]),
+                instruction=decode_instruction(int(record["w"])),
+                regs_read=tuple(int(r) for r in record.get("rr", ())),
+                regs_written=tuple(int(r) for r in record.get("rw", ())),
+                reads=_accesses(record.get("rd", ()), write=False),
+                writes=_accesses(record.get("wr", ()), write=True),
+                next_pc=int(record["np"]),
+                syscall_number=(
+                    None if record.get("sy") is None else int(record["sy"])
+                ),
+            )
+        if kind == "i":
+            return "input", InputEvent(
+                step_index=int(record["i"]),
+                address=int(record["a"]),
+                data=_unb64(record["d"]),
+                source_kind=str(record["sk"]),
+                source_name=str(record["sn"]),
+                tainted_hint=bool(record["th"]),
+            )
+        if kind == "o":
+            return "output", OutputEvent(
+                step_index=int(record["i"]),
+                address=int(record["a"]),
+                length=int(record["l"]),
+                sink_kind=str(record["sk"]),
+                sink_name=str(record["sn"]),
+            )
+        if kind == "h":
+            return "halt", int(record["i"])
+    except ProtocolError:
+        raise
+    except Exception as error:
+        raise ProtocolError(f"malformed event record: {error}") from error
+    raise ProtocolError(f"unknown event kind: {record.get('k')!r}")
+
+
+def decode_batch(batch) -> List[WireEvent]:
+    """Decode a whole ``events`` batch (fails atomically)."""
+    if not isinstance(batch, list):
+        raise ProtocolError("event batch must be a list")
+    return [decode_event(record) for record in batch]
+
+
+# --------------------------------------------------------------- signature
+
+
+def canonical_signature(engine) -> Dict:
+    """The served-result fingerprint of a DIFT engine, JSON-canonical.
+
+    Mirrors ``repro.check.oracle.state_signature`` — alerts, tainted
+    byte addresses, per-register TRF tags — but in a JSON-stable shape
+    (lists, string alert kinds) so a served result compares
+    bit-identically against a local :class:`repro.platch.PLatchSystem`
+    run after one round trip through the wire.
+    """
+    return {
+        "alerts": [
+            [alert.kind.value, alert.pc] for alert in engine.alerts
+        ],
+        "tainted": list(engine.shadow.iter_tainted_bytes()),
+        "trf": [list(engine.trf.get(r)) for r in range(16)],
+    }
+
+
+def canonical_json(value) -> str:
+    """Deterministic JSON text (sorted keys, no whitespace)."""
+    return json.dumps(value, separators=(",", ":"), sort_keys=True)
+
+
+# ------------------------------------------------------------ event stream
+
+
+def iter_frames(messages) -> Iterator[bytes]:  # pragma: no cover - helper
+    """Encode an iterable of messages (used by capture tooling)."""
+    for message in messages:
+        yield encode_frame(message)
+
+
+def retry_message(reason: str, backoff_ms: int) -> Dict:
+    """The 429-style refusal frame."""
+    return {"type": "retry", "reason": reason, "backoff_ms": backoff_ms}
+
+
+def error_message(detail: str, code: Optional[str] = None) -> Dict:
+    """A terminal error frame for one request."""
+    message = {"type": "error", "detail": detail}
+    if code is not None:
+        message["code"] = code
+    return message

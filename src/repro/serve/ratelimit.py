@@ -1,0 +1,111 @@
+"""Per-tenant token-bucket rate limiting.
+
+The bucket is the classic leaky-refill shape (hopperkv's ``rate.h``
+does the same over request credits): ``capacity`` tokens of burst,
+refilled continuously at ``rate`` tokens/second.  Stream batches are
+charged one token per *event* and control requests one token each, so
+a tenant's admitted event throughput converges to its configured rate
+regardless of how it shapes batches.
+
+Refusals never drop work — callers translate them into ``retry``
+frames carrying :meth:`TokenBucket.retry_after`'s hint, so a
+well-behaved client backs off exactly as long as the bucket needs.
+
+The clock is injected (default ``time.monotonic``) which keeps the
+edge-case tests deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Optional
+
+
+class TokenBucket:
+    """Continuous-refill token bucket.
+
+    Args:
+        rate: refill rate in tokens per second (0 permits nothing
+            beyond the initial burst).
+        capacity: burst size; also the largest single charge that can
+            ever succeed.  A *zero-capacity* bucket admits nothing —
+            the shape of a tenant that has been administratively
+            paused; callers still answer RETRY so the tenant recovers
+            the moment capacity is restored.
+        clock: monotonic seconds source.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        capacity: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate < 0:
+            raise ValueError("rate must be >= 0")
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self._clock = clock
+        self._tokens = self.capacity
+        self._stamp = clock()
+
+    # ------------------------------------------------------------ internals
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._stamp
+        self._stamp = now
+        if elapsed > 0 and self.rate > 0:
+            self._tokens = min(
+                self.capacity, self._tokens + elapsed * self.rate
+            )
+
+    # -------------------------------------------------------------- public
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now (after refill)."""
+        self._refill()
+        return self._tokens
+
+    def try_take(self, amount: float = 1.0) -> bool:
+        """Charge ``amount`` tokens; False (and no charge) if short."""
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        self._refill()
+        if amount > self._tokens:
+            return False
+        self._tokens -= amount
+        return True
+
+    def admissible(self, amount: float) -> bool:
+        """Whether ``amount`` could *ever* pass (fits the burst)."""
+        return amount <= self.capacity
+
+    def retry_after(self, amount: float = 1.0) -> Optional[float]:
+        """Seconds until ``amount`` tokens will be available.
+
+        ``None`` when the charge can never succeed (``amount`` exceeds
+        the burst, or the bucket refills at rate 0 with insufficient
+        balance) — the caller substitutes its configured maximum
+        backoff so the client still gets a RETRY rather than a drop.
+        """
+        self._refill()
+        if amount <= self._tokens:
+            return 0.0
+        if not self.admissible(amount) or self.rate == 0:
+            return None
+        return (amount - self._tokens) / self.rate
+
+
+def backoff_hint_ms(
+    retry_after: Optional[float], max_backoff_ms: int, floor_ms: int = 1
+) -> int:
+    """Clamp a :meth:`TokenBucket.retry_after` answer into a wire hint."""
+    if retry_after is None:
+        return max_backoff_ms
+    hint = int(math.ceil(retry_after * 1000.0))
+    return max(floor_ms, min(hint, max_backoff_ms))

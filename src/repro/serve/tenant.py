@@ -1,0 +1,199 @@
+"""Per-tenant state: limits, rate bucket, and namespaced metrics.
+
+Tenants never share taint structures — every admitted stream or job
+builds its own :class:`repro.pipeline.StreamingPipeline` (and therefore
+its own CTT/CTC/TLB/shadow memory) under the owning tenant.  What *is*
+shared is the server's :class:`repro.obs.MetricsRegistry`, so each
+tenant publishes through a :meth:`~repro.obs.MetricsRegistry.scoped`
+view (``serve.tenant.<name>.*``): N tenants in one process land side by
+side in one snapshot instead of colliding on the pipeline's metric
+names.  The catalogue rows live in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.serve.ratelimit import TokenBucket
+
+#: Tenant names become metric-name components and log fields; keep them
+#: to a safe charset (hopperkv applies the same constraint to app ids).
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+
+class TenantNameError(ValueError):
+    """Raised for tenant names that cannot be namespaced safely."""
+
+
+def validate_tenant_name(name: str) -> str:
+    """Return ``name`` if it is usable as a tenant id, else raise."""
+    if not isinstance(name, str) or not _NAME_PATTERN.match(name):
+        raise TenantNameError(
+            f"invalid tenant name {name!r} (expected 1-64 chars of "
+            "[A-Za-z0-9_.-], starting alphanumeric)"
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class TenantLimits:
+    """Admission knobs for one tenant.
+
+    ``burst == 0`` is the administratively-paused tenant: every request
+    answers RETRY until an operator raises the limit.  ``max_streams``
+    bounds one tenant's share of the global in-flight table (None =
+    bounded only by the table itself).
+    """
+
+    rate: float = 2000.0        # events per second refill
+    burst: float = 4096.0       # bucket capacity (events)
+    max_streams: Optional[int] = 8
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("rate must be >= 0")
+        if self.burst < 0:
+            raise ValueError("burst must be >= 0")
+        if self.max_streams is not None and self.max_streams < 0:
+            raise ValueError("max_streams must be >= 0 or None")
+
+
+class TenantState:
+    """One tenant's live serving state.
+
+    Holds the token bucket, the scoped metrics registry, and the
+    native-integer counters the scoped gauges/counters publish from.
+    Sessions (one per admitted stream/job) are owned by the connection
+    handlers; the tenant only counts them.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        limits: TenantLimits,
+        registry,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.name = validate_tenant_name(name)
+        self.limits = limits
+        self.bucket = TokenBucket(limits.rate, limits.burst, clock=clock)
+        self.obs = registry.scoped(f"serve.tenant.{self.name}")
+        self.max_streams = limits.max_streams
+        # Native counters (published below; incremented inline).
+        self.admitted = 0
+        self.rejected = {"rate": 0, "inflight": 0, "streams": 0}
+        self.events_in = 0
+        self.batches = 0
+        self.results = 0
+        self.disconnects = 0
+        self.active_streams = 0
+        self.stall_seconds = 0.0   # client-visible RETRY backoff issued
+        self._register_gauges()
+
+    # ------------------------------------------------------------- metrics
+
+    def _register_gauges(self) -> None:
+        self.obs.gauge(
+            "active_streams", unit="streams",
+            description="Streams this tenant has open right now",
+            callback=lambda: self.active_streams,
+        )
+        self.obs.gauge(
+            "bucket_tokens", unit="tokens",
+            description="Rate-limit tokens currently available",
+            callback=lambda: self.bucket.tokens,
+        )
+
+    def publish_metrics(self) -> None:
+        """Copy the native counters into the scoped registry."""
+        self.obs.counter(
+            "admitted", unit="requests",
+            description="Stream-opens and jobs admitted",
+        ).set(self.admitted)
+        for reason, count in self.rejected.items():
+            self.obs.counter(
+                f"rejected.{reason}", unit="requests",
+                description=f"RETRY answers issued for reason={reason}",
+            ).set(count)
+        self.obs.counter(
+            "events", unit="events",
+            description="Trace events accepted into this tenant's "
+                        "pipelines",
+        ).set(self.events_in)
+        self.obs.counter(
+            "batches", unit="batches",
+            description="Event batches accepted",
+        ).set(self.batches)
+        self.obs.counter(
+            "results", unit="results",
+            description="Terminal results served",
+        ).set(self.results)
+        self.obs.counter(
+            "disconnects", unit="connections",
+            description="Connections that vanished with open streams",
+        ).set(self.disconnects)
+        self.obs.gauge(
+            "stall_seconds", unit="seconds",
+            description="Cumulative backoff this tenant was asked to "
+                        "take (sum of RETRY hints)",
+        ).set(self.stall_seconds)
+
+    # ----------------------------------------------------------- accounting
+
+    def record_rejection(self, advice) -> None:
+        """Account one RETRY answer."""
+        self.rejected[advice.reason] = (
+            self.rejected.get(advice.reason, 0) + 1
+        )
+        self.stall_seconds += advice.backoff_ms / 1000.0
+
+
+class TenantDirectory:
+    """Name → :class:`TenantState`, created on first ``hello``.
+
+    ``overrides`` pins specific tenants to non-default limits (the
+    zero-capacity/paused case, premium bursts); everyone else gets
+    ``default_limits``.
+    """
+
+    def __init__(
+        self,
+        registry,
+        default_limits: Optional[TenantLimits] = None,
+        overrides: Optional[Dict[str, TenantLimits]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.registry = registry
+        self.default_limits = (
+            default_limits if default_limits is not None else TenantLimits()
+        )
+        self.overrides = dict(overrides or {})
+        self.clock = clock
+        self._tenants: Dict[str, TenantState] = {}
+
+    def get(self, name: str) -> TenantState:
+        """Fetch-or-create the tenant (validates the name)."""
+        validate_tenant_name(name)
+        state = self._tenants.get(name)
+        if state is None:
+            limits = self.overrides.get(name, self.default_limits)
+            state = TenantState(
+                name, limits, self.registry, clock=self.clock
+            )
+            self._tenants[name] = state
+        return state
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def tenants(self):
+        """Live tenant states (insertion order)."""
+        return list(self._tenants.values())
+
+    def publish_metrics(self) -> None:
+        """Publish every tenant's counters into the shared registry."""
+        for tenant in self._tenants.values():
+            tenant.publish_metrics()

@@ -226,9 +226,34 @@ _start:
         stream_cpu.run()
         pipeline.publish_metrics(registry)  # registers pipeline.*
 
+        from repro.serve import TaintServer
+
+        TaintServer(registry=registry)  # registers serve.* gauges
+
         published = set(registry.names())
         missing = sorted(documented - published)
         assert not missing, f"documented but never published: {missing}"
+
+
+class TestService:
+    def test_every_block_executes(self):
+        namespace = run_blocks(ROOT / "docs" / "SERVICE.md")
+        # The overload walkthrough really did absorb RETRYs, the query
+        # answered true on a tainted byte, and the load run was clean.
+        assert namespace["result"].retries > 0
+        assert namespace["answer"]["tainted"] is True
+        assert namespace["report"].clean
+        assert namespace["report"].completed == 16
+
+    def test_service_metric_rows_documented(self):
+        text = (ROOT / "docs" / "OBSERVABILITY.md").read_text()
+        for name in (
+            "serve.inflight", "serve.retries_sent",
+            "serve.tenant.<name>.rejected.rate",
+            "serve.tenant.<name>.results",
+            "serve.tenant.<name>.bucket_tokens",
+        ):
+            assert f"`{name}`" in text, f"{name} missing from catalog"
 
 
 class TestKernelsDoc:

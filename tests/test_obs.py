@@ -485,3 +485,110 @@ class TestGoldenTraceIntegration:
 
         # The golden trace exercises every level at least once.
         assert all(by_level[level] for level in CheckLevel)
+
+
+# ----------------------------------------------------------- scoped views
+
+
+class TestScopedRegistry:
+    """Satellite regression: two instrumented subsystems in one process
+    must publish side by side instead of colliding on shared names."""
+
+    def test_two_pipelines_one_process_do_not_collide(self):
+        from repro.obs import ScopedRegistry
+        from repro.workloads import programs
+        from repro.pipeline import StreamingPipeline
+
+        registry = MetricsRegistry()
+        results = {}
+        for tenant in ("alpha", "beta"):
+            cpu = programs.checksum().make_cpu()
+            pipeline = StreamingPipeline(
+                cpu, registry=registry.scoped(f"serve.tenant.{tenant}")
+            )
+            cpu.run(300_000)
+            pipeline.finish()
+            pipeline.accumulate_metrics(
+                registry.scoped(f"serve.tenant.{tenant}")
+            )
+            results[tenant] = pipeline.stats.enqueued
+        snapshot = registry.snapshot()
+        for tenant in ("alpha", "beta"):
+            assert snapshot.get(
+                f"serve.tenant.{tenant}.pipeline.events.enqueued"
+            ) == results[tenant]
+        # Nothing leaked onto the unscoped names.
+        assert snapshot.get("pipeline.events.enqueued") is None
+
+    def test_qualified_names_visible_from_base(self):
+        registry = MetricsRegistry()
+        scope = registry.scoped("svc")
+        scope.counter("requests").inc(3)
+        assert registry.get("svc.requests").value == 3
+        assert registry.snapshot().get("svc.requests") == 3
+
+    def test_scopes_nest(self):
+        registry = MetricsRegistry()
+        inner = registry.scoped("serve").scoped("tenant-a")
+        inner.gauge("depth").set(7)
+        assert inner.prefix == "serve.tenant-a"
+        assert registry.get("serve.tenant-a.depth").value == 7
+
+    def test_iteration_filters_to_own_namespace(self):
+        registry = MetricsRegistry()
+        registry.counter("global.hits").inc()
+        a = registry.scoped("a")
+        b = registry.scoped("b")
+        a.counter("x").inc()
+        a.counter("y").inc()
+        b.counter("x").inc()
+        assert sorted(a.names()) == ["a.x", "a.y"]
+        assert len(a) == 2 and len(b) == 1
+        assert "x" in a and "z" not in a
+
+    def test_prefix_is_a_boundary_not_a_substring(self):
+        registry = MetricsRegistry()
+        registry.scoped("ab").counter("x").inc()
+        registry.scoped("a").counter("x").inc()
+        assert [m.name for m in registry.scoped("a").metrics()] == ["a.x"]
+
+    def test_reset_zeroes_only_the_scope(self):
+        registry = MetricsRegistry()
+        registry.counter("keep").inc(5)
+        scope = registry.scoped("tmp")
+        scope.counter("drop").inc(9)
+        scope.reset()
+        assert registry.get("tmp.drop").value == 0
+        assert registry.get("keep").value == 5
+
+    def test_scope_snapshot_excludes_other_namespaces(self):
+        registry = MetricsRegistry()
+        registry.counter("other").inc()
+        scope = registry.scoped("mine")
+        scope.counter("c").inc(2)
+        snapshot = scope.snapshot()
+        assert snapshot.get("mine.c") == 2
+        assert "other" not in snapshot
+
+    def test_same_scope_twice_is_get_or_create(self):
+        registry = MetricsRegistry()
+        first = registry.scoped("s").counter("n")
+        second = registry.scoped("s").counter("n")
+        assert first is second
+
+    def test_invalid_prefixes_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.scoped("")
+        with pytest.raises(ValueError):
+            registry.scoped("trailing.")
+
+    def test_callback_gauges_through_scope(self):
+        registry = MetricsRegistry()
+        depth = {"value": 3}
+        registry.scoped("q").gauge(
+            "depth", callback=lambda: depth["value"]
+        )
+        assert registry.snapshot().get("q.depth") == 3
+        depth["value"] = 11
+        assert registry.snapshot().get("q.depth") == 11

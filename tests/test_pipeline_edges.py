@@ -188,3 +188,119 @@ class TestWrapperDeterminism:
         second_sig, second_counters = one_run()
         assert first_sig == second_sig
         assert first_counters == second_counters
+
+
+class TestIdempotentTeardown:
+    """Repeated finish/drain after completion must be true no-ops.
+
+    The serving layer drains sessions once when a client disconnects
+    and again at teardown; any metric or state movement on the second
+    pass would skew per-tenant accounting (and, before the fix, each
+    empty drain logged a phantom occupancy sample and TRF resync).
+    """
+
+    @pytest.mark.parametrize("backend", ["scalar", "vector"])
+    def test_double_finish_is_a_true_noop(self, backend):
+        from repro.obs import MetricsRegistry
+
+        cpu = programs.file_filter().make_cpu()
+        pipeline = StreamingPipeline(cpu, config=PipelineConfig(
+            gate_batch=1 if backend == "scalar" else 32,
+            backend=backend,
+        ))
+        cpu.run(300_000)
+        pipeline.finish()
+
+        def state():
+            registry = MetricsRegistry()
+            pipeline.publish_metrics(registry)
+            return (
+                signature(pipeline.engine),
+                pipeline.stats,
+                len(pipeline._queue_instruments.occupancy.values()),
+                registry.snapshot().to_dict(),
+            )
+
+        before = state()
+        pipeline.finish()
+        pipeline.drain()
+        pipeline.drain_all()
+        pipeline.finish()
+        assert state() == before
+
+    @pytest.mark.parametrize("backend", ["scalar", "vector"])
+    def test_empty_drain_records_no_occupancy_sample(self, backend):
+        cpu = programs.checksum().make_cpu()
+        pipeline = StreamingPipeline(cpu, config=PipelineConfig(
+            gate_batch=1 if backend == "scalar" else 32,
+            backend=backend,
+        ))
+        cpu.run(300_000)
+        pipeline.finish()
+        samples = len(pipeline._queue_instruments.occupancy.values())
+        assert pipeline.drain() == 0
+        assert len(
+            pipeline._queue_instruments.occupancy.values()
+        ) == samples
+
+    def test_closed_queue_rejects_straggler_batches(self):
+        from repro.machine.events import StepEvent
+        from repro.pipeline.events import EventKind, PipelineEvent
+
+        cpu = programs.checksum().make_cpu()
+        pipeline = StreamingPipeline(cpu)
+        cpu.run(300_000)
+        pipeline.finish()
+        pipeline.queue.close()
+        pipeline.queue.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            pipeline.queue.append(PipelineEvent(
+                kind=EventKind.STEP, payload=None, sequence=-1,
+            ))
+
+
+class TestDetachedPipeline:
+    def test_detached_pipeline_has_no_cpu_to_run(self):
+        pipeline = StreamingPipeline(cpu=None)
+        with pytest.raises(RuntimeError):
+            pipeline.run()
+
+    def test_detached_pipeline_replays_recorded_events(self):
+        # Feeding a recorded event stream into a detached pipeline must
+        # land exactly where the attached run landed.
+        recorded = []
+
+        class Recorder:
+            def on_step(self, event):
+                recorded.append(("step", event))
+
+            def on_input(self, event):
+                recorded.append(("input", event))
+
+            def on_output(self, event):
+                recorded.append(("output", event))
+
+            def on_halt(self, step_index):
+                recorded.append(("halt", step_index))
+
+        cpu = programs.substitution_cipher().make_cpu()
+        cpu.attach(Recorder())
+        cpu.run(300_000)
+        reference = run_reference(
+            lambda: programs.substitution_cipher(), None
+        )
+
+        detached = StreamingPipeline(cpu=None, config=PipelineConfig(
+            gate_batch=1, backend="scalar",
+        ))
+        for kind, payload in recorded:
+            if kind == "step":
+                detached.on_step(payload)
+            elif kind == "input":
+                detached.on_input(payload)
+            elif kind == "output":
+                detached.on_output(payload)
+            else:
+                detached.on_halt(payload)
+        detached.finish()
+        assert signature(detached.engine) == signature(reference)

@@ -1,0 +1,269 @@
+"""Admission edges: token buckets, the in-flight table, verdict order."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serve.admission import (
+    AdmissionController,
+    InFlightTable,
+    RetryAdvice,
+    Slot,
+)
+from repro.serve.ratelimit import TokenBucket, backoff_hint_ms
+from repro.serve.tenant import TenantLimits, TenantState
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        bucket = TokenBucket(10.0, 5.0, clock=FakeClock())
+        assert bucket.tokens == pytest.approx(5.0)
+
+    def test_burst_exactly_at_capacity_admitted(self):
+        # The boundary case: a burst of exactly `capacity` tokens must
+        # be admitted in one take, and one more token must not be.
+        bucket = TokenBucket(1.0, 64.0, clock=FakeClock())
+        assert bucket.try_take(64.0)
+        assert bucket.tokens == pytest.approx(0.0)
+        assert not bucket.try_take(1e-9)
+
+    def test_over_capacity_never_admissible(self):
+        bucket = TokenBucket(100.0, 8.0, clock=FakeClock())
+        assert not bucket.admissible(8.5)
+        assert bucket.retry_after(8.5) is None
+
+    def test_refill_is_continuous_and_capped(self):
+        clock = FakeClock()
+        bucket = TokenBucket(10.0, 20.0, clock=clock)
+        assert bucket.try_take(20.0)
+        clock.advance(0.5)
+        assert bucket.tokens == pytest.approx(5.0)
+        clock.advance(100.0)
+        assert bucket.tokens == pytest.approx(20.0)  # capped at capacity
+
+    def test_retry_after_prices_the_deficit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(10.0, 10.0, clock=clock)
+        assert bucket.try_take(10.0)
+        assert bucket.retry_after(5.0) == pytest.approx(0.5)
+        clock.advance(0.5)
+        assert bucket.try_take(5.0)
+
+    def test_zero_capacity_tenant_never_admits(self):
+        clock = FakeClock()
+        bucket = TokenBucket(0.0, 0.0, clock=clock)
+        assert not bucket.try_take(1.0)
+        clock.advance(1e6)
+        assert not bucket.try_take(1.0)
+        assert bucket.retry_after(1.0) is None
+
+    def test_zero_rate_positive_burst_is_a_quota(self):
+        bucket = TokenBucket(0.0, 3.0, clock=FakeClock())
+        assert bucket.try_take(3.0)
+        assert not bucket.try_take(1.0)
+        assert bucket.retry_after(1.0) is None  # never refills
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, -1.0)
+
+
+class TestBackoffHint:
+    def test_prices_finite_waits(self):
+        assert backoff_hint_ms(0.25, 1000) == 250
+
+    def test_clamps_to_ceiling(self):
+        assert backoff_hint_ms(10.0, 1000) == 1000
+
+    def test_floor_for_tiny_waits(self):
+        assert backoff_hint_ms(0.00001, 1000) == 1
+
+    def test_never_satisfiable_gets_ceiling(self):
+        assert backoff_hint_ms(None, 750) == 750
+
+
+class TestInFlightTable:
+    def test_acquire_until_full(self):
+        table = InFlightTable(2)
+        a = table.try_acquire("t1", "stream")
+        b = table.try_acquire("t2", "stream")
+        assert isinstance(a, Slot) and isinstance(b, Slot)
+        assert table.full
+        assert table.try_acquire("t3", "stream") is None
+
+    def test_release_is_idempotent(self):
+        table = InFlightTable(1)
+        slot = table.try_acquire("t1", "job")
+        assert table.release(slot)
+        assert not table.release(slot)  # second release is a no-op
+        assert len(table) == 0
+
+    def test_peak_tracks_high_water(self):
+        table = InFlightTable(4)
+        slots = [table.try_acquire("t", "stream") for _ in range(3)]
+        for slot in slots:
+            table.release(slot)
+        assert table.peak == 3
+        assert len(table) == 0
+
+    def test_held_by_counts_per_tenant(self):
+        table = InFlightTable(8)
+        table.try_acquire("a", "stream")
+        table.try_acquire("a", "stream")
+        table.try_acquire("b", "stream")
+        assert table.held_by("a") == 2
+        assert table.held_by("b") == 1
+        assert table.held_by("c") == 0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            InFlightTable(0)
+
+
+def _tenant(clock, rate=100.0, burst=10.0, max_streams=8):
+    return TenantState(
+        "t1",
+        TenantLimits(rate=rate, burst=burst, max_streams=max_streams),
+        MetricsRegistry(),
+        clock=clock,
+    )
+
+
+class TestAdmissionController:
+    def test_admits_and_charges_one_token(self):
+        clock = FakeClock()
+        tenant = _tenant(clock)
+        controller = AdmissionController(InFlightTable(4))
+        verdict = controller.admit_request(tenant, "stream")
+        assert isinstance(verdict, Slot)
+        assert tenant.bucket.tokens == pytest.approx(9.0)
+
+    def test_inflight_full_with_all_tenants_idle(self):
+        # The table can be exhausted by *held* slots even when every
+        # bucket is full — the refusal must be reason="inflight" and
+        # must not burn the refused tenant's budget.
+        clock = FakeClock()
+        tenant = _tenant(clock)
+        controller = AdmissionController(
+            InFlightTable(1), inflight_backoff_ms=33
+        )
+        other = _tenant(clock)
+        held = controller.admit_request(other, "stream")
+        assert isinstance(held, Slot)
+        before = tenant.bucket.tokens
+        verdict = controller.admit_request(tenant, "stream")
+        assert isinstance(verdict, RetryAdvice)
+        assert verdict.reason == "inflight"
+        assert verdict.backoff_ms == 33
+        assert tenant.bucket.tokens == pytest.approx(before)
+        # Releasing the held slot makes the next attempt admit.
+        controller.release(held)
+        assert isinstance(controller.admit_request(tenant, "stream"), Slot)
+
+    def test_rate_refusal_carries_priced_backoff(self):
+        clock = FakeClock()
+        tenant = _tenant(clock, rate=10.0, burst=2.0)
+        controller = AdmissionController(InFlightTable(8))
+        assert isinstance(controller.admit_request(tenant, "stream"), Slot)
+        assert isinstance(controller.admit_request(tenant, "stream"), Slot)
+        verdict = controller.admit_request(tenant, "stream")
+        assert isinstance(verdict, RetryAdvice)
+        assert verdict.reason == "rate"
+        assert 1 <= verdict.backoff_ms <= 1000
+
+    def test_zero_capacity_tenant_always_retries_with_ceiling(self):
+        clock = FakeClock()
+        tenant = _tenant(clock, rate=0.0, burst=0.0)
+        controller = AdmissionController(
+            InFlightTable(8), max_backoff_ms=500
+        )
+        verdict = controller.admit_request(tenant, "stream")
+        assert isinstance(verdict, RetryAdvice)
+        assert verdict.reason == "rate"
+        assert verdict.backoff_ms == 500
+        clock.advance(1e6)
+        verdict = controller.admit_request(tenant, "stream")
+        assert isinstance(verdict, RetryAdvice)  # still paused
+
+    def test_max_streams_bounds_one_tenant(self):
+        clock = FakeClock()
+        tenant = _tenant(clock, rate=1e6, burst=1e6, max_streams=2)
+        controller = AdmissionController(InFlightTable(8))
+        assert isinstance(controller.admit_request(tenant, "stream"), Slot)
+        assert isinstance(controller.admit_request(tenant, "stream"), Slot)
+        verdict = controller.admit_request(tenant, "stream")
+        assert isinstance(verdict, RetryAdvice)
+        assert verdict.reason == "streams"
+
+    def test_event_batches_charged_per_event(self):
+        clock = FakeClock()
+        tenant = _tenant(clock, rate=100.0, burst=64.0)
+        controller = AdmissionController(InFlightTable(8))
+        assert controller.admit_events(tenant, 64) is None  # exactly burst
+        advice = controller.admit_events(tenant, 1)
+        assert isinstance(advice, RetryAdvice)
+        assert advice.reason == "rate"
+        clock.advance(1.0)  # refills 100 -> capped at 64
+        assert controller.admit_events(tenant, 64) is None
+
+    def test_empty_batch_is_free(self):
+        tenant = _tenant(FakeClock(), burst=0.0, rate=0.0)
+        controller = AdmissionController(InFlightTable(8))
+        assert controller.admit_events(tenant, 0) is None
+
+    def test_retry_advice_wire_shape(self):
+        advice = RetryAdvice("rate", 120)
+        assert advice.message() == {
+            "type": "retry", "reason": "rate", "backoff_ms": 120,
+        }
+
+
+class TestTenantAccounting:
+    def test_rejections_accumulate_stall_seconds(self):
+        tenant = _tenant(FakeClock())
+        tenant.record_rejection(RetryAdvice("rate", 250))
+        tenant.record_rejection(RetryAdvice("inflight", 50))
+        assert tenant.rejected["rate"] == 1
+        assert tenant.rejected["inflight"] == 1
+        assert tenant.stall_seconds == pytest.approx(0.3)
+
+    def test_publish_metrics_lands_in_tenant_namespace(self):
+        registry = MetricsRegistry()
+        tenant = TenantState(
+            "acme", TenantLimits(), registry, clock=FakeClock()
+        )
+        tenant.admitted = 3
+        tenant.events_in = 120
+        tenant.publish_metrics()
+        snapshot = registry.snapshot()
+        assert snapshot.get("serve.tenant.acme.admitted") == 3
+        assert snapshot.get("serve.tenant.acme.events") == 120
+        assert snapshot.get("serve.tenant.acme.active_streams") == 0
+
+    def test_invalid_tenant_names_rejected(self):
+        from repro.serve.tenant import TenantNameError, validate_tenant_name
+
+        for bad in ("", ".hidden", "a b", "x" * 65, "a/b", None, 7):
+            with pytest.raises(TenantNameError):
+                validate_tenant_name(bad)
+        assert validate_tenant_name("ok-1.2_x") == "ok-1.2_x"
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            TenantLimits(rate=-1.0)
+        with pytest.raises(ValueError):
+            TenantLimits(burst=-0.5)
+        with pytest.raises(ValueError):
+            TenantLimits(max_streams=-1)

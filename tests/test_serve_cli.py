@@ -1,0 +1,133 @@
+"""``repro-serve`` CLI: selftest gating, metrics artifact, loadgen."""
+
+import json
+import threading
+
+import pytest
+
+from repro.serve.cli import cli
+
+
+class TestSelftest:
+    def test_selftest_passes_and_writes_metrics(self, tmp_path, capsys):
+        metrics_path = tmp_path / "serve_metrics.json"
+        code = cli([
+            "selftest", "--clients", "12", "--tenants", "3",
+            "--duration", "0.2", "--seed", "42",
+            "--metrics-out", str(metrics_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "selftest ok: 12/12" in out
+        assert "clean shutdown" in out
+
+        payload = json.loads(metrics_path.read_text())
+        assert payload["meta"]["command"] == "selftest"
+        assert payload["meta"]["clients"] == 12
+        names = [record["name"] for record in payload["metrics"]]
+        assert "serve.inflight_peak" in names
+        # Per-tenant rows are present for every simulated tenant.
+        for index in range(3):
+            assert f"serve.tenant.load-{index}.results" in names
+
+    def test_selftest_exercises_retry_under_pressure(self, capsys):
+        code = cli([
+            "selftest", "--clients", "16", "--tenants", "2",
+            "--duration", "0.0", "--max-inflight", "2",
+            "--burst", "256", "--rate", "30000",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "divergences: 0" in out
+
+    def test_selftest_phases_accepted(self, capsys):
+        for phase in ("steady", "diurnal"):
+            assert cli([
+                "selftest", "--clients", "6", "--phase", phase,
+                "--duration", "0.1",
+            ]) == 0
+
+
+class TestLoadgenCommand:
+    def test_loadgen_against_running_server(self, capsys):
+        from repro.serve import ServeConfig, running_server
+
+        with running_server(ServeConfig()) as (_server, (host, port)):
+            code = cli([
+                "loadgen", "--host", host, "--port", str(port),
+                "--clients", "8", "--tenants", "2", "--duration", "0.1",
+            ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "clients completed: 8" in out
+
+    def test_loadgen_fails_loudly_when_no_server(self, capsys):
+        # A vacant port: every client errors, exit code goes non-zero.
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        code = cli([
+            "loadgen", "--port", str(port),
+            "--clients", "3", "--duration", "0.0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "failed: 3" in out
+
+
+class TestServeCommand:
+    def test_serve_runs_until_interrupted(self, capsys):
+        # Drive the foreground command on a thread and interrupt it the
+        # way an operator would (loop stop == SIGINT's effect).
+        import asyncio
+
+        result = {}
+
+        def target():
+            # KeyboardInterrupt is delivered to the main thread only,
+            # so emulate it by stopping the loop from outside.
+            result["code"] = cli(["serve", "--port", "0"])
+
+        # Instead of signals, verify the command binds and reports.
+        # Use a short-lived asyncio.run patch: run the server setup and
+        # cancel serve_forever immediately.
+        from repro.serve import cli as cli_module
+
+        original = asyncio.run
+
+        def run_briefly(coro):
+            async def wrapper():
+                task = asyncio.ensure_future(coro)
+                await asyncio.sleep(0.2)
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+            return original(wrapper())
+
+        cli_module.__dict__  # keep linters quiet about the import
+        asyncio.run = run_briefly
+        try:
+            thread = threading.Thread(target=target)
+            thread.start()
+            thread.join(10.0)
+        finally:
+            asyncio.run = original
+        assert result["code"] == 0
+        assert "listening on" in capsys.readouterr().out
+
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli([])
+
+    def test_entry_point_is_registered(self):
+        # Satellite: pyproject must expose the console script.
+        import pathlib
+
+        pyproject = pathlib.Path(__file__).parent.parent / "pyproject.toml"
+        text = pyproject.read_text()
+        assert 'repro-serve = "repro.serve.cli:cli"' in text
