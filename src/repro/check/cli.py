@@ -17,6 +17,7 @@ occurs, so every mode is CI-gateable.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -44,6 +45,9 @@ def _add_fuzz(subparsers) -> None:
     parser.add_argument("--stats-out", type=Path, default=None,
                         help="write aggregated streaming-path queue/stall "
                              "metrics to this JSON file")
+    parser.add_argument("--paths", default=None, metavar="PATH[,PATH...]",
+                        help="restrict checking to these oracle paths "
+                             f"(default all: {','.join(ALL_PATHS)})")
 
 
 def _add_replay(subparsers) -> None:
@@ -76,13 +80,32 @@ def _stream_registry(args):
     return MetricsRegistry()
 
 
+def _resolve_paths(args):
+    """Validate a ``--paths`` selection against :data:`ALL_PATHS`."""
+    raw = getattr(args, "paths", None)
+    if raw is None:
+        return ALL_PATHS
+    chosen = tuple(name.strip() for name in raw.split(",") if name.strip())
+    unknown = [name for name in chosen if name not in ALL_PATHS]
+    if unknown or not chosen:
+        raise SystemExit(
+            f"error: unknown oracle path(s) {', '.join(unknown) or '(none)'} "
+            f"(available: {', '.join(ALL_PATHS)})"
+        )
+    return chosen
+
+
 def _write_stats(args, registry, meta) -> None:
     if registry is None:
         return
     snapshot = registry.snapshot()
     snapshot.meta.update(meta)
     args.stats_out.parent.mkdir(parents=True, exist_ok=True)
-    args.stats_out.write_text(snapshot.to_json(indent=2) + "\n")
+    # Write-then-rename so a crash (or a parallel reader in CI) never
+    # observes a partial artifact at the published path.
+    scratch = args.stats_out.with_name(args.stats_out.name + ".tmp")
+    scratch.write_text(snapshot.to_json(indent=2) + "\n")
+    os.replace(scratch, args.stats_out)
     print(f"wrote streaming queue metrics -> {args.stats_out}")
 
 
@@ -91,13 +114,14 @@ def _cmd_fuzz(args) -> int:
     checked = 0
     started = time.monotonic()
     stream_obs = _stream_registry(args)
+    paths = _resolve_paths(args)
     for offset in range(args.seeds):
         if args.time_budget and time.monotonic() - started > args.time_budget:
             print(f"time budget reached after {checked} seeds")
             break
         seed = args.start_seed + offset
         cp = generate_program(seed)
-        report = check_program(cp, paths=ALL_PATHS, stream_obs=stream_obs)
+        report = check_program(cp, paths=paths, stream_obs=stream_obs)
         checked += 1
         if report.ok:
             continue
@@ -121,6 +145,7 @@ def _cmd_fuzz(args) -> int:
         "command": "fuzz",
         "programs": checked,
         "start_seed": args.start_seed,
+        "paths": ",".join(paths),
     })
     return 1 if failures else 0
 

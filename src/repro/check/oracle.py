@@ -24,6 +24,12 @@ The ``stream`` path runs the program through the full
 (scalar and vector), honouring any ``REPRO_PIPELINE_*`` environment
 knobs; with sampling inactive it must reproduce the reference
 signature, and the coarse-vs-precise invariants must hold either way.
+
+The ``columnar`` path is the object-vs-columnar differential: the
+recorded ``.ltrace`` event container must replay to the reference
+signature, and the sharded columnar access replay
+(:mod:`repro.trace.replay`) must reproduce the scalar per-access
+H-LATCH counters bit for bit under an adversarial shard plan.
 """
 
 from __future__ import annotations
@@ -46,7 +52,7 @@ from repro.machine.events import InputEvent, Observer, OutputEvent, StepEvent
 MAX_STEPS = 200_000
 
 #: Paths the oracle exercises (``check_program``'s default).
-ALL_PATHS = ("core", "slatch", "hlatch", "kernels", "stream")
+ALL_PATHS = ("core", "slatch", "hlatch", "kernels", "stream", "columnar")
 
 
 @dataclass(frozen=True)
@@ -105,11 +111,13 @@ class _TraceCollector(Observer):
     def __init__(self) -> None:
         self.addresses: List[int] = []
         self.sizes: List[int] = []
+        self.writes: List[bool] = []
 
     def on_step(self, event: StepEvent) -> None:
         for access in event.memory_accesses:
             self.addresses.append(access.address)
             self.sizes.append(access.size)
+            self.writes.append(access.is_write)
 
 
 # --------------------------------------------------------------- reference
@@ -434,6 +442,125 @@ def check_kernel_replay(
     return violations
 
 
+# --------------------------------------------------------- columnar replay
+
+
+def check_columnar(
+    cp: CheckProgram,
+    engine: DIFTEngine,
+    trace: _TraceCollector,
+    latch_cls: Callable[..., LatchModule] = LatchModule,
+) -> List[SoundnessViolation]:
+    """Object-pipeline vs columnar-sharded replay differential.
+
+    Two halves.  **Events**: the program re-runs with a
+    :class:`~repro.trace.record.TraceRecorder` attached, the recorded
+    ``.ltrace`` bytes replay into a fresh byte-precise engine, and the
+    final signature must match the live reference run — the container
+    must be a faithful substitute for the object event stream.
+    **Accesses**: the reference access trace replays through the scalar
+    per-access H-LATCH stack and through
+    :func:`~repro.trace.replay.shard_partial` /
+    :func:`~repro.trace.replay.merge_partials` under an adversarial
+    shard plan (uneven cuts, a single-access shard, and a deliberately
+    empty shard); every published counter must agree bit for bit.
+    """
+    from repro.hlatch.system import HLatchSystem
+    from repro.hlatch.taint_cache import HLATCH_TAINT_CACHE
+    from repro.trace.record import TraceRecorder, replay_events
+    from repro.trace.replay import merge_partials, shard_partial
+
+    violations: List[SoundnessViolation] = []
+
+    cpu = cp.make_cpu()
+    recorder = TraceRecorder(name=cp.name)
+    cpu.attach(recorder)
+    _run(cpu)
+    replayed = DIFTEngine()
+    steps = replay_events(recorder.to_bytes(), replayed)
+    if state_signature(replayed) != state_signature(engine):
+        violations.append(
+            SoundnessViolation(
+                kind="columnar-event-divergence",
+                path="columnar",
+                detail=(
+                    f"replaying the recorded event trace ({steps} steps) "
+                    "diverges from the live reference run"
+                ),
+            )
+        )
+
+    if not trace.addresses:
+        return violations
+
+    def fresh_system() -> HLatchSystem:
+        system = HLatchSystem(cp.config, HLATCH_TAINT_CACHE)
+        system.latch = latch_cls(cp.config)
+        system.latch.bulk_load_from_shadow(engine.shadow)
+        return system
+
+    scalar = fresh_system()
+    for address, size, write in zip(trace.addresses, trace.sizes,
+                                    trace.writes):
+        scalar.access(address, size, write)
+
+    n = len(trace.addresses)
+    addresses = np.asarray(trace.addresses, dtype=np.int64)
+    sizes = np.asarray(trace.sizes, dtype=np.int64)
+    writes = np.asarray(trace.writes, dtype=bool)
+    # Adversarial plan: uneven cuts, a single-access tail shard, and a
+    # deliberately empty shard — the merge must be exact for all of them.
+    bounds = [0, *sorted({n // 3, (2 * n) // 3, n - 1}), n]
+    plan = [(bounds[i], bounds[i + 1]) for i in range(len(bounds) - 1)]
+    plan.insert(1, (bounds[1], bounds[1]))
+    sharded = fresh_system()
+    partials = [
+        shard_partial(
+            addresses[start:stop], sizes[start:stop], writes[start:stop],
+            sharded.latch, sharded.tcache.config,
+        )
+        for start, stop in plan
+    ]
+    merge_partials(partials, sharded)
+
+    scalar_metrics = {
+        row["name"]: row for row in scalar.snapshot().to_dict()["metrics"]
+    }
+    sharded_metrics = {
+        row["name"]: row for row in sharded.snapshot().to_dict()["metrics"]
+    }
+    if scalar_metrics != sharded_metrics:
+        diverging = sorted(
+            name
+            for name in set(scalar_metrics) | set(sharded_metrics)
+            if scalar_metrics.get(name) != sharded_metrics.get(name)
+        )
+        violations.append(
+            SoundnessViolation(
+                kind="columnar-counter-mismatch",
+                path="columnar",
+                detail=(
+                    f"sharded merge over {len(plan)} shards diverges from "
+                    f"the scalar stack on {', '.join(diverging)}"
+                ),
+            )
+        )
+    if (scalar.latch.last_exception_address
+            != sharded.latch.last_exception_address):
+        violations.append(
+            SoundnessViolation(
+                kind="columnar-counter-mismatch",
+                path="columnar",
+                detail=(
+                    "last_exception_address differs: scalar "
+                    f"{scalar.latch.last_exception_address!r} vs sharded "
+                    f"{sharded.latch.last_exception_address!r}"
+                ),
+            )
+        )
+    return violations
+
+
 # ------------------------------------------------------------ orchestration
 
 
@@ -509,6 +636,13 @@ def check_program(
         report.violations.extend(
             dataclasses.replace(v, program=cp.name)
             for v in check_kernel_replay(cp, reference, trace, latch_cls=latch_cls)
+        )
+
+    if "columnar" in paths:
+        report.runs += 1
+        report.violations.extend(
+            dataclasses.replace(v, program=cp.name)
+            for v in check_columnar(cp, reference, trace, latch_cls=latch_cls)
         )
 
     if "stream" in paths:

@@ -46,7 +46,13 @@ from repro.kernels.epochs import (
     epoch_stream_from_trace,
     segment_epochs,
 )
-from repro.kernels.lru import LruStats, compress_runs, simulate_lru
+from repro.kernels.lru import (
+    LruState,
+    LruStats,
+    compress_runs,
+    run_boundaries,
+    simulate_lru,
+)
 from repro.kernels.replay import (
     replay_check_memory,
     replay_hlatch_window,
@@ -59,6 +65,7 @@ __all__ = [
     "DEFAULT_BACKEND",
     "KERNEL_NAMES",
     "CttIndex",
+    "LruState",
     "LruStats",
     "coarse_flags_window",
     "compress_runs",
@@ -73,6 +80,7 @@ __all__ = [
     "replay_taint_cache",
     "reset_kernel_metrics",
     "resolve_backend",
+    "run_boundaries",
     "segment_epochs",
     "simulate_lru",
 ]

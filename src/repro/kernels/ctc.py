@@ -32,6 +32,45 @@ class CtcProbeResult:
     evictions: int
 
 
+@dataclass(frozen=True)
+class CtcProbeFlags:
+    """The stateless half of a CTC probe (no LRU accounting yet).
+
+    ``word_sequence`` is the CTT-word-id sequence of every CTC lookup
+    in trace order — the sharded replay run-compresses it and feeds it
+    to a carry-over :class:`~repro.kernels.lru.LruState`.
+    """
+
+    tainted: np.ndarray
+    word_sequence: np.ndarray
+
+
+def probe_flags(
+    addresses: np.ndarray,
+    sizes: np.ndarray,
+    geometry,
+    ctt_index: classify.CttIndex,
+) -> CtcProbeFlags:
+    """Pure-CTT half of :func:`probe_window`: per-access taint verdicts
+    and the CTC lookup sequence, without touching any LRU state."""
+    n = len(addresses)
+    observe_batch("ctc_probe", n)
+    if n == 0:
+        return CtcProbeFlags(
+            np.zeros(0, dtype=bool), np.empty(0, dtype=np.int64)
+        )
+
+    flat_domains, offsets = classify.expand_domain_ids(
+        addresses, sizes, geometry.domain_size
+    )
+    flags = classify.domain_tainted_flags(flat_domains, ctt_index)
+    tainted = classify.any_per_row(flags, offsets)
+    # One CTC lookup per domain step; the line it touches is the CTT
+    # word covering that domain (CTC line span == word span).
+    word_sequence = classify.word_ids_from_domains(flat_domains)
+    return CtcProbeFlags(tainted=tainted, word_sequence=word_sequence)
+
+
 def probe_window(
     addresses: np.ndarray,
     sizes: np.ndarray,
@@ -45,22 +84,10 @@ def probe_window(
     1) of the accesses that reached the CTC (i.e. survived TLB
     screening, or all accesses when TLB bits are disabled).
     """
-    n = len(addresses)
-    observe_batch("ctc_probe", n)
-    if n == 0:
-        return CtcProbeResult(np.zeros(0, dtype=bool), 0, 0, 0, 0)
-
-    flat_domains, offsets = classify.expand_domain_ids(
-        addresses, sizes, geometry.domain_size
-    )
-    flags = classify.domain_tainted_flags(flat_domains, ctt_index)
-    tainted = classify.any_per_row(flags, offsets)
-    # One CTC lookup per domain step; the line it touches is the CTT
-    # word covering that domain (CTC line span == word span).
-    word_sequence = classify.word_ids_from_domains(flat_domains)
-    stats = simulate_lru(word_sequence, ways=ctc_entries)
+    flags = probe_flags(addresses, sizes, geometry, ctt_index)
+    stats = simulate_lru(flags.word_sequence, ways=ctc_entries)
     return CtcProbeResult(
-        tainted=tainted,
+        tainted=flags.tainted,
         accesses=stats.accesses,
         hits=stats.hits,
         misses=stats.misses,

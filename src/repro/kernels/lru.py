@@ -30,7 +30,7 @@ Semantics replicated exactly, validated by the equivalence harness:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -44,6 +44,89 @@ class LruStats:
     misses: int
     evictions: int
     writebacks: int
+
+
+class LruState:
+    """Resumable LRU residency state for run-boundary simulation.
+
+    Holds the per-set ordered dicts the boundary loop mutates, so a
+    single logical access sequence can be fed in several consecutive
+    chunks (shards) and accumulate exactly the counters one whole-window
+    :func:`simulate_lru` call would.  Duplicating the id at a chunk
+    boundary is harmless: the second occurrence is a guaranteed hit on
+    the MRU-resident line, which exactly compensates the within-run hit
+    the run compression loses by splitting the run in two, and the
+    pop-reinsert of the MRU key leaves the eviction order unchanged.
+    """
+
+    __slots__ = ("ways", "num_sets", "buckets")
+
+    def __init__(self, ways: int, num_sets: int = 1) -> None:
+        self.ways = ways
+        self.num_sets = num_sets
+        self.buckets: List[dict] = [dict() for _ in range(num_sets)]
+
+    def apply_runs(self, run_ids, run_writes=None) -> LruStats:
+        """Feed one chunk of run-compressed boundaries through the state.
+
+        ``run_ids`` are the line ids at run starts (one entry per run);
+        ``run_writes`` the per-run dirty flags (None = read-only).  The
+        returned :class:`LruStats` counts only the boundary decisions of
+        this chunk — the caller adds the within-run hits it compressed
+        away (``chunk_length - len(run_ids)``) and the chunk length.
+        """
+        if run_writes is None:
+            run_writes = [False] * len(run_ids)
+        hits = 0
+        misses = 0
+        evictions = 0
+        writebacks = 0
+        ways = self.ways
+        buckets = self.buckets
+        single = self.num_sets == 1
+        bucket = buckets[0]
+        for line, write in zip(run_ids, run_writes):
+            if not single:
+                bucket = buckets[line % self.num_sets]
+            dirty = bucket.pop(line, None)
+            if dirty is not None:
+                hits += 1
+                bucket[line] = dirty or write
+                continue
+            misses += 1
+            if len(bucket) >= ways:
+                victim = next(iter(bucket))
+                if bucket.pop(victim):
+                    writebacks += 1
+                evictions += 1
+            bucket[line] = write
+        return LruStats(
+            accesses=len(run_ids),
+            hits=hits,
+            misses=misses,
+            evictions=evictions,
+            writebacks=writebacks,
+        )
+
+
+def run_boundaries(
+    ids: np.ndarray, writes: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Run-compress an id sequence to ``(run_ids, run_writes)``.
+
+    ``run_writes`` ORs the write flags across each run (None in, None
+    out) — the shard workers ship exactly this pair to the merge loop.
+    """
+    if len(ids) == 0:
+        return np.empty(0, dtype=np.int64), (
+            None if writes is None else np.empty(0, dtype=bool)
+        )
+    starts, _ = compress_runs(ids)
+    run_ids = ids[starts]
+    if writes is None:
+        return run_ids, None
+    writes = np.asarray(writes, dtype=bool)
+    return run_ids, np.logical_or.reduceat(writes, starts)
 
 
 def compress_runs(ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -86,40 +169,17 @@ def simulate_lru(
     n = len(ids)
     if n == 0:
         return LruStats(0, 0, 0, 0, 0)
-    starts, _ = compress_runs(ids)
-    run_ids = ids[starts].tolist()
-    if writes is None:
-        run_writes = [False] * len(run_ids)
-    else:
-        writes = np.asarray(writes, dtype=bool)
-        run_writes = np.logical_or.reduceat(writes, starts).tolist()
-
-    hits = n - len(run_ids)  # within-run repeats always hit
-    misses = 0
-    evictions = 0
-    writebacks = 0
-    buckets = [dict() for _ in range(num_sets)]
-    single = num_sets == 1
-    bucket = buckets[0]
-    for line, write in zip(run_ids, run_writes):
-        if not single:
-            bucket = buckets[line % num_sets]
-        dirty = bucket.pop(line, None)
-        if dirty is not None:
-            hits += 1
-            bucket[line] = dirty or write
-            continue
-        misses += 1
-        if len(bucket) >= ways:
-            victim = next(iter(bucket))
-            if bucket.pop(victim):
-                writebacks += 1
-            evictions += 1
-        bucket[line] = write
+    run_ids, run_writes = run_boundaries(ids, writes)
+    state = LruState(ways=ways, num_sets=num_sets)
+    boundary = state.apply_runs(
+        run_ids.tolist(),
+        None if run_writes is None else run_writes.tolist(),
+    )
     return LruStats(
         accesses=n,
-        hits=hits,
-        misses=misses,
-        evictions=evictions,
-        writebacks=writebacks,
+        # Within-run repeats always hit, plus the boundary-loop hits.
+        hits=(n - len(run_ids)) + boundary.hits,
+        misses=boundary.misses,
+        evictions=boundary.evictions,
+        writebacks=boundary.writebacks,
     )

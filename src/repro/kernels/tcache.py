@@ -9,7 +9,7 @@ be flattened up front and handed to the run-compressed LRU core.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -18,23 +18,26 @@ from repro.kernels.backend import observe_batch
 from repro.kernels.lru import LruStats, simulate_lru
 
 
-def simulate_window(
+def line_sequence(
     addresses: np.ndarray,
     sizes: np.ndarray,
     writes: Optional[np.ndarray],
     config,
-) -> LruStats:
-    """Simulate a taint-cache access window from a cold cache.
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Flatten an access window to its taint-cache lookup sequence.
 
-    ``config`` is a :class:`repro.hlatch.taint_cache.TaintCacheConfig`;
-    ``sizes`` must already carry the ``max(size, 1)`` floor.  Returns
-    the exact :class:`~repro.kernels.lru.LruStats` the scalar cache
-    would accumulate.
+    Returns ``(sequence, sequence_writes)``: one line id per lookup
+    (straddling operands contribute two), with the per-lookup write
+    flags repeated alongside (None when ``writes`` is None).  This is
+    the stateless half of :func:`simulate_window`; the sharded replay
+    run-compresses the pair and defers the set-associative LRU
+    accounting to a carry-over :class:`~repro.kernels.lru.LruState`.
     """
     n = len(addresses)
     observe_batch("tcache_sim", n)
     if n == 0:
-        return LruStats(0, 0, 0, 0, 0)
+        empty = np.empty(0, dtype=np.int64)
+        return empty, (None if writes is None else np.empty(0, dtype=bool))
 
     shift = config.memory_coverage_per_line.bit_length() - 1
     first_lines = addresses >> shift
@@ -52,6 +55,25 @@ def simulate_window(
     sequence_writes = None
     if writes is not None:
         sequence_writes = np.repeat(np.asarray(writes, dtype=bool), counts)
+    return sequence, sequence_writes
+
+
+def simulate_window(
+    addresses: np.ndarray,
+    sizes: np.ndarray,
+    writes: Optional[np.ndarray],
+    config,
+) -> LruStats:
+    """Simulate a taint-cache access window from a cold cache.
+
+    ``config`` is a :class:`repro.hlatch.taint_cache.TaintCacheConfig`;
+    ``sizes`` must already carry the ``max(size, 1)`` floor.  Returns
+    the exact :class:`~repro.kernels.lru.LruStats` the scalar cache
+    would accumulate.
+    """
+    sequence, sequence_writes = line_sequence(addresses, sizes, writes, config)
+    if len(sequence) == 0:
+        return LruStats(0, 0, 0, 0, 0)
     return simulate_lru(
         sequence, ways=config.ways, num_sets=config.sets,
         writes=sequence_writes,

@@ -36,14 +36,30 @@ class TlbScreenResult:
     evictions: int
 
 
-def screen_window(
+@dataclass(frozen=True)
+class TlbScreenFlags:
+    """The stateless half of a TLB screen (no LRU accounting yet).
+
+    ``checked_pages`` is the page-id sequence the TLB would translate,
+    in access order — the sharded replay run-compresses it and defers
+    the LRU hit/miss accounting to a carry-over
+    :class:`~repro.kernels.lru.LruState`.
+    """
+
+    page_hot: np.ndarray
+    checks: int
+    hot_checks: int
+    checked_pages: np.ndarray
+
+
+def screen_flags(
     addresses: np.ndarray,
     sizes: np.ndarray,
     geometry,
     ctt_index: classify.CttIndex,
-    tlb_entries: int,
-) -> TlbScreenResult:
-    """Screen an access window against page-level taint bits.
+) -> TlbScreenFlags:
+    """Pure-CTT half of :func:`screen_window`: flags and the page-id
+    sequence, without touching any LRU state.
 
     ``addresses``/``sizes`` are int64 arrays (sizes already floored to
     1); ``geometry`` is the :class:`repro.core.domains.DomainGeometry`
@@ -52,8 +68,10 @@ def screen_window(
     n = len(addresses)
     observe_batch("tlb_screen", n)
     if n == 0:
-        empty = np.zeros(0, dtype=bool)
-        return TlbScreenResult(empty, 0, 0, 0, 0, 0, 0)
+        empty_bool = np.zeros(0, dtype=bool)
+        return TlbScreenFlags(
+            empty_bool, 0, 0, np.empty(0, dtype=np.int64)
+        )
 
     span = geometry.word_span
     total_words = (_MASK32 + 1) // span
@@ -99,11 +117,33 @@ def screen_window(
         checks = int(checked_mask.sum())
         hot_checks = int(page_hot.sum())
 
-    stats = simulate_lru(checked_pages, ways=tlb_entries)
-    return TlbScreenResult(
+    return TlbScreenFlags(
         page_hot=page_hot,
         checks=checks,
         hot_checks=hot_checks,
+        checked_pages=checked_pages,
+    )
+
+
+def screen_window(
+    addresses: np.ndarray,
+    sizes: np.ndarray,
+    geometry,
+    ctt_index: classify.CttIndex,
+    tlb_entries: int,
+) -> TlbScreenResult:
+    """Screen an access window against page-level taint bits.
+
+    Composes :func:`screen_flags` with a cold-start LRU simulation of
+    the TLB translations; counters are bit-identical to the scalar
+    screen of ``check_memory``.
+    """
+    flags = screen_flags(addresses, sizes, geometry, ctt_index)
+    stats = simulate_lru(flags.checked_pages, ways=tlb_entries)
+    return TlbScreenResult(
+        page_hot=flags.page_hot,
+        checks=flags.checks,
+        hot_checks=flags.hot_checks,
         accesses=stats.accesses,
         hits=stats.hits,
         misses=stats.misses,

@@ -339,6 +339,31 @@ class StreamingPipeline(Observer):
             self.finish()
         return executed
 
+    def replay_trace(self, source) -> int:
+        """Drive a detached pipeline from a recorded ``.ltrace`` stream.
+
+        ``source`` is an event-trace container (path, bytes, or an open
+        :class:`~repro.trace.format.ColumnarFile`) recorded by
+        :class:`~repro.trace.record.TraceRecorder`.  Events flow through
+        the same observer hooks — gate batching, backpressure, and stall
+        accounting included — so the replay is bit-identical to
+        monitoring the original CPU live.  Returns the number of steps
+        replayed.
+        """
+        if self.cpu is not None:
+            raise RuntimeError(
+                "replay_trace needs a detached pipeline (cpu=None); an "
+                "attached pipeline's event stream is owned by its CPU"
+            )
+        from repro.trace.record import replay_events
+
+        with maybe_span(
+            "pipeline.replay_trace",
+            backend=self.config.resolved_backend,
+            queue_capacity=self.config.queue_capacity,
+        ):
+            return replay_events(source, self)
+
     def _apply_deferred_retires(self) -> None:
         if self._deferred_retires:
             retires, self._deferred_retires = self._deferred_retires, []

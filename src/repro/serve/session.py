@@ -258,8 +258,14 @@ class JobRunner:
         from repro.machine.cpu import CPU
         from repro.machine.devices import DeviceTable, VirtualFile
 
-        if not isinstance(job, dict) or "source" not in job:
-            raise ProtocolError("job must carry an assembly 'source'")
+        if not isinstance(job, dict):
+            raise ProtocolError("job must be an object")
+        if "trace" in job:
+            return self._run_trace(job)
+        if "source" not in job:
+            raise ProtocolError(
+                "job must carry an assembly 'source' or a recorded 'trace'"
+            )
         try:
             program = assemble(str(job["source"]))
         except Exception as error:
@@ -295,6 +301,49 @@ class JobRunner:
         return {
             "type": "result",
             "halted": cpu.halted,
+            "events": executed,
+            "signature": canonical_signature(pipeline.engine),
+            "stats": _stats_payload(pipeline),
+        }
+
+    def _run_trace(self, job: Dict) -> Dict:
+        """Replay a wire-delivered ``.ltrace`` event trace, detached.
+
+        ``job["trace"]`` is the base64 container recorded by
+        :class:`repro.trace.TraceRecorder`; no CPU is built — the
+        pipeline replays the commit stream exactly as the recording
+        machine produced it, so the signature matches a live submit of
+        the same program.  Corrupt containers are a protocol error, not
+        a server fault (the format layer checksums everything at open).
+        """
+        import base64
+
+        from repro.workloads.storage import StorageFormatError
+
+        try:
+            blob = base64.b64decode(str(job["trace"]), validate=True)
+        except Exception as error:
+            raise ProtocolError(f"bad trace encoding: {error}") from error
+        pipeline = StreamingPipeline(
+            None,
+            latch_config=latch_config_from_wire(job.get("latch")),
+            config=pipeline_config_from_wire(job.get("pipeline")),
+            registry=self.tenant.obs,
+        )
+        try:
+            from repro.trace.format import ColumnarFile
+
+            handle = ColumnarFile(blob)
+            halted = handle.meta.get("halt_step") is not None
+            executed = pipeline.replay_trace(handle)
+        except StorageFormatError as error:
+            raise ProtocolError(f"bad trace: {error}") from error
+        pipeline.finish()
+        pipeline.accumulate_metrics(self.tenant.obs)
+        self.tenant.results += 1
+        return {
+            "type": "result",
+            "halted": halted,
             "events": executed,
             "signature": canonical_signature(pipeline.engine),
             "stats": _stats_payload(pipeline),

@@ -94,6 +94,21 @@ def build_parser() -> argparse.ArgumentParser:
              f"(default {DEFAULT_TRACE_WINDOW})",
     )
     parser.add_argument(
+        "--ltrace", type=Path, metavar="PATH",
+        help="columnar mode: replay a recorded .ltrace access trace "
+             "through the H-LATCH stack (zero-copy, sharded)",
+    )
+    parser.add_argument(
+        "--shards", default=None, metavar="N|auto",
+        help="columnar mode: shard count for the sharded replay "
+             "(default: REPRO_TRACE_SHARDS, else 1)",
+    )
+    parser.add_argument(
+        "--record-trace", type=Path, metavar="PATH",
+        help="program mode: additionally record the commit stream as a "
+             "columnar .ltrace event trace",
+    )
+    parser.add_argument(
         "--format", choices=["markdown", "json"], default="markdown",
         help="output format (default markdown)",
     )
@@ -184,6 +199,13 @@ def run_program(args) -> StatsSnapshot:
         devices.register_file(_parse_file_spec(spec))
     cpu = CPU(program, devices=devices)
 
+    recorder = None
+    if args.record_trace is not None:
+        from repro.trace import TraceRecorder
+
+        recorder = TraceRecorder(name=str(args.source))
+        cpu.attach(recorder)
+
     tracer = Tracer(path=str(args.trace)) if args.trace else None
     if args.monitor == "slatch":
         costs = dataclasses.replace(
@@ -225,12 +247,51 @@ def run_program(args) -> StatsSnapshot:
         cpu.publish_metrics(registry)
         snapshot = registry.snapshot()
 
+    if recorder is not None:
+        recorder.save(args.record_trace)
+        snapshot.meta.update({"recorded_trace": str(args.record_trace)})
+
     snapshot.meta.update({
         "mode": "program",
         "source": str(args.source),
         "monitor": args.monitor,
         "exit_code": cpu.exit_code,
         "halted": cpu.halted,
+    })
+    return snapshot
+
+
+def run_ltrace(args) -> StatsSnapshot:
+    """Columnar mode: sharded zero-copy replay of an ``.ltrace`` file.
+
+    Counters are bit-identical to the scalar object path whatever the
+    shard count; only the ``trace.*`` rows (and wall clock) vary.
+    """
+    from repro.trace import publish_trace_metrics, replay_columnar
+
+    registry = MetricsRegistry()
+    result = replay_columnar(args.ltrace, shards=args.shards)
+    result.system.publish_metrics(registry)
+    # An ad-hoc CLI registry may carry wall-clock rows (unlike cached
+    # job snapshots, which must stay machine-independent).
+    publish_trace_metrics(registry, result, include_timings=True)
+    baseline = result.baseline
+    if baseline is not None:
+        registry.gauge(
+            "baseline.miss_percent", unit="percent",
+            description="Conventional 4 KB taint-cache miss rate (Tables 6/7)",
+        ).set(baseline.miss_percent)
+        registry.gauge(
+            "baseline.misses", unit="accesses",
+            description="Conventional taint-cache miss count",
+        ).set(baseline.misses)
+    snapshot = registry.snapshot()
+    snapshot.meta.update({
+        "mode": "ltrace",
+        "path": str(args.ltrace),
+        "workload": result.hlatch.name,
+        "accesses": result.access_count,
+        "shards": result.shard_count,
     })
     return snapshot
 
@@ -282,14 +343,17 @@ def main(argv=None) -> int:
         for profile in all_profiles():
             print(f"{profile.name}  ({profile.kind})")
         return 0
-    if bool(args.source) == bool(args.profile):
-        print("error: give either a source file or --profile (not both)",
-              file=sys.stderr)
+    modes = sum(map(bool, (args.source, args.profile, args.ltrace)))
+    if modes != 1:
+        print("error: give exactly one of a source file, --profile, "
+              "or --ltrace", file=sys.stderr)
         return 2
 
     try:
         if args.profile:
             snapshot = run_profile(args)
+        elif args.ltrace:
+            snapshot = run_ltrace(args)
         else:
             snapshot = run_program(args)
     except KeyError as error:
@@ -302,7 +366,9 @@ def main(argv=None) -> int:
     if args.format == "json":
         text = snapshot.to_json(indent=2)
     else:
-        subject = snapshot.meta.get("profile") or snapshot.meta.get("source")
+        subject = (snapshot.meta.get("profile")
+                   or snapshot.meta.get("path")
+                   or snapshot.meta.get("source"))
         text = format_snapshot(snapshot, title=f"repro-stats · {subject}")
 
     if args.output:

@@ -1,0 +1,321 @@
+"""The ``.ltrace`` columnar container (v1 binary layout).
+
+An ``.ltrace`` file is a flat sequence of named numpy array *sections*
+behind a tiny fixed prologue, laid out so a reader can map the whole
+file once and hand zero-copy array views straight to the replay
+kernels:
+
+=========  ==========================================================
+offset     contents
+=========  ==========================================================
+0          prologue, 32 bytes: magic ``LTRC``, format version (u16),
+           flags (u16), directory offset (u64), directory length
+           (u64), directory crc32 (u32), 4 pad bytes
+32         section payloads, each aligned to a 64-byte boundary
+dir_off    JSON directory: the container kind, writer metadata, and
+           one entry per section (name, dtype descriptor, shape, byte
+           offset, byte length, crc32)
+=========  ==========================================================
+
+Integrity model (the PR 2 pathway, shared error type with
+:mod:`repro.workloads.storage`): every open verifies the prologue, the
+directory checksum, and each section's crc32 before any array is
+exposed.  A truncated tail, a flipped byte, a foreign magic, or a
+format version from a newer build all raise
+:class:`~repro.workloads.storage.StorageFormatError` instead of
+mis-replaying — corruption is a loud failure, never a wrong answer.
+
+Sections are little-endian regardless of host order; dtype descriptors
+round-trip through the directory JSON, so structured (record) arrays
+are first-class.  The reader accepts a filesystem path (mmap-backed)
+or a ``bytes`` object (zero-copy ``frombuffer`` views), which is what
+lets the serving layer replay a wire-delivered trace without touching
+disk.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import mmap
+import struct
+import zlib
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.workloads.storage import StorageFormatError
+
+#: File magic; the first four bytes of every ``.ltrace``.
+TRACE_MAGIC = b"LTRC"
+
+#: Format version this build writes and the newest it can read.
+TRACE_VERSION = 1
+
+#: Prologue layout: magic, version, flags, directory offset/length/crc.
+_PROLOGUE = struct.Struct("<4sHHQQI4x")
+
+#: Section payloads start on multiples of this (numpy-friendly).
+_ALIGN = 64
+
+PathLike = Union[str, Path]
+
+
+def _descr_to_json(dtype: np.dtype):
+    """A JSON-serialisable dtype descriptor (str or nested lists)."""
+    if dtype.names is None:
+        return dtype.str
+    return np.lib.format.dtype_to_descr(dtype)
+
+
+def _descr_from_json(descr) -> np.dtype:
+    """Inverse of :func:`_descr_to_json` (JSON turns tuples into lists)."""
+    if isinstance(descr, str):
+        return np.dtype(descr)
+    return np.dtype([tuple(field) for field in descr])
+
+
+def _pad(stream: io.BufferedIOBase, position: int) -> int:
+    """Advance ``stream`` to the next :data:`_ALIGN` boundary."""
+    remainder = position % _ALIGN
+    if remainder:
+        fill = _ALIGN - remainder
+        stream.write(b"\0" * fill)
+        position += fill
+    return position
+
+
+def write_columnar(
+    destination: Union[PathLike, io.BufferedIOBase],
+    kind: str,
+    arrays: Dict[str, np.ndarray],
+    meta: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write named arrays as one ``.ltrace`` container.
+
+    ``kind`` tags what the sections mean (``"access-trace"`` /
+    ``"event-trace"``); ``meta`` is small JSON-able writer metadata
+    (trace name, string tables, ...).  Section order follows ``arrays``
+    insertion order and is part of the pinned v1 layout.
+    """
+    if hasattr(destination, "write"):
+        _write_stream(destination, kind, arrays, meta or {})
+        return
+    path = Path(destination)
+    # Write-temp + atomic rename: a crashed writer never leaves a file
+    # that parses as a truncated trace.
+    temporary = path.with_name(path.name + ".tmp")
+    with open(temporary, "wb") as stream:
+        _write_stream(stream, kind, arrays, meta or {})
+    temporary.replace(path)
+
+
+def to_bytes(
+    kind: str,
+    arrays: Dict[str, np.ndarray],
+    meta: Optional[Dict[str, object]] = None,
+) -> bytes:
+    """In-memory :func:`write_columnar` (wire transport, tests)."""
+    buffer = io.BytesIO()
+    _write_stream(buffer, kind, arrays, meta or {})
+    return buffer.getvalue()
+
+
+def _write_stream(
+    stream: io.BufferedIOBase,
+    kind: str,
+    arrays: Dict[str, np.ndarray],
+    meta: Dict[str, object],
+) -> None:
+    stream.write(b"\0" * _PROLOGUE.size)
+    position = _PROLOGUE.size
+    sections: List[Dict[str, object]] = []
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        if array.dtype.names is None and array.dtype.byteorder == ">":
+            array = array.astype(array.dtype.newbyteorder("<"))
+        position = _pad(stream, position)
+        payload = array.tobytes()
+        stream.write(payload)
+        sections.append({
+            "name": name,
+            "dtype": _descr_to_json(array.dtype),
+            "shape": list(array.shape),
+            "offset": position,
+            "nbytes": len(payload),
+            "crc32": zlib.crc32(payload) & 0xFFFFFFFF,
+        })
+        position += len(payload)
+    directory = json.dumps(
+        {"kind": kind, "meta": meta, "sections": sections},
+        sort_keys=True, separators=(",", ":"),
+    ).encode()
+    position = _pad(stream, position)
+    stream.write(directory)
+    stream.seek(0)
+    stream.write(_PROLOGUE.pack(
+        TRACE_MAGIC, TRACE_VERSION, 0,
+        position, len(directory), zlib.crc32(directory) & 0xFFFFFFFF,
+    ))
+    stream.seek(0, io.SEEK_END)
+
+
+class ColumnarFile:
+    """A verified, zero-copy view over one ``.ltrace`` container.
+
+    Opening maps the file (or wraps the given bytes), validates the
+    prologue and directory, and checksums every section eagerly, so a
+    corrupt container fails at open time with a
+    :class:`StorageFormatError` naming the problem.  ``array(name)``
+    returns a read-only numpy view directly over the mapped bytes — no
+    copies, no per-event objects.
+    """
+
+    def __init__(self, source: Union[PathLike, bytes, bytearray]) -> None:
+        if isinstance(source, (bytes, bytearray)):
+            self._name = "<bytes>"
+            self._mmap = None
+            self._buffer = bytes(source)
+        else:
+            path = Path(source)
+            self._name = str(path)
+            if not path.exists():
+                raise FileNotFoundError(self._name)
+            with open(path, "rb") as handle:
+                if path.stat().st_size == 0:
+                    raise StorageFormatError(
+                        f"{self._name}: empty file is not an .ltrace container"
+                    )
+                self._mmap = mmap.mmap(
+                    handle.fileno(), 0, access=mmap.ACCESS_READ
+                )
+            self._buffer = memoryview(self._mmap)
+        self.kind, self.meta, self._sections = self._validate()
+
+    # ------------------------------------------------------------- validate
+
+    def _fail(self, problem: str) -> "StorageFormatError":
+        return StorageFormatError(f"{self._name}: {problem}")
+
+    def _validate(self) -> Tuple[str, Dict, Dict[str, Dict]]:
+        buffer = self._buffer
+        total = len(buffer)
+        if total < _PROLOGUE.size:
+            raise self._fail(
+                f"file is {total} bytes, shorter than the {_PROLOGUE.size}-"
+                "byte prologue — truncated or not an .ltrace container"
+            )
+        magic, version, _flags, dir_offset, dir_length, dir_crc = (
+            _PROLOGUE.unpack(bytes(buffer[:_PROLOGUE.size]))
+        )
+        if magic != TRACE_MAGIC:
+            raise self._fail(
+                f"bad magic {magic!r} (expected {TRACE_MAGIC!r}) — "
+                "not an .ltrace container"
+            )
+        if version > TRACE_VERSION:
+            raise self._fail(
+                f"format version {version} is newer than this build "
+                f"reads (v{TRACE_VERSION}) — upgrade to replay this trace"
+            )
+        if version < 1:
+            raise self._fail(f"invalid format version {version}")
+        if dir_offset + dir_length > total:
+            raise self._fail(
+                "directory extends past end of file — truncated tail"
+            )
+        directory_bytes = bytes(buffer[dir_offset:dir_offset + dir_length])
+        if zlib.crc32(directory_bytes) & 0xFFFFFFFF != dir_crc:
+            raise self._fail("directory checksum mismatch — corrupt file")
+        try:
+            directory = json.loads(directory_bytes)
+            kind = str(directory["kind"])
+            meta = dict(directory["meta"])
+            entries = list(directory["sections"])
+        except (ValueError, KeyError, TypeError) as error:
+            raise self._fail(f"unreadable directory ({error})") from error
+        sections: Dict[str, Dict] = {}
+        for entry in entries:
+            name = str(entry["name"])
+            offset = int(entry["offset"])
+            nbytes = int(entry["nbytes"])
+            if offset + nbytes > total:
+                raise self._fail(
+                    f"section {name!r} extends past end of file — "
+                    "truncated tail"
+                )
+            payload = buffer[offset:offset + nbytes]
+            if zlib.crc32(payload) & 0xFFFFFFFF != int(entry["crc32"]):
+                raise self._fail(
+                    f"section {name!r} checksum mismatch — corrupt file"
+                )
+            sections[name] = entry
+        return kind, meta, sections
+
+    # --------------------------------------------------------------- access
+
+    @property
+    def name(self) -> str:
+        """Origin of the container (path, or ``<bytes>``)."""
+        return self._name
+
+    @property
+    def nbytes(self) -> int:
+        """Total mapped size in bytes."""
+        return len(self._buffer)
+
+    def section_names(self) -> List[str]:
+        """Section names in file order."""
+        return list(self._sections)
+
+    def array(self, name: str) -> np.ndarray:
+        """A read-only zero-copy array view of one section."""
+        try:
+            entry = self._sections[name]
+        except KeyError:
+            raise self._fail(
+                f"{self.kind} container has no section {name!r} — "
+                "truncated file or incompatible writer"
+            ) from None
+        try:
+            dtype = _descr_from_json(entry["dtype"])
+        except (TypeError, ValueError) as error:
+            raise self._fail(
+                f"section {name!r} has an unreadable dtype ({error})"
+            ) from error
+        shape = tuple(int(side) for side in entry["shape"])
+        expected = dtype.itemsize * int(np.prod(shape)) if shape else dtype.itemsize
+        if expected != int(entry["nbytes"]):
+            raise self._fail(
+                f"section {name!r} shape/dtype disagree with its byte "
+                "length — corrupt directory"
+            )
+        view = np.frombuffer(
+            self._buffer, dtype=dtype,
+            count=int(np.prod(shape)) if shape else 1,
+            offset=int(entry["offset"]),
+        )
+        view = view.reshape(shape)
+        view.flags.writeable = False
+        return view
+
+    def close(self) -> None:
+        """Release the underlying map (views become invalid)."""
+        if self._mmap is not None:
+            try:
+                if isinstance(self._buffer, memoryview):
+                    self._buffer.release()
+                self._buffer = b""
+                self._mmap.close()
+            except BufferError:
+                # Array views are still alive; the map is released when
+                # the last of them is garbage-collected.
+                pass
+            self._mmap = None
+
+    def __enter__(self) -> "ColumnarFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,49 @@
+"""Regenerate the columnar ``.ltrace`` golden fixtures.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/regen_trace.py
+
+Produces:
+
+* ``trace_v1.ltrace`` — the committed gcc 2 000-access golden window
+  (``gcc_w2000_s0.npz``) re-encoded as a v1 columnar container.  The
+  conformance suite asserts **byte equality** against a fresh encode,
+  so any change to the v1 binary layout (prologue, alignment, section
+  order, directory JSON) fails loudly against a file produced by an
+  earlier build.
+* ``corrupt_trace.ltrace`` — the same container cut off mid-section: a
+  real on-disk truncation that must raise ``StorageFormatError`` at
+  open time (the columnar sibling of ``corrupt.npz``).
+
+The fixtures are committed; regenerate them only when the ``.ltrace``
+format version is bumped *intentionally*, and say so in the commit
+message — a diff here means every reader's idea of v1 moved.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.trace.convert import save_columnar_trace
+from repro.workloads.storage import load_access_trace
+
+GOLDEN_DIR = Path(__file__).parent
+SOURCE = GOLDEN_DIR / "gcc_w2000_s0.npz"
+
+
+def main() -> None:
+    trace = load_access_trace(SOURCE)
+    target = GOLDEN_DIR / "trace_v1.ltrace"
+    save_columnar_trace(trace, target)
+    intact = target.read_bytes()
+    # Cut inside the section payloads, past the prologue: the directory
+    # pointer now aims beyond the end of file.
+    (GOLDEN_DIR / "corrupt_trace.ltrace").write_bytes(
+        intact[: len(intact) // 3]
+    )
+    print(f"wrote trace_v1.ltrace ({len(intact)} bytes) into {GOLDEN_DIR}")
+
+
+if __name__ == "__main__":
+    main()

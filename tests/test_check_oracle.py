@@ -158,6 +158,48 @@ class TestStreamPath:
         assert "pipeline.model.predicted_stall_cycles" in snapshot
 
 
+class TestColumnarPath:
+    def test_columnar_path_is_registered(self):
+        from repro.check.oracle import ALL_PATHS
+
+        assert "columnar" in ALL_PATHS
+
+    def test_columnar_path_clean_on_fixed_code(self):
+        report = check_program(generate_program(4), paths=("columnar",))
+        assert report.ok, "\n".join(str(v) for v in report.violations)
+        assert report.runs == 2  # reference + columnar differential
+
+    def test_columnar_path_catches_planted_counter_bug(self):
+        # A latch whose CTC stats lie by one: the scalar stack uses the
+        # buggy counters while the sharded merge recomputes them from
+        # the run algebra, so the differential must flag the mismatch.
+        from repro.check.oracle import check_columnar, run_reference
+        from repro.core.latch import LatchModule
+
+        class MiscountingLatch(LatchModule):
+            def check_memory(self, address, size=1):
+                result = super().check_memory(address, size)
+                self.ctc.stats.hits += 1  # planted bug
+                return result
+
+        cp = generate_program(4)
+        engine, trace = run_reference(cp)
+        assert trace.addresses, "seed 4 must produce memory accesses"
+        violations = check_columnar(
+            cp, engine, trace, latch_cls=MiscountingLatch
+        )
+        assert any(
+            v.kind == "columnar-counter-mismatch" for v in violations
+        ), [str(v) for v in violations]
+
+    def test_collector_records_write_flags(self):
+        from repro.check.oracle import run_reference
+
+        _, trace = run_reference(generate_program(4))
+        assert len(trace.writes) == len(trace.addresses)
+        assert any(trace.writes) and not all(trace.writes)
+
+
 class TestCli:
     def test_replay_corpus_exits_zero(self, capsys):
         from repro.check.cli import cli
@@ -198,3 +240,53 @@ class TestCli:
         names = {record["name"] for record in payload["metrics"]}
         assert "pipeline.runs" in names
         assert "pipeline.queue.stall_cycles" in names
+
+    def test_fuzz_paths_flag_restricts_oracle(self, tmp_path, capsys):
+        import json
+
+        from repro.check.cli import cli
+
+        stats_path = tmp_path / "stats.json"
+        assert cli([
+            "fuzz", "--seeds", "2", "--paths", "columnar",
+            "--out", str(tmp_path / "fails"),
+            "--stats-out", str(stats_path),
+        ]) == 0
+        payload = json.loads(stats_path.read_text())
+        assert payload["meta"]["paths"] == "columnar"
+        # No stream runs happened, so no pipeline metrics accumulated.
+        names = {record["name"] for record in payload["metrics"]}
+        assert "pipeline.runs" not in names
+
+    def test_fuzz_rejects_unknown_path(self, tmp_path):
+        from repro.check.cli import cli
+
+        with pytest.raises(SystemExit, match="unknown oracle path"):
+            cli(["fuzz", "--seeds", "1", "--paths", "nope",
+                 "--out", str(tmp_path / "fails")])
+
+    def test_stats_out_is_written_atomically(self, tmp_path, monkeypatch):
+        # The artifact appears via rename: no partial file is ever
+        # visible at the published path, and no .tmp residue remains.
+        import json
+        from pathlib import Path
+
+        from repro.check import cli as check_cli
+
+        stats_path = tmp_path / "stats.json"
+        observed = []
+        original = check_cli.os.replace
+
+        def spying_replace(src, dst):
+            observed.append((Path(src).name, Path(dst).name))
+            return original(src, dst)
+
+        monkeypatch.setattr(check_cli.os, "replace", spying_replace)
+        assert check_cli.cli([
+            "fuzz", "--seeds", "1", "--paths", "kernels",
+            "--out", str(tmp_path / "fails"),
+            "--stats-out", str(stats_path),
+        ]) == 0
+        assert observed == [("stats.json.tmp", "stats.json")]
+        assert not stats_path.with_name("stats.json.tmp").exists()
+        json.loads(stats_path.read_text())  # complete, parseable artifact

@@ -215,6 +215,18 @@ _start:
 
         publish_metrics(registry)  # registers kernels.* (full catalog)
 
+        from repro.trace import (
+            columnar_trace_bytes,
+            publish_trace_metrics,
+            replay_columnar,
+        )
+
+        replayed = replay_columnar(
+            columnar_trace_bytes(generator.access_trace(2_000)),
+            baseline_config=None,
+        )
+        publish_trace_metrics(registry, replayed, include_timings=True)
+
         from repro.pipeline import PipelineConfig, StreamingPipeline
 
         stream_devices = DeviceTable()
@@ -233,6 +245,24 @@ _start:
         published = set(registry.names())
         missing = sorted(documented - published)
         assert not missing, f"documented but never published: {missing}"
+
+
+class TestTraceDoc:
+    def test_every_block_executes(self):
+        namespace = run_blocks(ROOT / "docs" / "TRACE.md")
+        # The replayed engine really matched the live one...
+        assert namespace["steps"] == namespace["cpu"].step_count
+        # ...and the sharded/serial bit-identity claim held.
+        assert namespace["identical"] is True
+        assert namespace["result"].shard_count >= 1
+        assert "checksum mismatch" in namespace["caught"]
+
+    def test_doc_names_every_public_symbol(self):
+        import repro.trace
+
+        text = (ROOT / "docs" / "TRACE.md").read_text()
+        for name in repro.trace.__all__:
+            assert name in text, f"TRACE.md does not mention {name}"
 
 
 class TestService:

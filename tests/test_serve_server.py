@@ -136,6 +136,51 @@ _start:
         )
         assert result.halted
 
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_submitted_columnar_trace_matches_local_platch(
+        self, traces, scenario
+    ):
+        # Whole-trace mode: the client records once on its machine and
+        # ships the .ltrace container; no assembly or CPU on the server.
+        import base64
+
+        from repro.trace.record import TraceRecorder
+
+        cpu = _factory(scenario)()
+        recorder = TraceRecorder(name=scenario)
+        cpu.attach(recorder)
+        cpu.run(200_000)
+        _, reference = traces[scenario]
+        job = {
+            "trace": base64.b64encode(recorder.to_bytes()).decode("ascii")
+        }
+        with running_server() as (_server, (host, port)):
+            with ServeClient(host, port, tenant="coljobs") as client:
+                result = client.submit_job(job)
+        assert canonical_json(result.signature) == canonical_json(
+            reference["signature"]
+        )
+        assert result.halted
+        assert result.stats is not None
+
+    def test_corrupt_trace_is_a_protocol_error_not_a_crash(self):
+        import base64
+
+        from repro.serve import ServeError
+
+        with running_server() as (_server, (host, port)):
+            with ServeClient(host, port, tenant="coljobs") as client:
+                with pytest.raises(ServeError, match="bad trace"):
+                    client.submit_job({
+                        "trace": base64.b64encode(
+                            b"LTRCgarbage" + b"\0" * 64
+                        ).decode("ascii"),
+                    })
+                with pytest.raises(ServeError, match="trace"):
+                    client.submit_job({"trace": "!!! not base64 !!!"})
+                # The connection survives: protocol errors are answers.
+                assert client.ping()
+
 
 class TestTenantIsolation:
     def test_interleaved_tenants_never_share_taint(self, traces):

@@ -358,6 +358,63 @@ class TestStats:
         ).read_text()
         assert 'repro-stats = "repro.tools.stats:cli"' in text
 
+    def test_record_trace_then_ltrace_replay(
+        self, stats_source_file, payload_file, tmp_path, capsys
+    ):
+        from repro.dift.engine import DIFTEngine
+        from repro.obs import StatsSnapshot
+        from repro.trace.record import replay_events
+
+        event_path = tmp_path / "run.ltrace"
+        assert stats_main(
+            [str(stats_source_file), "--monitor", "dift", "--format", "json",
+             "--file", f"in.txt={payload_file}",
+             "--record-trace", str(event_path)]
+        ) == 0
+        snapshot = StatsSnapshot.from_json(capsys.readouterr().out)
+        assert snapshot.meta["recorded_trace"] == str(event_path)
+        # The recorded container replays to the same instruction count
+        # and taint outcome the live run reported.
+        engine = DIFTEngine()
+        steps = replay_events(event_path, engine)
+        assert steps == snapshot.get("cpu.instructions")
+        assert (
+            len(list(engine.shadow.iter_tainted_bytes())) > 0
+        ) == (snapshot.get("dift.taint_source_bytes") > 0)
+
+    def test_ltrace_mode_json(self, tmp_path, capsys):
+        from pathlib import Path as _Path
+
+        from repro.obs import StatsSnapshot
+        from repro.trace.convert import save_columnar_trace
+        from repro.workloads.storage import load_access_trace
+
+        golden = _Path(__file__).parent / "golden" / "gcc_w2000_s0.npz"
+        trace_path = tmp_path / "gcc.ltrace"
+        source = load_access_trace(golden)
+        save_columnar_trace(source, trace_path)
+        assert stats_main(
+            ["--ltrace", str(trace_path), "--shards", "3",
+             "--format", "json"]
+        ) == 0
+        snapshot = StatsSnapshot.from_json(capsys.readouterr().out)
+        assert snapshot.meta["mode"] == "ltrace"
+        assert snapshot.meta["workload"] == "gcc"
+        assert snapshot.meta["accesses"] == source.access_count
+        assert 1 <= snapshot.meta["shards"] <= 3
+        for name in ("latch.memory_checks", "trace.replays", "trace.shards",
+                     "trace.mmap.bytes", "trace.merge.seconds",
+                     "baseline.miss_percent"):
+            assert name in snapshot, name
+        assert snapshot.get("latch.memory_checks") == source.access_count
+
+    def test_ltrace_mode_excludes_other_modes(self, stats_source_file,
+                                              tmp_path, capsys):
+        assert stats_main(
+            [str(stats_source_file), "--ltrace", str(tmp_path / "x.ltrace")]
+        ) == 2
+        assert "error" in capsys.readouterr().err
+
     def test_profile_agrees_with_harness_pipeline(self, capsys):
         """repro-stats output matches the benchmark-harness measurement
         recomputed independently, to within 1e-9."""

@@ -1,0 +1,317 @@
+"""Conformance battery for the ``.ltrace`` columnar container.
+
+Three layers of lock-down:
+
+* **event conformance** — every observer event kind round-trips through
+  :class:`~repro.trace.record.TraceRecorder` field-exact: the decoded
+  ``StepEvent`` / ``InputEvent`` / ``OutputEvent`` stream compares equal
+  (dataclass equality) to what the live CPU emitted, in the same commit
+  order, and replaying it into a fresh byte-precise engine reproduces
+  the reference signature;
+* **golden layout pin** — the committed ``tests/golden/trace_v1.ltrace``
+  must equal a fresh encode byte for byte, so the v1 binary layout
+  (prologue, 64-byte alignment, section order, directory JSON) cannot
+  drift silently, and its sharded replay must still reproduce the
+  long-standing golden H-LATCH counters from ``expected.json``;
+* **corruption hardening** — truncation, flipped bytes, foreign magic,
+  and future format versions all fail at *open* time with a
+  :class:`StorageFormatError` naming the file and the problem.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.check.generator import generate_program
+from repro.check.oracle import run_reference, state_signature
+from repro.dift.engine import DIFTEngine
+from repro.machine.events import InputEvent, Observer, OutputEvent, StepEvent
+from repro.trace.convert import (
+    ACCESS_KIND,
+    epoch_starts,
+    load_columnar_trace,
+    save_columnar_trace,
+)
+from repro.trace.format import (
+    TRACE_MAGIC,
+    TRACE_VERSION,
+    ColumnarFile,
+    to_bytes,
+)
+from repro.trace.record import (
+    EVENT_KIND,
+    TraceRecorder,
+    access_window,
+    iter_events,
+    replay_events,
+)
+from repro.trace.replay import replay_columnar
+from repro.workloads.storage import StorageFormatError, load_access_trace
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+EXPECTED = json.loads((GOLDEN_DIR / "expected.json").read_text())
+
+#: Seeds whose generated programs exercise inputs, outputs, tainted and
+#: clean loads/stores, straddles, and syscall-free stretches.
+SEEDS = (0, 3, 7, 11, 42)
+
+
+class _EventLog(Observer):
+    """Record the live object-path event stream for exact comparison."""
+
+    def __init__(self) -> None:
+        self.events = []
+        self.halt = None
+
+    def on_step(self, event: StepEvent) -> None:
+        self.events.append(event)
+
+    def on_input(self, event: InputEvent) -> None:
+        self.events.append(event)
+
+    def on_output(self, event: OutputEvent) -> None:
+        self.events.append(event)
+
+    def on_halt(self, step_index: int) -> None:
+        self.halt = step_index
+
+
+def _record(seed):
+    """Run one generated program with recorder + live log attached."""
+    cp = generate_program(seed)
+    cpu = cp.make_cpu()
+    recorder = TraceRecorder(name=cp.name)
+    log = _EventLog()
+    cpu.attach(log)
+    cpu.attach(recorder)
+    try:
+        cpu.run(10_000)
+    except Exception:
+        pass
+    return cp, recorder, log
+
+
+class TestEventConformance:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_round_trip_is_field_exact(self, seed):
+        _, recorder, log = _record(seed)
+        decoded = list(iter_events(recorder.to_bytes()))
+        assert len(decoded) == len(log.events)
+        for got, want in zip(decoded, log.events):
+            assert type(got) is type(want)
+            assert got == want
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_every_kind_appears_somewhere(self, seed):
+        # The battery is only meaningful if the corpus of generated
+        # programs actually exercises the whole event vocabulary.
+        _, recorder, log = _record(seed)
+        kinds = {type(event) for event in log.events}
+        assert StepEvent in kinds
+        if seed in (0, 7, 42):
+            assert InputEvent in kinds or OutputEvent in kinds
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_replay_reproduces_reference_signature(self, seed):
+        cp, recorder, _ = _record(seed)
+        reference, _ = run_reference(cp)
+        replayed = DIFTEngine()
+        steps = replay_events(recorder.to_bytes(), replayed)
+        assert steps == recorder.step_count
+        assert state_signature(replayed) == state_signature(reference)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_access_window_matches_object_walk(self, seed):
+        cp, recorder, _ = _record(seed)
+        _, collector = run_reference(cp)
+        addresses, sizes, is_write = access_window(recorder.to_bytes())
+        assert addresses.tolist() == collector.addresses
+        assert sizes.tolist() == collector.sizes
+        assert is_write.tolist() == collector.writes
+
+    def test_halt_is_replayed(self, tmp_path):
+        _, recorder, log = _record(0)
+        path = tmp_path / "run.ltrace"
+        recorder.save(path)
+        sink = _EventLog()
+        replay_events(path, sink)
+        assert recorder.halt_step == log.halt
+        assert sink.halt == log.halt
+
+    def test_kind_guard_rejects_access_trace(self):
+        trace = load_access_trace(GOLDEN_DIR / "gcc_w2000_s0.npz")
+        blob = to_bytes(ACCESS_KIND, {"addresses": trace.addresses}, {})
+        with pytest.raises(StorageFormatError, match=EVENT_KIND):
+            list(iter_events(blob))
+
+
+class TestAccessTraceRoundTrip:
+    @pytest.fixture(scope="class")
+    def golden_trace(self):
+        return load_access_trace(GOLDEN_DIR / "gcc_w2000_s0.npz")
+
+    def test_columns_round_trip_exactly(self, golden_trace, tmp_path):
+        path = tmp_path / "gcc.ltrace"
+        save_columnar_trace(golden_trace, path)
+        with load_columnar_trace(path) as view:
+            assert view.name == golden_trace.name
+            assert len(view) == golden_trace.access_count
+            for column in ("addresses", "sizes", "is_write", "tainted",
+                           "gap_before", "active_epoch"):
+                np.testing.assert_array_equal(
+                    getattr(view, column), getattr(golden_trace, column)
+                )
+            assert view.layout.extents == list(golden_trace.layout.extents)
+            assert (view.layout.accessed_pages
+                    == golden_trace.layout.accessed_pages)
+
+    def test_views_are_zero_copy_and_read_only(self, golden_trace, tmp_path):
+        path = tmp_path / "gcc.ltrace"
+        save_columnar_trace(golden_trace, path)
+        view = load_columnar_trace(path)
+        addresses = view.addresses
+        assert not addresses.flags.owndata
+        assert not addresses.flags.writeable
+        with pytest.raises(ValueError):
+            addresses[0] = 1
+        sliced = addresses[5:50]
+        assert sliced.base is not None  # still a view over the map
+        view.close()
+
+    def test_epoch_starts_mark_flag_flips(self):
+        flags = np.array([1, 1, 0, 0, 0, 1, 0], dtype=bool)
+        assert epoch_starts(flags).tolist() == [0, 2, 5, 6]
+        assert epoch_starts(np.empty(0, dtype=bool)).tolist() == []
+        assert epoch_starts(np.ones(4, dtype=bool)).tolist() == [0]
+
+    def test_bytes_and_path_sources_agree(self, golden_trace, tmp_path):
+        from repro.trace.convert import columnar_trace_bytes
+
+        path = tmp_path / "gcc.ltrace"
+        save_columnar_trace(golden_trace, path)
+        assert path.read_bytes() == columnar_trace_bytes(golden_trace)
+
+
+class TestGoldenLayout:
+    def test_v1_layout_is_byte_stable(self):
+        golden = (GOLDEN_DIR / "trace_v1.ltrace").read_bytes()
+        from repro.trace.convert import columnar_trace_bytes
+
+        trace = load_access_trace(GOLDEN_DIR / "gcc_w2000_s0.npz")
+        assert columnar_trace_bytes(trace) == golden
+
+    def test_golden_prologue_fields(self):
+        golden = (GOLDEN_DIR / "trace_v1.ltrace").read_bytes()
+        assert golden[:4] == TRACE_MAGIC
+        version = struct.unpack_from("<H", golden, 4)[0]
+        assert version == TRACE_VERSION == 1
+
+    def test_golden_replay_matches_golden_counters(self):
+        # Cross-format pin: the sharded columnar replay of the committed
+        # container must reproduce the long-standing golden H-LATCH
+        # snapshot produced by the scalar object path.
+        result = replay_columnar(
+            GOLDEN_DIR / "trace_v1.ltrace", shards=4, baseline_config=None
+        )
+        metrics = result.system.snapshot().to_dict()["metrics"]
+        assert metrics == EXPECTED["gcc"]["hlatch_snapshot"]["metrics"]
+
+
+class TestCorruption:
+    @pytest.fixture()
+    def intact(self):
+        return (GOLDEN_DIR / "trace_v1.ltrace").read_bytes()
+
+    def _must_fail(self, blob, match):
+        with pytest.raises(StorageFormatError, match=match):
+            ColumnarFile(bytes(blob))
+
+    def test_committed_truncated_fixture(self):
+        with pytest.raises(StorageFormatError) as excinfo:
+            ColumnarFile(GOLDEN_DIR / "corrupt_trace.ltrace")
+        assert "corrupt_trace.ltrace" in str(excinfo.value)
+
+    def test_truncated_tail(self, intact):
+        self._must_fail(intact[:-7], "truncated")
+
+    def test_truncated_to_prologue_fragment(self, intact):
+        self._must_fail(intact[:10], "prologue")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.ltrace"
+        path.write_bytes(b"")
+        with pytest.raises(StorageFormatError, match="empty"):
+            ColumnarFile(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ColumnarFile(tmp_path / "nope.ltrace")
+
+    def test_bad_magic(self, intact):
+        self._must_fail(b"NOPE" + intact[4:], "bad magic")
+
+    def test_future_version(self, intact):
+        blob = bytearray(intact)
+        struct.pack_into("<H", blob, 4, TRACE_VERSION + 1)
+        self._must_fail(blob, "newer than this build")
+
+    def test_version_zero(self, intact):
+        blob = bytearray(intact)
+        struct.pack_into("<H", blob, 4, 0)
+        self._must_fail(blob, "invalid format version")
+
+    def test_flipped_section_byte(self, intact):
+        blob = bytearray(intact)
+        blob[200] ^= 0xFF  # inside the first section payload
+        self._must_fail(blob, "checksum mismatch")
+
+    def test_flipped_directory_byte(self, intact):
+        blob = bytearray(intact)
+        blob[-3] ^= 0xFF  # inside the trailing JSON directory
+        self._must_fail(blob, "checksum mismatch")
+
+    def test_directory_crc_field_flipped(self, intact):
+        blob = bytearray(intact)
+        blob[24] ^= 0xFF  # the prologue's dir_crc32 field itself
+        self._must_fail(blob, "checksum mismatch")
+
+    def test_missing_section(self):
+        blob = to_bytes(ACCESS_KIND, {"addresses": np.arange(4)}, {})
+        handle = ColumnarFile(blob)
+        with pytest.raises(StorageFormatError, match="no section"):
+            handle.array("sizes")
+
+    def test_wrong_kind_for_access_reader(self):
+        blob = to_bytes("event-trace", {"steps": np.arange(4)}, {})
+        with pytest.raises(StorageFormatError, match=ACCESS_KIND):
+            load_columnar_trace(blob)
+
+    def test_corrupt_errors_name_the_file(self, tmp_path, intact):
+        path = tmp_path / "flip.ltrace"
+        blob = bytearray(intact)
+        blob[200] ^= 0xFF
+        path.write_bytes(blob)
+        with pytest.raises(StorageFormatError) as excinfo:
+            ColumnarFile(path)
+        assert "flip.ltrace" in str(excinfo.value)
+
+    def test_misaligned_row_sections_rejected(self):
+        arrays = {
+            "addresses": np.arange(8, dtype=np.int64),
+            "sizes": np.ones(7, dtype=np.int64),  # one row short
+            "is_write": np.zeros(8, dtype=bool),
+            "tainted": np.zeros(8, dtype=bool),
+            "gap_before": np.zeros(8, dtype=np.int64),
+            "active_epoch": np.ones(8, dtype=bool),
+            "epoch_starts": np.zeros(1, dtype=np.int64),
+            "extents": np.empty((0, 2), dtype=np.int64),
+            "accessed_pages": np.empty(0, dtype=np.int64),
+        }
+        blob = to_bytes(ACCESS_KIND, arrays, {"name": "bad"})
+        with pytest.raises(StorageFormatError, match="misaligned"):
+            load_columnar_trace(blob)
