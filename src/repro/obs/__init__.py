@@ -51,18 +51,28 @@ Tracing the S-LATCH mode switches::
     # ['slatch.trap', 'slatch.return', ...]
 """
 
-from repro.obs.flight import FlightRecorder
+from repro.obs.exposition import render_prometheus
+from repro.obs.flight import ENV_FLIGHT_DIR, FlightRecorder, flight_dir, flight_path
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     Metric,
     MetricsRegistry,
+    P2Quantile,
     ScopedRegistry,
     Timer,
+    default_buckets,
 )
 from repro.obs.queues import QueueInstruments
+from repro.obs.slo import AlertRule, SLOMonitor
 from repro.obs.snapshot import MetricRecord, StatsSnapshot
+from repro.obs.telemetry import (
+    JsonlSink,
+    RingSink,
+    TelemetryExporter,
+    TelemetrySample,
+)
 from repro.obs.spans import (
     SpanHandle,
     SpanTracer,
@@ -75,24 +85,36 @@ from repro.obs.spans import (
 from repro.obs.tracer import Tracer, read_jsonl
 
 __all__ = [
+    "AlertRule",
     "Counter",
+    "ENV_FLIGHT_DIR",
     "FlightRecorder",
     "Gauge",
     "Histogram",
+    "JsonlSink",
     "Metric",
     "MetricRecord",
     "MetricsRegistry",
+    "P2Quantile",
     "QueueInstruments",
+    "RingSink",
+    "SLOMonitor",
     "ScopedRegistry",
     "SpanHandle",
     "SpanTracer",
     "StatsSnapshot",
+    "TelemetryExporter",
+    "TelemetrySample",
     "Timer",
     "TraceContext",
     "Tracer",
     "activate",
     "current_tracer",
+    "default_buckets",
     "emit_event",
+    "flight_dir",
+    "flight_path",
     "maybe_span",
     "read_jsonl",
+    "render_prometheus",
 ]

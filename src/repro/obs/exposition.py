@@ -1,0 +1,211 @@
+"""Prometheus-style text exposition for telemetry samples.
+
+:func:`render_prometheus` turns one
+:class:`~repro.obs.telemetry.TelemetrySample` (or its ``to_dict()``
+form, as read back from a JSONL sink) into the text format every
+metrics scraper understands:
+
+* dotted names are sanitised to ``repro_*`` families
+  (``serve.request_seconds`` → ``repro_serve_request_seconds``);
+* per-tenant scoped names — ``serve.tenant.<name>.<metric>`` — fold the
+  tenant into a ``{tenant="<name>"}`` label, so N tenants share one
+  family instead of exploding the namespace;
+* counters get the conventional ``_total`` suffix, exact histograms and
+  timers render as summaries with ``quantile`` labels, bounded
+  histograms render ``_bucket{le=...}`` ladders;
+* the sample's own metadata rides along as ``repro_telemetry_seq`` /
+  ``repro_telemetry_health`` gauges plus one
+  ``repro_alert_firing{rule="..."}`` line per firing alert.
+
+The output is self-contained text: both the ``telemetry`` serve verb
+and the ``--telemetry-port`` TCP endpoint send it verbatim.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+#: Metric-name segments that can directly follow the tenant name in a
+#: ``serve.tenant.<name>.*`` metric.  Tenant names may themselves
+#: contain dots, so the split point is the first known family head.
+TENANT_FAMILY_HEADS = (
+    "admitted",
+    "rejected",
+    "events",
+    "batches",
+    "results",
+    "disconnects",
+    "active_streams",
+    "bucket_tokens",
+    "stall_seconds",
+    "latency_seconds",
+    "pipeline",
+)
+
+_TENANT_PREFIX = "serve.tenant."
+
+_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+#: snapshot percentile label → Prometheus quantile label.
+_QUANTILES = {"p50": "0.5", "p90": "0.9", "p95": "0.95", "p99": "0.99"}
+
+
+def sanitize_name(name: str) -> str:
+    """Dotted metric name → Prometheus family name (``repro_`` prefix)."""
+    return "repro_" + _SANITIZE_RE.sub("_", name)
+
+
+def split_tenant(name: str) -> Tuple[str, Optional[str]]:
+    """Split ``serve.tenant.<name>.<metric>`` into (family, tenant).
+
+    Returns ``(name, None)`` for non-tenant metrics.  Tenant names may
+    contain dots, so the family is recognised by scanning for the first
+    segment that is a known family head; an unrecognisable remainder is
+    left un-split rather than mislabelled.
+    """
+    if not name.startswith(_TENANT_PREFIX):
+        return name, None
+    rest = name[len(_TENANT_PREFIX):]
+    segments = rest.split(".")
+    for i in range(1, len(segments)):
+        if segments[i] in TENANT_FAMILY_HEADS:
+            tenant = ".".join(segments[:i])
+            family = _TENANT_PREFIX[:-1] + "." + ".".join(segments[i:])
+            return family, tenant
+    return name, None
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", r"\\")
+            .replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _labels(pairs: Dict[str, str]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(value)}"' for key, value in pairs.items()
+    )
+    return "{" + inner + "}"
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+class _Family:
+    def __init__(self, name: str, prom_type: str, help_text: str) -> None:
+        self.name = name
+        self.type = prom_type
+        self.help = help_text
+        self.lines: List[str] = []
+
+
+def render_prometheus(sample) -> str:
+    """Render one telemetry sample as Prometheus text exposition."""
+    payload = sample.to_dict() if hasattr(sample, "to_dict") else sample
+    snapshot = payload.get("snapshot", {})
+    families: Dict[str, _Family] = {}
+
+    def family(name: str, prom_type: str, help_text: str) -> _Family:
+        entry = families.get(name)
+        if entry is None:
+            entry = _Family(name, prom_type, help_text)
+            families[name] = entry
+        return entry
+
+    for record in snapshot.get("metrics", []):
+        dotted, tenant = split_tenant(record["name"])
+        base = sanitize_name(dotted)
+        labels = {"tenant": tenant} if tenant is not None else {}
+        data = record.get("data", {})
+        kind = record.get("kind", "gauge")
+        help_text = _escape_help(record.get("description", "") or dotted)
+        if "value" in data:
+            if kind == "counter":
+                fam = family(base, "counter", help_text)
+                fam.lines.append(
+                    f"{base}_total{_labels(labels)} {_fmt(data['value'])}"
+                )
+            else:
+                fam = family(base, "gauge", help_text)
+                fam.lines.append(
+                    f"{base}{_labels(labels)} {_fmt(data['value'])}"
+                )
+            continue
+        # Distribution (histogram/timer): summary for exact mode,
+        # bucket ladder for bounded mode.
+        count = data.get("count", 0)
+        total = data.get("sum", 0.0)
+        buckets = data.get("buckets")
+        if buckets:
+            fam = family(base, "histogram", help_text)
+            for bound, cumulative in buckets:
+                le = "+Inf" if bound == "+Inf" else _fmt(bound)
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = le
+                fam.lines.append(
+                    f"{base}_bucket{_labels(bucket_labels)} {cumulative}"
+                )
+        else:
+            fam = family(base, "summary", help_text)
+        # Quantile lines ride along in both modes: exact summaries use
+        # the interpolated percentiles, bounded histograms the P²
+        # streaming estimates — so p50/p95/p99 are always greppable.
+        percentiles = data.get("percentiles") or {}
+        for label, quantile in _QUANTILES.items():
+            value = percentiles.get(label)
+            if value is None or (
+                isinstance(value, float) and math.isnan(value)
+            ):
+                continue
+            quantile_labels = dict(labels)
+            quantile_labels["quantile"] = quantile
+            fam.lines.append(
+                f"{base}{_labels(quantile_labels)} {_fmt(value)}"
+            )
+        fam.lines.append(f"{base}_sum{_labels(labels)} {_fmt(total)}")
+        fam.lines.append(f"{base}_count{_labels(labels)} {count}")
+
+    # Sample metadata + firing alerts.
+    meta = family("repro_telemetry_seq", "gauge",
+                  "Telemetry tick sequence number")
+    meta.lines.append(f"repro_telemetry_seq {payload.get('seq', 0)}")
+    health = family("repro_telemetry_health", "gauge",
+                    "Service health (1.0 = every SLO holds)")
+    health.lines.append(
+        f"repro_telemetry_health {_fmt(payload.get('health', 1.0))}"
+    )
+    firing = payload.get("firing", [])
+    if firing:
+        alert = family("repro_alert_firing", "gauge",
+                       "Firing SLO alert rules (1 per rule)")
+        for rule in firing:
+            alert.lines.append(
+                f"repro_alert_firing{_labels({'rule': rule})} 1"
+            )
+
+    out: List[str] = []
+    for fam in families.values():
+        out.append(f"# HELP {fam.name} {fam.help}")
+        out.append(f"# TYPE {fam.name} {fam.type}")
+        out.extend(fam.lines)
+    return "\n".join(out) + "\n"

@@ -45,6 +45,30 @@ from typing import Dict, Iterator, List, Optional
 #: phase-granularity the pipeline records at, small enough to be free.
 DEFAULT_CAPACITY = 256
 
+#: Environment override for where flight dumps land.  Operators point
+#: this at persistent storage so SIGTERM'd workers/servers leave their
+#: last moments somewhere a log collector picks up, regardless of what
+#: trace directory the launching process chose.
+ENV_FLIGHT_DIR = "REPRO_FLIGHT_DIR"
+
+
+def flight_dir(default: Optional[str] = None) -> Optional[str]:
+    """The flight-dump directory: ``$REPRO_FLIGHT_DIR`` wins over ``default``."""
+    override = os.environ.get(ENV_FLIGHT_DIR)
+    if override:
+        return override
+    return default
+
+
+def flight_path(
+    default_dir: Optional[str] = None, filename: Optional[str] = None
+) -> Optional[str]:
+    """A per-pid dump path inside :func:`flight_dir` (None if no dir)."""
+    directory = flight_dir(default_dir)
+    if directory is None:
+        return None
+    return os.path.join(directory, filename or f"flight.{os.getpid()}.json")
+
 
 class FlightRecorder:
     """Bounded ring buffer of trace records with crash/signal dumps.

@@ -24,6 +24,10 @@ class QueueInstruments:
         occupancy_description: catalog description for the occupancy
             histogram (the one metric recorded *during* the run rather
             than published afterwards).
+        mode: histogram storage mode — ``"exact"`` (default) keeps the
+            raw samples for model-validation replays, ``"bounded"``
+            uses the O(1) streaming representation for long-running
+            services.
     """
 
     def __init__(
@@ -31,12 +35,14 @@ class QueueInstruments:
         registry,
         prefix: str,
         occupancy_description: str = "Queue entries in use",
+        mode: str = "exact",
     ) -> None:
         self.registry = registry
         self.prefix = prefix
         self.occupancy = registry.histogram(
             f"{prefix}.occupancy", unit="entries",
             description=occupancy_description,
+            mode=mode,
         )
 
     def record_occupancy(self, entries: float) -> None:
@@ -64,9 +70,15 @@ class QueueInstruments:
             target = registry.histogram(
                 f"{self.prefix}.occupancy", unit="entries",
                 description=self.occupancy.description,
+                mode=self.occupancy.mode,
             )
             target.reset()  # replay, don't accumulate: stays idempotent
-            target.record_many(self.occupancy.values())
+            if self.occupancy.mode == "bounded":
+                # Bounded histograms have no raw values to replay;
+                # copy the streaming state wholesale instead.
+                target.merge_from(self.occupancy)
+            else:
+                target.record_many(self.occupancy.values())
         if depth is not None:
             registry.gauge(
                 f"{self.prefix}.depth", unit="entries",

@@ -1,0 +1,247 @@
+"""Declarative SLO rules evaluated on every telemetry tick.
+
+An operator states objectives as one-line rules::
+
+    latency_p99 < 250ms
+    retry_rate < 0.2
+    queue_stall_ratio < 0.5
+    divergence == 0
+
+Each rule names an *indicator*, a comparison, and a threshold.  The
+rule text states what should be **true**; the alert **fires** when the
+objective is violated.  :class:`SLOMonitor` evaluates every rule
+against each :class:`~repro.obs.telemetry.TelemetrySample`, tracks
+firing/resolved transitions, pushes structured alert events into a
+:class:`~repro.obs.FlightRecorder`, and summarises service health as a
+0..1 gauge that admission control can fold into its backoff pricing.
+
+Built-in indicators (all computed from the sample's snapshot + deltas):
+
+=====================  ====================================================
+``latency_p50/p90/p95/p99``  serve request latency percentile, milliseconds
+                             (from ``serve.request_seconds``)
+``retry_rate``         RETRY responses per admitted request over the last
+                       tick (``Δserve.retries_sent / Δserve.requests``)
+``queue_stall_ratio``  pipeline stall cycles per analysed instruction over
+                       the last tick, summed across tenants
+``divergence``         the ``serve.divergences`` gauge (0 when absent)
+=====================  ====================================================
+
+Any other indicator name is looked up as a metric in the snapshot
+(scalar metrics only).  Thresholds take an optional suffix: ``ms``
+(×1), ``s`` (×1000 — latency indicators are milliseconds), ``%``
+(×0.01).  An indicator that cannot be computed yet (no traffic, metric
+absent) leaves its rule in the OK state rather than firing spuriously.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+_RULE_RE = re.compile(
+    r"^\s*([A-Za-z_][\w.]*)\s*"
+    r"(<=|>=|==|!=|<|>)\s*"
+    r"([-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?)\s*"
+    r"(ms|s|%)?\s*$"
+)
+
+_UNIT_SCALE = {None: 1.0, "ms": 1.0, "s": 1000.0, "%": 0.01}
+
+_OPS: Dict[str, Callable[[float, float], bool]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+#: serve-latency histogram the latency_* indicators read.
+LATENCY_METRIC = "serve.request_seconds"
+
+
+def _latency_indicator(label: str):
+    def indicator(snapshot, deltas) -> Optional[float]:
+        summary = snapshot.get(LATENCY_METRIC)
+        if not isinstance(summary, dict) or not summary.get("count"):
+            return None
+        value = (summary.get("percentiles") or {}).get(label)
+        return None if value is None else value * 1000.0
+
+    return indicator
+
+
+def _retry_rate(snapshot, deltas) -> Optional[float]:
+    requests = deltas.get("serve.requests") or 0
+    if requests <= 0:
+        return None
+    return (deltas.get("serve.retries_sent") or 0) / requests
+
+
+def _queue_stall_ratio(snapshot, deltas) -> Optional[float]:
+    stalls = sum(
+        v for k, v in deltas.items()
+        if k.endswith("pipeline.queue.stall_cycles") and v
+    )
+    instructions = sum(
+        v for k, v in deltas.items()
+        if k.endswith("pipeline.instructions") and v
+    )
+    if instructions <= 0:
+        return None
+    return stalls / instructions
+
+
+def _divergence(snapshot, deltas) -> float:
+    value = snapshot.get("serve.divergences", 0)
+    return value if isinstance(value, (int, float)) else 0
+
+
+INDICATORS: Dict[str, Callable] = {
+    "latency_p50": _latency_indicator("p50"),
+    "latency_p90": _latency_indicator("p90"),
+    "latency_p95": _latency_indicator("p95"),
+    "latency_p99": _latency_indicator("p99"),
+    "retry_rate": _retry_rate,
+    "queue_stall_ratio": _queue_stall_ratio,
+    "divergence": _divergence,
+}
+
+
+class AlertRule:
+    """One parsed objective: ``<indicator> <op> <threshold>[unit]``."""
+
+    def __init__(self, indicator: str, op: str, threshold: float,
+                 text: Optional[str] = None) -> None:
+        if op not in _OPS:
+            raise ValueError(f"unknown comparison operator {op!r}")
+        self.indicator = indicator
+        self.op = op
+        self.threshold = threshold
+        self.text = text or f"{indicator} {op} {threshold:g}"
+
+    @classmethod
+    def parse(cls, text: str) -> "AlertRule":
+        """Parse rule text like ``latency_p99 < 250ms``."""
+        match = _RULE_RE.match(text)
+        if match is None:
+            raise ValueError(
+                f"unparseable SLO rule {text!r} "
+                "(expected '<indicator> <op> <threshold>[ms|s|%]')"
+            )
+        indicator, op, number, unit = match.groups()
+        threshold = float(number) * _UNIT_SCALE[unit]
+        return cls(indicator, op, threshold, text=text.strip())
+
+    def measure(self, snapshot, deltas) -> Optional[float]:
+        """Current indicator value (None when not yet computable)."""
+        fn = INDICATORS.get(self.indicator)
+        if fn is not None:
+            return fn(snapshot, deltas)
+        value = snapshot.get(self.indicator)
+        if isinstance(value, (int, float)) and not (
+            isinstance(value, float) and math.isnan(value)
+        ):
+            return value
+        return None
+
+    def holds(self, value: Optional[float]) -> bool:
+        """True when the objective is met (unknown counts as met)."""
+        if value is None:
+            return True
+        return _OPS[self.op](value, self.threshold)
+
+    def __repr__(self) -> str:
+        return f"AlertRule({self.text!r})"
+
+    def __str__(self) -> str:
+        return self.text
+
+
+class SLOMonitor:
+    """Evaluates alert rules per tick, tracking firing transitions.
+
+    Args:
+        rules: rule texts or :class:`AlertRule` instances.
+        flight: optional :class:`~repro.obs.FlightRecorder` receiving a
+            structured event on every firing/resolved transition.
+        clock: wall-clock source for event timestamps.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[Union[str, AlertRule]],
+        flight=None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.rules: List[AlertRule] = [
+            rule if isinstance(rule, AlertRule) else AlertRule.parse(rule)
+            for rule in rules
+        ]
+        self.flight = flight
+        self._clock = clock
+        self._firing: Dict[str, Dict] = {}
+
+    # ----------------------------------------------------------- evaluation
+
+    def evaluate(self, snapshot, deltas: Dict[str, float],
+                 seq: Optional[int] = None) -> List[Dict]:
+        """Check every rule; returns this tick's transition events.
+
+        ``snapshot`` is a :class:`~repro.obs.StatsSnapshot` (anything
+        with ``.get(name)``), ``deltas`` the per-tick scalar deltas.
+        Each transition produces one event dict (``slo.alert.firing`` or
+        ``slo.alert.resolved``), also recorded into ``flight``.
+        """
+        events: List[Dict] = []
+        now = self._clock()
+        for rule in self.rules:
+            value = rule.measure(snapshot, deltas)
+            violated = not rule.holds(value)
+            was_firing = rule.text in self._firing
+            if violated == was_firing:
+                if violated:  # still firing: refresh the observed value
+                    self._firing[rule.text]["value"] = value
+                continue
+            event = {
+                "ts": now,
+                "type": "event",
+                "name": ("slo.alert.firing" if violated
+                         else "slo.alert.resolved"),
+                "rule": rule.text,
+                "indicator": rule.indicator,
+                "op": rule.op,
+                "threshold": rule.threshold,
+                "value": value,
+            }
+            if seq is not None:
+                event["seq"] = seq
+            if violated:
+                self._firing[rule.text] = dict(event)
+            else:
+                self._firing.pop(rule.text, None)
+            events.append(event)
+            if self.flight is not None:
+                self.flight.record(event)
+        return events
+
+    # -------------------------------------------------------------- state
+
+    @property
+    def firing(self) -> List[str]:
+        """Texts of the currently firing rules, in rule order."""
+        return [r.text for r in self.rules if r.text in self._firing]
+
+    def firing_events(self) -> List[Dict]:
+        """The live alert event dicts for every firing rule."""
+        return [dict(self._firing[text]) for text in self.firing]
+
+    @property
+    def health(self) -> float:
+        """1.0 when every objective holds, scaled down per firing rule."""
+        if not self.rules:
+            return 1.0
+        return 1.0 - len(self._firing) / len(self.rules)

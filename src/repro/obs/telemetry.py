@@ -1,0 +1,332 @@
+"""The push-based live telemetry plane.
+
+Everything before this module was pull-at-the-end: run, then snapshot.
+A production server needs its metrics *while it runs* — so the
+:class:`TelemetryExporter` periodically freezes the registry into a
+:class:`TelemetrySample` (full snapshot + per-tick scalar deltas),
+evaluates the :class:`~repro.obs.slo.SLOMonitor`, and pushes the sample
+to pluggable sinks:
+
+* :class:`JsonlSink` — append-only JSONL file, one sample per line,
+  written with a single ``os.write`` on an ``O_APPEND`` descriptor so a
+  concurrent reader (``repro-top --once``) sees at worst a truncated
+  final line, which :func:`~repro.obs.read_jsonl` tolerates.
+* :class:`RingSink` — a bounded in-process ring of recent samples, the
+  data source for the ``telemetry`` serve verb and the dashboard.
+* Any object with an ``emit(sample)`` method.
+
+The exporter runs on a daemon thread (``start()``/``stop()``) or under
+manual control (``tick()``); ticks never raise — failures land in
+:attr:`TelemetryExporter.errors` so a broken sink cannot take the
+serving loop down with it.
+
+Usage::
+
+    from repro.obs import MetricsRegistry
+    from repro.obs.telemetry import TelemetryExporter, JsonlSink, RingSink
+
+    registry = MetricsRegistry()
+    ring = RingSink(capacity=64)
+    exporter = TelemetryExporter(
+        registry, interval=1.0,
+        sinks=[JsonlSink("telemetry.jsonl"), ring],
+    )
+    exporter.start()
+    ...                      # serve traffic
+    exporter.stop(flush=True)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.obs.snapshot import StatsSnapshot
+
+#: Serialisation version for telemetry sample lines.
+TELEMETRY_VERSION = 1
+
+
+@dataclass
+class TelemetrySample:
+    """One telemetry tick: full snapshot plus per-tick movement.
+
+    ``deltas`` maps every scalar metric name (counters and gauges) to
+    its change since the previous tick, plus ``<name>.count`` entries
+    for histogram/timer observation counts — the raw material for
+    rates (events/s, RETRYs per request) without the consumer having to
+    remember the previous sample.
+    """
+
+    seq: int
+    ts: float
+    interval: float
+    snapshot: StatsSnapshot
+    deltas: Dict[str, float] = field(default_factory=dict)
+    alerts: List[Dict] = field(default_factory=list)
+    firing: List[str] = field(default_factory=list)
+    health: float = 1.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dict (inverse: :meth:`from_dict`)."""
+        return {
+            "version": TELEMETRY_VERSION,
+            "seq": self.seq,
+            "ts": self.ts,
+            "interval": self.interval,
+            "health": self.health,
+            "firing": list(self.firing),
+            "alerts": list(self.alerts),
+            "deltas": dict(self.deltas),
+            "snapshot": self.snapshot.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "TelemetrySample":
+        """Rehydrate a sample parsed from a JSONL line."""
+        return cls(
+            seq=payload["seq"],
+            ts=payload["ts"],
+            interval=payload.get("interval", 0.0),
+            snapshot=StatsSnapshot.from_dict(payload["snapshot"]),
+            deltas=dict(payload.get("deltas", {})),
+            alerts=list(payload.get("alerts", [])),
+            firing=list(payload.get("firing", [])),
+            health=payload.get("health", 1.0),
+        )
+
+
+class JsonlSink:
+    """Append-only JSONL sink: one sample per line, atomic appends."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._fd: Optional[int] = os.open(
+            path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+
+    def emit(self, sample: TelemetrySample) -> None:
+        """Append one sample; a single ``os.write`` keeps lines atomic."""
+        if self._fd is None:
+            raise RuntimeError(f"JsonlSink({self.path!r}) is closed")
+        line = json.dumps(sample.to_dict(), sort_keys=True) + "\n"
+        os.write(self._fd, line.encode("utf-8"))
+
+    def close(self) -> None:
+        """Close the backing descriptor (idempotent)."""
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class RingSink:
+    """Bounded in-memory ring of recent samples (newest last)."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("ring sink capacity must be >= 1")
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def emit(self, sample: TelemetrySample) -> None:
+        with self._lock:
+            self._ring.append(sample)
+
+    def latest(self) -> Optional[TelemetrySample]:
+        """Most recent sample, or None before the first tick."""
+        with self._lock:
+            return self._ring[-1] if self._ring else None
+
+    def history(self) -> List[TelemetrySample]:
+        """Retained samples, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+
+class TelemetryExporter:
+    """Periodic delta-snapshot exporter over a :class:`MetricsRegistry`.
+
+    Args:
+        registry: the registry to snapshot (scoped namespaces included —
+            a snapshot covers every registered name).
+        interval: seconds between automatic ticks once :meth:`start`\\ ed.
+        sinks: objects with ``emit(sample)``.
+        monitor: optional :class:`~repro.obs.slo.SLOMonitor` evaluated on
+            every tick; its alerts/health ride along on the sample.
+        collect: optional zero-arg callable invoked before each snapshot
+            — the server's ``publish_metrics`` hook, so pull-style
+            subsystems are fresh at tick time.
+        clock: wall-clock source (overridable in tests).
+    """
+
+    def __init__(
+        self,
+        registry,
+        interval: float = 1.0,
+        sinks: Sequence = (),
+        monitor=None,
+        collect: Optional[Callable[[], None]] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("telemetry interval must be > 0 seconds")
+        self.registry = registry
+        self.interval = interval
+        self.sinks = list(sinks)
+        self.monitor = monitor
+        self.collect = collect
+        self._clock = clock
+        self._seq = 0
+        self._previous: Dict[str, float] = {}
+        self._latest: Optional[TelemetrySample] = None
+        self._last_ts: Optional[float] = None
+        self.errors = 0
+        self.last_error: Optional[BaseException] = None
+        self._tick_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._callbacks: List[Callable[[TelemetrySample], None]] = []
+
+    # ------------------------------------------------------------- ticking
+
+    def on_tick(self, callback: Callable[[TelemetrySample], None]) -> None:
+        """Register a post-tick callback (load-shedding hooks, tests)."""
+        self._callbacks.append(callback)
+
+    def tick(self) -> TelemetrySample:
+        """Take one sample now: snapshot, deltas, SLO pass, sink fan-out.
+
+        Serialised by an internal lock, so a manual tick and the export
+        thread never interleave.  Sink and callback failures are counted
+        in :attr:`errors` instead of raised.
+        """
+        with self._tick_lock:
+            if self.collect is not None:
+                try:
+                    self.collect()
+                except Exception as error:
+                    self.errors += 1
+                    self.last_error = error
+            now = self._clock()
+            snapshot = StatsSnapshot.from_registry(self.registry)
+            deltas = self._compute_deltas(snapshot)
+            interval = (now - self._last_ts) if self._last_ts is not None \
+                else self.interval
+            self._last_ts = now
+            self._seq += 1
+            sample = TelemetrySample(
+                seq=self._seq, ts=now, interval=interval,
+                snapshot=snapshot, deltas=deltas,
+            )
+            if self.monitor is not None:
+                sample.alerts = self.monitor.evaluate(
+                    snapshot, deltas, seq=self._seq
+                )
+                sample.firing = self.monitor.firing
+                sample.health = self.monitor.health
+            snapshot.meta.update({
+                "seq": self._seq, "ts": now, "interval": interval,
+            })
+            self._latest = sample
+            for sink in self.sinks:
+                try:
+                    sink.emit(sample)
+                except Exception as error:
+                    self.errors += 1
+                    self.last_error = error
+            for callback in self._callbacks:
+                try:
+                    callback(sample)
+                except Exception as error:
+                    self.errors += 1
+                    self.last_error = error
+            return sample
+
+    def _compute_deltas(self, snapshot: StatsSnapshot) -> Dict[str, float]:
+        current: Dict[str, float] = {}
+        for record in snapshot.records:
+            if record.is_scalar:
+                value = record.data.get("value")
+                if isinstance(value, (int, float)):
+                    current[record.name] = value
+            else:
+                count = record.data.get("count")
+                if isinstance(count, (int, float)):
+                    current[f"{record.name}.count"] = count
+        deltas = {
+            name: value - self._previous.get(name, 0)
+            for name, value in current.items()
+        }
+        self._previous = current
+        return deltas
+
+    def latest(self) -> Optional[TelemetrySample]:
+        """Most recent sample, or None before the first tick."""
+        return self._latest
+
+    # ----------------------------------------------------------- lifecycle
+
+    def start(self) -> "TelemetryExporter":
+        """Start the daemon export thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-telemetry", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.tick()
+            except Exception as error:  # belt and braces: never die
+                self.errors += 1
+                self.last_error = error
+
+    def stop(self, flush: bool = True) -> None:
+        """Stop the export thread; ``flush`` takes one final sample."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+        if flush:
+            try:
+                self.tick()
+            except Exception as error:
+                self.errors += 1
+                self.last_error = error
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if callable(close):
+                try:
+                    close()
+                except Exception as error:
+                    self.errors += 1
+                    self.last_error = error
+
+    def __enter__(self) -> "TelemetryExporter":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(flush=True)

@@ -31,6 +31,7 @@ ENV_SAMPLE_RATE = "REPRO_PIPELINE_SAMPLE_RATE"
 ENV_SAMPLE_WINDOW = "REPRO_PIPELINE_SAMPLE_WINDOW"
 ENV_SAMPLE_SEED = "REPRO_PIPELINE_SAMPLE_SEED"
 ENV_MODEL_EPOCH = "REPRO_PIPELINE_MODEL_EPOCH"
+ENV_HIST_MODE = "REPRO_PIPELINE_HIST_MODE"
 
 
 @dataclass(frozen=True)
@@ -90,6 +91,11 @@ class PipelineConfig:
             measured event stream for ``repro.platch.queue_sim``
             validation.  1 makes the analytic replay *exact*; larger
             epochs trade accuracy for memory (see docs/PIPELINE.md).
+        hist_mode: storage mode for the queue-occupancy histogram —
+            ``"exact"`` keeps every sample (model-validation replays
+            need the raw values), ``"bounded"`` switches to the O(1)
+            streaming representation for long-running services (see
+            docs/OBSERVABILITY.md).
     """
 
     queue_capacity: int = 256
@@ -99,6 +105,7 @@ class PipelineConfig:
     sampling: SamplingConfig = field(default_factory=SamplingConfig)
     analysis_cycles_per_event: float = DEFAULT_ANALYSIS_CYCLES
     model_epoch: int = 1000
+    hist_mode: str = "exact"
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:
@@ -111,6 +118,13 @@ class PipelineConfig:
             raise ValueError("analysis_cycles_per_event must be positive")
         if self.model_epoch < 1:
             raise ValueError("model_epoch must be >= 1")
+        from repro.obs.metrics import HISTOGRAM_MODES
+
+        if self.hist_mode not in HISTOGRAM_MODES:
+            raise ValueError(
+                f"hist_mode must be one of {HISTOGRAM_MODES}, "
+                f"got {self.hist_mode!r}"
+            )
 
     # ------------------------------------------------------------ resolved
 
@@ -190,6 +204,9 @@ class PipelineConfig:
         backend = env.get(ENV_BACKEND)
         if backend:
             values["backend"] = backend
+        hist_mode = env.get(ENV_HIST_MODE)
+        if hist_mode:
+            values["hist_mode"] = hist_mode
 
         sampling_values = {}
         rate = _float(ENV_SAMPLE_RATE)

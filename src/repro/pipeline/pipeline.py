@@ -133,6 +133,7 @@ class StreamingPipeline(Observer):
         self._queue_instruments = QueueInstruments(
             self.obs, "pipeline.queue",
             occupancy_description="Monitor-queue entries after each drain",
+            mode=self.config.hist_mode,
         )
         self._batch: List[StepEvent] = []
         self._carried_events = 0

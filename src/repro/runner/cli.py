@@ -338,9 +338,10 @@ def main(argv=None) -> int:
             )
             return 2
         tracer = Tracer(shard_dir=str(args.trace))
-        flight = FlightRecorder(
-            path=str(args.trace / f"flight.{os.getpid()}.json")
-        )
+        # $REPRO_FLIGHT_DIR overrides where the dump lands.
+        from repro.obs.flight import flight_path
+
+        flight = FlightRecorder(path=flight_path(str(args.trace)))
         spans = SpanTracer(tracer, flight=flight)
     runner = Runner(
         cache=None if args.no_cache else ResultCache(args.cache_dir),

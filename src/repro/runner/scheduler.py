@@ -173,6 +173,7 @@ class Runner:
         self._duration = reg.histogram(
             "runner.job.duration_seconds", unit="seconds",
             description="Per-job execution wall-clock (fresh computations)",
+            mode="bounded",
         )
         self._heartbeat = reg.gauge(
             "runner.heartbeat", unit="seconds",

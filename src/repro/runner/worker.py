@@ -331,9 +331,11 @@ def _open_trace(payload: Dict[str, object], stack: ExitStack):
     directory = str(config["dir"])
     sink = Tracer(shard_dir=directory)
     stack.callback(sink.close)
-    flight = FlightRecorder(
-        path=os.path.join(directory, f"flight.{os.getpid()}.json")
-    )
+    from repro.obs.flight import flight_path
+
+    # $REPRO_FLIGHT_DIR redirects crash/SIGTERM dumps away from the
+    # trace directory (e.g. onto persistent storage).
+    flight = FlightRecorder(path=flight_path(directory))
     if payload.get("in_subprocess"):
         # Serial in-process execution must not steal the host process's
         # SIGTERM disposition; pool workers own theirs.

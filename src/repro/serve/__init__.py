@@ -36,6 +36,7 @@ from repro.serve.client import (
     ServeError,
     ServedResult,
     TraceRecorder,
+    fetch_telemetry,
     local_reference,
     record_trace,
 )
@@ -91,6 +92,7 @@ __all__ = [
     "backoff_hint_ms",
     "canonical_json",
     "canonical_signature",
+    "fetch_telemetry",
     "local_reference",
     "record_trace",
     "running_server",

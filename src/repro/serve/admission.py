@@ -111,6 +111,18 @@ class AdmissionController:
         self.inflight = inflight
         self.inflight_backoff_ms = inflight_backoff_ms
         self.max_backoff_ms = max_backoff_ms
+        #: Load-shedding multiplier on every backoff hint.  1.0 is
+        #: neutral; the telemetry plane raises it while SLO alerts are
+        #: firing, so an unhealthy server prices retries higher and
+        #: clients naturally thin their arrival rate.  Capacity and
+        #: admission decisions are untouched — only the *hint* scales.
+        self.pressure: float = 1.0
+
+    def _price(self, backoff_ms: int) -> int:
+        if self.pressure <= 1.0:
+            return backoff_ms
+        return max(1, min(int(backoff_ms * self.pressure),
+                          self.max_backoff_ms))
 
     # ------------------------------------------------------------ requests
 
@@ -124,15 +136,19 @@ class AdmissionController:
 
         if tenant.max_streams is not None:
             if self.inflight.held_by(tenant.name) >= tenant.max_streams:
-                return RetryAdvice("streams", self.inflight_backoff_ms)
+                return RetryAdvice(
+                    "streams", self._price(self.inflight_backoff_ms)
+                )
         if self.inflight.full:
-            return RetryAdvice("inflight", self.inflight_backoff_ms)
+            return RetryAdvice(
+                "inflight", self._price(self.inflight_backoff_ms)
+            )
         if not tenant.bucket.try_take(1.0):
             return RetryAdvice(
                 "rate",
-                backoff_hint_ms(
+                self._price(backoff_hint_ms(
                     tenant.bucket.retry_after(1.0), self.max_backoff_ms
-                ),
+                )),
             )
         slot = self.inflight.try_acquire(tenant.name, kind)
         assert slot is not None  # guarded by the full check above
@@ -148,10 +164,10 @@ class AdmissionController:
             return None
         return RetryAdvice(
             "rate",
-            backoff_hint_ms(
+            self._price(backoff_hint_ms(
                 tenant.bucket.retry_after(float(count)),
                 self.max_backoff_ms,
-            ),
+            )),
         )
 
     def release(self, slot: Slot) -> bool:

@@ -56,6 +56,40 @@ def _loadgen_config(args) -> LoadGenConfig:
     )
 
 
+def _add_telemetry_args(parser) -> None:
+    parser.add_argument("--telemetry-interval", type=float, default=None,
+                        help="export tick interval in seconds "
+                             "(enables the live telemetry plane)")
+    parser.add_argument("--telemetry-jsonl", default=None,
+                        help="append one telemetry sample per tick to "
+                             "this JSONL file")
+    parser.add_argument("--telemetry-port", type=int, default=None,
+                        help="plain-TCP Prometheus-style exposition "
+                             "port (0 = ephemeral)")
+    parser.add_argument("--slo", action="append", default=None,
+                        metavar="RULE",
+                        help="SLO alert rule, e.g. 'latency_p99 < 250ms' "
+                             "(repeatable)")
+    parser.add_argument("--flight-dir", type=Path, default=None,
+                        help="flight-recorder dump directory "
+                             "($REPRO_FLIGHT_DIR overrides)")
+
+
+def _telemetry_overrides(args) -> dict:
+    overrides = {}
+    if args.telemetry_interval is not None:
+        overrides["telemetry_interval"] = args.telemetry_interval
+    if args.telemetry_jsonl is not None:
+        overrides["telemetry_jsonl"] = args.telemetry_jsonl
+    if args.telemetry_port is not None:
+        overrides["telemetry_port"] = args.telemetry_port
+    if args.slo:
+        overrides["slo_rules"] = tuple(args.slo)
+    if args.flight_dir is not None:
+        overrides["flight_dir"] = str(args.flight_dir)
+    return overrides
+
+
 def _add_serve(subparsers) -> None:
     parser = subparsers.add_parser(
         "serve", help="run the server in the foreground"
@@ -70,6 +104,7 @@ def _add_serve(subparsers) -> None:
                         help="default tenant refill rate (events/s)")
     parser.add_argument("--burst", type=float, default=None,
                         help="default tenant bucket capacity (events)")
+    _add_telemetry_args(parser)
 
 
 def _add_loadgen(subparsers) -> None:
@@ -79,6 +114,10 @@ def _add_loadgen(subparsers) -> None:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, required=True)
     _add_loadgen_args(parser, clients_default=100)
+    parser.add_argument("--telemetry-out", type=Path, default=None,
+                        help="after the run, scrape the server's "
+                             "telemetry verb and write the Prometheus-"
+                             "style text here")
 
 
 def _add_selftest(subparsers) -> None:
@@ -97,6 +136,7 @@ def _add_selftest(subparsers) -> None:
     parser.add_argument("--metrics-out", type=Path, default=None,
                         help="write the final per-tenant metrics "
                              "snapshot to this JSON file")
+    _add_telemetry_args(parser)
 
 
 def _print_report(report: LoadReport) -> None:
@@ -127,6 +167,7 @@ def _cmd_serve(args) -> int:
             burst=base.burst if args.burst is None else args.burst,
             max_streams=base.max_streams,
         )
+    overrides.update(_telemetry_overrides(args))
     config = ServeConfig.from_env(**overrides)
     server = TaintServer(config)
 
@@ -136,6 +177,9 @@ def _cmd_serve(args) -> int:
         await server.start()
         host, port = server.address
         print(f"repro-serve listening on {host}:{port}")
+        telemetry = server.telemetry_address
+        if telemetry is not None:
+            print(f"telemetry exposition on {telemetry[0]}:{telemetry[1]}")
         await server.serve_forever()
 
     try:
@@ -148,6 +192,13 @@ def _cmd_serve(args) -> int:
 def _cmd_loadgen(args) -> int:
     report = run(args.host, args.port, config=_loadgen_config(args))
     _print_report(report)
+    if args.telemetry_out is not None:
+        from repro.serve.client import fetch_telemetry
+
+        text = fetch_telemetry(args.host, args.port)
+        args.telemetry_out.parent.mkdir(parents=True, exist_ok=True)
+        args.telemetry_out.write_text(text)
+        print(f"wrote telemetry exposition -> {args.telemetry_out}")
     return 0 if report.clean else 1
 
 
@@ -158,14 +209,29 @@ def _cmd_selftest(args) -> int:
     config = ServeConfig(
         max_inflight=args.max_inflight,
         default_limits=TenantLimits(rate=args.rate, burst=args.burst),
+        **_telemetry_overrides(args),
     )
     clean_shutdown = False
+    firing_alerts = []
     with running_server(config, registry=registry) as (server, address):
         host, port = address
         print(f"selftest server on {host}:{port}; "
               f"driving {args.clients} clients "
               f"({args.phase} arrivals, {args.tenants} tenants)")
         report = run(host, port, config=_loadgen_config(args))
+        if server.exporter is not None:
+            # Publish the soundness verdict where the SLO plane sees it
+            # ('divergence == 0' fires if the sweep found any), then
+            # take one final authoritative tick.
+            registry.gauge(
+                "serve.divergences", unit="divergences",
+                description="Soundness divergences found by the last "
+                            "loadgen sweep",
+            ).set(report.divergences)
+            final = server.exporter.tick()
+            firing_alerts = list(final.firing)
+            if server.flight is not None and server.flight.path is not None:
+                server.flight.dump(reason="selftest")
         snapshot = server.snapshot()
         clean_shutdown = True
     _print_report(report)
@@ -181,6 +247,11 @@ def _cmd_selftest(args) -> int:
         print(f"wrote per-tenant metrics -> {args.metrics_out}")
     if not report.clean:
         print("SELFTEST FAILED: divergences or client failures (see above)")
+        return 1
+    if firing_alerts:
+        for rule in firing_alerts:
+            print(f"SLO ALERT FIRING: {rule}")
+        print("SELFTEST FAILED: SLO alerts firing at shutdown")
         return 1
     if not clean_shutdown:  # pragma: no cover - contextmanager guarantees
         print("SELFTEST FAILED: unclean shutdown")

@@ -154,6 +154,34 @@ def local_reference(
 # ------------------------------------------------------------- sync client
 
 
+def fetch_telemetry(
+    host: str, port: int, mode: str = "text", timeout: float = 10.0
+):
+    """Scrape a running server's ``telemetry`` verb, no session needed.
+
+    Returns the Prometheus-style exposition text (``mode="text"``) or
+    the full telemetry-sample dict (``mode="json"``).  Raises
+    :class:`ServeError` when telemetry is disabled server-side.
+    """
+    decoder = FrameDecoder()
+    pending: List[Dict] = []
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(encode_frame({"type": "telemetry", "mode": mode}))
+        while not pending:
+            data = sock.recv(65536)
+            if not data:
+                raise ServeError("server closed the connection")
+            pending.extend(decoder.feed(data))
+    reply = pending[0]
+    if reply.get("type") == "error":
+        raise ServeError(str(reply.get("detail")), code=reply.get("code"))
+    if reply.get("type") != "telemetry":
+        raise ServeError(f"unexpected reply type {reply.get('type')!r}")
+    if mode == "json":
+        return reply.get("sample")
+    return str(reply.get("body", ""))
+
+
 class ServeClient:
     """Blocking-socket client for one tenant session.
 

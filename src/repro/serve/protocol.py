@@ -31,6 +31,11 @@ Client → server (``type`` field):
                    reflects every acknowledged event)
 ``stream_close``   finish the stream → ``result``
 ``ping``           liveness → ``pong``
+``telemetry``      live metrics scrape (allowed before ``hello``):
+                   optional ``mode`` of ``"text"`` (Prometheus-style
+                   exposition, the default) or ``"json"`` (the full
+                   :class:`repro.obs.TelemetrySample` dict) →
+                   ``telemetry``
 =================  =====================================================
 
 Server → client:
@@ -50,6 +55,8 @@ Server → client:
 ``error``          protocol violation or failed job; terminal for the
                    offending request, the connection stays usable
 ``pong``           liveness answer
+``telemetry``      scrape answer: ``mode`` plus ``body`` (text) or
+                   ``sample`` (json)
 =================  =====================================================
 
 The event codec serialises the exact observer vocabulary of

@@ -28,12 +28,16 @@ from __future__ import annotations
 import asyncio
 import os
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
-from repro.obs import MetricsRegistry
+from repro.obs import FlightRecorder, MetricsRegistry, flight_path
+from repro.obs.exposition import render_prometheus
+from repro.obs.slo import SLOMonitor
 from repro.obs.spans import SpanTracer, TraceContext
+from repro.obs.telemetry import JsonlSink, RingSink, TelemetryExporter
 from repro.serve.admission import (
     AdmissionController,
     InFlightTable,
@@ -56,6 +60,10 @@ ENV_MAX_INFLIGHT = "REPRO_SERVE_MAX_INFLIGHT"
 ENV_RATE = "REPRO_SERVE_RATE"
 ENV_BURST = "REPRO_SERVE_BURST"
 ENV_MAX_BATCH = "REPRO_SERVE_MAX_BATCH"
+ENV_TELEMETRY_INTERVAL = "REPRO_SERVE_TELEMETRY_INTERVAL"
+ENV_TELEMETRY_JSONL = "REPRO_SERVE_TELEMETRY_JSONL"
+ENV_TELEMETRY_PORT = "REPRO_SERVE_TELEMETRY_PORT"
+ENV_SLO = "REPRO_SERVE_SLO"
 
 
 @dataclass(frozen=True)
@@ -79,12 +87,35 @@ class ServeConfig:
     max_batch: int = 512
     inflight_backoff_ms: int = 25
     max_backoff_ms: int = 1000
+    # -- live telemetry plane (all off by default) ----------------------
+    telemetry_interval: float = 0.0   # seconds; <= 0 disables the thread
+    telemetry_jsonl: Optional[str] = None
+    telemetry_port: Optional[int] = None  # None = off; 0 = ephemeral
+    telemetry_ring: int = 64
+    slo_rules: Sequence[str] = ()
+    slo_load_shedding: bool = True
+    flight_dir: Optional[str] = None  # $REPRO_FLIGHT_DIR overrides
+    flight_capacity: int = 256
 
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if self.telemetry_ring < 1:
+            raise ValueError("telemetry_ring must be >= 1")
+        if self.flight_capacity < 1:
+            raise ValueError("flight_capacity must be >= 1")
+
+    @property
+    def telemetry_enabled(self) -> bool:
+        """True when any telemetry surface is requested."""
+        return bool(
+            self.telemetry_interval > 0
+            or self.telemetry_jsonl
+            or self.telemetry_port is not None
+            or self.slo_rules
+        )
 
     @classmethod
     def from_env(
@@ -100,10 +131,22 @@ class ServeConfig:
             ("port", ENV_PORT),
             ("max_inflight", ENV_MAX_INFLIGHT),
             ("max_batch", ENV_MAX_BATCH),
+            ("telemetry_port", ENV_TELEMETRY_PORT),
         ):
             raw = env.get(var)
             if raw not in (None, ""):
                 values[key] = int(raw)
+        raw = env.get(ENV_TELEMETRY_INTERVAL)
+        if raw not in (None, ""):
+            values["telemetry_interval"] = float(raw)
+        raw = env.get(ENV_TELEMETRY_JSONL)
+        if raw:
+            values["telemetry_jsonl"] = raw
+        raw = env.get(ENV_SLO)
+        if raw:
+            values["slo_rules"] = tuple(
+                rule.strip() for rule in raw.split(";") if rule.strip()
+            )
         rate, burst = env.get(ENV_RATE), env.get(ENV_BURST)
         if rate or burst:
             base = TenantLimits()
@@ -145,8 +188,6 @@ class TaintServer:
         spans: Optional[SpanTracer] = None,
         clock=None,
     ) -> None:
-        import time
-
         self.config = config if config is not None else ServeConfig()
         self.obs = registry if registry is not None else MetricsRegistry()
         self.spans = spans
@@ -164,10 +205,60 @@ class TaintServer:
             max_backoff_ms=self.config.max_backoff_ms,
         )
         self._server: Optional[asyncio.AbstractServer] = None
+        self._telemetry_server: Optional[asyncio.AbstractServer] = None
         self._connections = 0
         self._retries_sent = 0
+        self._requests = 0
         self._stream_counter = 0
+        # Bounded: this histogram lives as long as the server does.
+        self._request_timer = self.obs.timer(
+            "serve.request_seconds", unit="seconds",
+            description="Wall-clock latency of every served request",
+            mode="bounded",
+        )
         self._register_gauges()
+        self.flight: Optional[FlightRecorder] = None
+        self.exporter: Optional[TelemetryExporter] = None
+        self.monitor: Optional[SLOMonitor] = None
+        self.ring: Optional[RingSink] = None
+        self._build_telemetry()
+
+    def _build_telemetry(self) -> None:
+        config = self.config
+        dump_path = flight_path(config.flight_dir)
+        if dump_path is not None:
+            self.flight = FlightRecorder(
+                capacity=config.flight_capacity, path=dump_path
+            )
+        if not config.telemetry_enabled:
+            return
+        if self.flight is None:
+            # Alerts need somewhere durable to land even without a
+            # configured dump dir; an in-memory ring still feeds the
+            # telemetry verb and tests.
+            self.flight = FlightRecorder(capacity=config.flight_capacity)
+        self.monitor = SLOMonitor(config.slo_rules, flight=self.flight)
+        self.ring = RingSink(config.telemetry_ring)
+        sinks = [self.ring]
+        if config.telemetry_jsonl:
+            sinks.append(JsonlSink(config.telemetry_jsonl))
+        interval = config.telemetry_interval
+        self.exporter = TelemetryExporter(
+            self.obs,
+            interval=interval if interval > 0 else 1.0,
+            sinks=sinks,
+            monitor=self.monitor,
+            collect=self.publish_metrics,
+        )
+        self.exporter.on_tick(self._apply_health)
+
+    def _apply_health(self, sample) -> None:
+        self._health_gauge.set(sample.health)
+        if self.config.slo_load_shedding:
+            # One firing alert => RETRY hints double; each further
+            # alert adds another multiple, capped by max_backoff_ms in
+            # the controller itself.
+            self.controller.pressure = 1.0 + len(sample.firing)
 
     # ------------------------------------------------------------- metrics
 
@@ -198,6 +289,26 @@ class TaintServer:
             description="RETRY frames issued across all tenants",
             callback=lambda: self._retries_sent,
         )
+        scope.gauge(
+            "requests", unit="requests",
+            description="Requests served (all kinds) since startup",
+            callback=lambda: self._requests,
+        )
+        scope.gauge(
+            "inflight_capacity", unit="slots",
+            description="Configured in-flight table capacity",
+            callback=lambda: self.config.max_inflight,
+        )
+        self._health_gauge = scope.gauge(
+            "health", unit="fraction",
+            description="SLO health: 1.0 = every objective holds",
+        )
+        self._health_gauge.set(1.0)
+        scope.gauge(
+            "divergences", unit="divergences",
+            description="Soundness divergences reported by the latest "
+                        "verification sweep (selftest publishes here)",
+        )
 
     def publish_metrics(self) -> MetricsRegistry:
         """Publish all tenant counters; returns the shared registry."""
@@ -215,6 +326,18 @@ class TaintServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
+        if self.exporter is not None and self.config.telemetry_port is not None:
+            self._telemetry_server = await asyncio.start_server(
+                self._handle_exposition,
+                self.config.host,
+                self.config.telemetry_port,
+            )
+        if self.flight is not None and self.flight.path is not None:
+            # No-op off the main thread (ServerThread); the foreground
+            # CLI process gets dump-on-SIGTERM.
+            self.flight.install()
+        if self.exporter is not None and self.config.telemetry_interval > 0:
+            self.exporter.start()
 
     @property
     def address(self):
@@ -222,6 +345,13 @@ class TaintServer:
         if self._server is None or not self._server.sockets:
             raise RuntimeError("server is not started")
         return self._server.sockets[0].getsockname()[:2]
+
+    @property
+    def telemetry_address(self) -> Optional[Tuple[str, int]]:
+        """Bound ``(host, port)`` of the exposition endpoint (or None)."""
+        if self._telemetry_server is None or not self._telemetry_server.sockets:
+            return None
+        return self._telemetry_server.sockets[0].getsockname()[:2]
 
     async def serve_forever(self) -> None:
         """Run until cancelled."""
@@ -231,6 +361,12 @@ class TaintServer:
 
     async def shutdown(self) -> None:
         """Stop accepting and close the listener (graceful)."""
+        if self.exporter is not None:
+            self.exporter.stop(flush=True)
+        if self._telemetry_server is not None:
+            self._telemetry_server.close()
+            await self._telemetry_server.wait_closed()
+            self._telemetry_server = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -307,32 +443,44 @@ class TaintServer:
                 if kind == "ping":
                     await send({"type": "pong"})
                     continue
+                if kind == "telemetry":
+                    # Monitoring needs no tenant session: scrapers speak
+                    # this verb before (or without) any hello.
+                    await send(self._do_telemetry(message))
+                    continue
                 if tenant is None:
                     await send(error_message(
                         "hello must precede any request", code="state"
                     ))
                     continue
 
+                started = time.perf_counter()
                 if kind == "stream_open":
-                    await send(self._do_stream_open(
+                    reply = self._do_stream_open(
                         tenant, message, sessions, context
-                    ))
+                    )
                 elif kind == "events":
-                    await send(self._do_events(tenant, message, sessions))
-                    # Yield between batches so one firehose stream
-                    # cannot starve other connections of the loop.
-                    await asyncio.sleep(0)
+                    reply = self._do_events(tenant, message, sessions)
                 elif kind == "query":
-                    await send(self._do_query(message, sessions))
+                    reply = self._do_query(message, sessions)
                 elif kind == "stream_close":
-                    await send(self._do_stream_close(message, sessions))
+                    reply = self._do_stream_close(message, sessions)
                 elif kind == "submit":
-                    await send(self._do_submit(tenant, message, context))
-                    await asyncio.sleep(0)
+                    reply = self._do_submit(tenant, message, context)
                 else:
                     await send(error_message(
                         f"unknown message type: {kind!r}", code="type"
                     ))
+                    continue
+                elapsed = time.perf_counter() - started
+                self._requests += 1
+                self._request_timer.record(elapsed)
+                tenant.latency.record(elapsed)
+                await send(reply)
+                if kind in ("events", "submit"):
+                    # Yield between batches so one firehose stream
+                    # cannot starve other connections of the loop.
+                    await asyncio.sleep(0)
         finally:
             # Disconnect teardown: drain every still-open session
             # idempotently and give its slot back.  A session that
@@ -345,6 +493,53 @@ class TaintServer:
             except (ConnectionError, OSError, asyncio.CancelledError):
                 # Shutdown may cancel the handler while the transport
                 # drains; the sessions above are already released.
+                pass
+
+    # ----------------------------------------------------------- telemetry
+
+    def _telemetry_sample(self):
+        """Latest exporter sample, taking one on demand before the
+        first periodic tick (and always when the thread is off)."""
+        if self.exporter is None:
+            return None
+        sample = self.exporter.latest()
+        if sample is None or self.config.telemetry_interval <= 0:
+            sample = self.exporter.tick()
+        return sample
+
+    def _do_telemetry(self, message: Dict) -> Dict:
+        if self.exporter is None:
+            return error_message(
+                "telemetry is not enabled on this server", code="telemetry"
+            )
+        sample = self._telemetry_sample()
+        mode = message.get("mode", "text")
+        if mode == "json":
+            return {"type": "telemetry", "mode": "json",
+                    "sample": sample.to_dict()}
+        if mode != "text":
+            return error_message(
+                f"unknown telemetry mode {mode!r} (text|json)",
+                code="telemetry",
+            )
+        return {"type": "telemetry", "mode": "text",
+                "body": render_prometheus(sample)}
+
+    async def _handle_exposition(self, reader, writer) -> None:
+        # Plain-TCP scrape endpoint: connect, read the exposition text,
+        # connection closes.  No protocol framing, so curl/nc work.
+        try:
+            sample = self._telemetry_sample()
+            if sample is not None:
+                writer.write(render_prometheus(sample).encode("utf-8"))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
 
     # ------------------------------------------------------------ handlers

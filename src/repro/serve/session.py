@@ -51,13 +51,17 @@ def pipeline_config_from_wire(overrides: Optional[Dict]) -> PipelineConfig:
     which is exactly :class:`repro.platch.PLatchSystem`'s shape, so an
     unconfigured served check is bit-comparable to the local wrapper.
     """
-    values: Dict = {"gate_batch": 1, "backend": "scalar"}
+    # Served pipelines default to bounded histograms: sessions are
+    # long-lived, so per-sample occupancy storage would grow without
+    # bound (clients can still ask for "exact" explicitly).
+    values: Dict = {"gate_batch": 1, "backend": "scalar",
+                    "hist_mode": "bounded"}
     sampling: Dict = {}
     for key, value in (overrides or {}).items():
         if key in ("queue_capacity", "drain_batch", "gate_batch",
                    "model_epoch"):
             values[key] = int(value)
-        elif key == "backend":
+        elif key in ("backend", "hist_mode"):
             values[key] = str(value)
         elif key in ("sample_rate",):
             sampling["rate"] = float(value)

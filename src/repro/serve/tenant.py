@@ -91,6 +91,13 @@ class TenantState:
         self.disconnects = 0
         self.active_streams = 0
         self.stall_seconds = 0.0   # client-visible RETRY backoff issued
+        # Bounded (P²/bucket) so a tenant that lives for the whole
+        # server lifetime costs O(1) memory however many requests land.
+        self.latency = self.obs.timer(
+            "latency_seconds", unit="seconds",
+            description="Per-request service latency for this tenant",
+            mode="bounded",
+        )
         self._register_gauges()
 
     # ------------------------------------------------------------- metrics

@@ -1,0 +1,126 @@
+"""Metric-catalog drift tests: published names vs docs/OBSERVABILITY.md.
+
+The existing docs test checks that documented names are published; this
+one closes the loop for the two namespaces that grow fastest — the
+serving stack (``serve.*``, with tenant-scoped names normalised to the
+``serve.tenant.<name>.*`` rows) and the columnar trace replay
+(``trace.*``) — in **both** directions, so a new metric cannot ship
+without its catalog row and a catalog row cannot outlive its metric.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.exposition import split_tenant
+from repro.serve import ServeClient, ServeConfig, record_trace, running_server
+from repro.workloads import programs
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Catalog rows look like ``| `serve.tenant.<name>.events` | C | ... |``.
+_ROW_RE = re.compile(r"\| `([A-Za-z0-9_.<>*-]+)` \|")
+
+
+def documented_names():
+    text = (ROOT / "docs" / "OBSERVABILITY.md").read_text()
+    return set(_ROW_RE.findall(text))
+
+
+def _normalize(name: str) -> str:
+    """Fold a concrete tenant name into the documented ``<name>`` slot."""
+    family, tenant = split_tenant(name)
+    if tenant is None:
+        return name
+    suffix = family[len("serve.tenant."):]
+    return f"serve.tenant.<name>.{suffix}"
+
+
+def _documented_match(name: str, documented) -> bool:
+    if name in documented:
+        return True
+    # Wildcard rows: ``serve.tenant.<name>.pipeline.*`` style.
+    for row in documented:
+        if row.endswith(".*") and name.startswith(row[:-1]):
+            return True
+    return False
+
+
+@pytest.fixture(scope="module")
+def serve_names():
+    """Every metric name a real served check run publishes."""
+    events = record_trace(lambda: programs.checksum().make_cpu())
+    config = ServeConfig(slo_rules=("divergence == 0",))
+    with running_server(config) as (server, (host, port)):
+        with ServeClient(host, port, tenant="acme") as client:
+            client.check_trace(events)
+        snapshot = server.snapshot()
+    return [record.name for record in snapshot.records]
+
+
+class TestServeCatalog:
+    def test_every_published_serve_metric_is_documented(self, serve_names):
+        documented = documented_names()
+        undocumented = sorted({
+            _normalize(name) for name in serve_names
+            if name.startswith("serve.")
+            and not _documented_match(_normalize(name), documented)
+        })
+        assert not undocumented, (
+            f"published but missing from docs/OBSERVABILITY.md: "
+            f"{undocumented}"
+        )
+
+    def test_every_documented_serve_row_is_published(self, serve_names):
+        published = {_normalize(name) for name in serve_names}
+        stale = sorted(
+            row for row in documented_names()
+            if row.startswith("serve.")
+            and not row.endswith(".*")
+            and row not in published
+        )
+        assert not stale, (
+            f"documented but never published by a served check: {stale}"
+        )
+
+    def test_wildcard_rows_cover_something_real(self, serve_names):
+        published = {_normalize(name) for name in serve_names}
+        for row in documented_names():
+            if row.startswith("serve.") and row.endswith(".*"):
+                assert any(
+                    name.startswith(row[:-1]) for name in published
+                ), f"wildcard row {row} matches nothing"
+
+
+class TestTraceCatalog:
+    @pytest.fixture(scope="class")
+    def trace_names(self):
+        from repro.trace import (
+            columnar_trace_bytes,
+            publish_trace_metrics,
+            replay_columnar,
+        )
+        from repro.workloads import WorkloadGenerator, get_profile
+
+        generator = WorkloadGenerator(get_profile("wget"))
+        result = replay_columnar(
+            columnar_trace_bytes(generator.access_trace(2_000)),
+            baseline_config=None,
+        )
+        registry = MetricsRegistry()
+        publish_trace_metrics(registry, result, include_timings=True)
+        return set(registry.names())
+
+    def test_trace_rows_bidirectional(self, trace_names):
+        documented = {
+            row for row in documented_names() if row.startswith("trace.")
+        }
+        published = {
+            name for name in trace_names if name.startswith("trace.")
+        }
+        assert documented == published, (
+            f"doc-only: {sorted(documented - published)}, "
+            f"unpublished: {sorted(published - documented)}"
+        )

@@ -1,0 +1,518 @@
+"""Tests for the live telemetry plane (obs layer).
+
+Covers the bounded streaming histogram (fixed-bucket ladder + P²
+quantile estimators) and its equivalence with exact mode, the
+:class:`TelemetryExporter` delta-snapshot loop and its sinks, SLO rule
+parsing and firing/resolved transitions, Prometheus-style exposition,
+the ``$REPRO_FLIGHT_DIR`` dump-directory override (including the
+SIGTERM path in a real subprocess), and ``read_jsonl`` tolerance of a
+concurrently appending exporter.
+"""
+
+import json
+import math
+import os
+import random
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    AlertRule,
+    FlightRecorder,
+    Histogram,
+    JsonlSink,
+    MetricsRegistry,
+    P2Quantile,
+    RingSink,
+    SLOMonitor,
+    TelemetryExporter,
+    default_buckets,
+    read_jsonl,
+    render_prometheus,
+)
+from repro.obs.exposition import sanitize_name, split_tenant
+from repro.obs.flight import ENV_FLIGHT_DIR, flight_dir, flight_path
+
+# ---------------------------------------------------- bounded histograms
+
+
+class TestBoundedHistogram:
+    def _samples(self, n=20_000, seed=7):
+        rng = random.Random(seed)
+        return [rng.lognormvariate(0.0, 1.0) for _ in range(n)]
+
+    def test_bounded_tracks_exact_within_tolerance(self):
+        exact = Histogram("h", mode="exact")
+        bounded = Histogram("h", mode="bounded")
+        for value in self._samples():
+            exact.record(value)
+            bounded.record(value)
+        assert bounded.count == exact.count
+        assert bounded.total == pytest.approx(exact.total, rel=1e-9)
+        assert bounded.min == exact.min
+        assert bounded.max == exact.max
+        for p in (50, 90, 95, 99):
+            assert bounded.percentile(p) == pytest.approx(
+                exact.percentile(p), rel=0.05
+            ), f"p{p} diverged"
+
+    def test_bounded_memory_is_constant(self):
+        histogram = Histogram("h", mode="bounded")
+        histogram.record_many(self._samples(5_000))
+        # No raw samples retained — that is the whole point.
+        with pytest.raises(RuntimeError):
+            histogram.values()
+        assert histogram._values == []
+        # Fixed ladder: one bucket per bound plus the overflow bucket.
+        assert len(histogram.bucket_counts()) == len(default_buckets()) + 1
+
+    def test_exact_mode_has_no_bucket_ladder(self):
+        histogram = Histogram("h")
+        histogram.record(1.0)
+        with pytest.raises(RuntimeError):
+            histogram.bucket_counts()
+
+    def test_value_dict_reports_mode_and_cumulative_buckets(self):
+        histogram = Histogram("h", mode="bounded")
+        histogram.record_many([0.001, 0.1, 3.0, 700.0])
+        payload = histogram.value_dict()
+        assert payload["mode"] == "bounded"
+        for key in ("count", "sum", "min", "max", "mean", "percentiles"):
+            assert key in payload
+        buckets = payload["buckets"]
+        counts = [cumulative for _bound, cumulative in buckets]
+        assert counts == sorted(counts), "cumulative counts must be monotone"
+        assert buckets[-1][0] == "+Inf"
+        assert buckets[-1][1] == histogram.count
+        exact = Histogram("h").value_dict()
+        assert exact["mode"] == "exact"
+        assert "buckets" not in exact
+
+    def test_percentile_endpoints_are_min_and_max(self):
+        histogram = Histogram("h", mode="bounded")
+        histogram.record_many([2.0, 9.0, 4.0])
+        assert histogram.percentile(0) == 2.0
+        assert histogram.percentile(100) == 9.0
+
+    def test_merge_exact_into_bounded(self):
+        source = Histogram("h")
+        source.record_many([1.0, 2.0, 3.0])
+        target = Histogram("h", mode="bounded")
+        target.merge_from(source)
+        assert target.count == 3
+        assert target.total == pytest.approx(6.0)
+
+    def test_merge_bounded_into_fresh_bounded(self):
+        source = Histogram("h", mode="bounded")
+        source.record_many(self._samples(2_000))
+        target = Histogram("h", mode="bounded")
+        target.merge_from(source)
+        assert target.count == source.count
+        assert target.percentile(95) == source.percentile(95)
+        assert target.bucket_counts() == source.bucket_counts()
+
+    def test_merge_bounded_into_exact_raises(self):
+        source = Histogram("h", mode="bounded")
+        source.record(1.0)
+        with pytest.raises(RuntimeError):
+            Histogram("h").merge_from(source)
+
+    def test_reset_clears_bounded_state(self):
+        histogram = Histogram("h", mode="bounded")
+        histogram.record_many([1.0, 2.0])
+        histogram.reset()
+        assert histogram.count == 0
+        assert math.isnan(histogram.percentile(50))
+        histogram.record(5.0)
+        assert histogram.percentile(50) == 5.0
+
+    def test_registry_mode_applies_on_creation_only(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("h", mode="bounded")
+        second = registry.histogram("h")  # existing instance wins
+        assert second is first
+        assert second.mode == "bounded"
+
+    def test_timer_forwards_mode(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("t", mode="bounded")
+        assert timer.mode == "bounded"
+        with timer:
+            pass
+        assert timer.histogram.count == 1
+
+
+class TestP2Quantile:
+    def test_exact_below_five_observations(self):
+        estimator = P2Quantile(50)
+        for value in (5.0, 1.0, 3.0):
+            estimator.update(value)
+        assert estimator.value() == 3.0
+
+    def test_converges_on_uniform(self):
+        rng = random.Random(11)
+        estimator = P2Quantile(90)
+        for _ in range(20_000):
+            estimator.update(rng.random())
+        assert estimator.value() == pytest.approx(0.9, abs=0.02)
+
+
+# --------------------------------------------------------------- SLO rules
+
+
+def _latency_registry(latencies, requests=10, retries=0):
+    registry = MetricsRegistry()
+    timer = registry.timer(
+        "serve.request_seconds", unit="seconds", mode="bounded"
+    )
+    for value in latencies:
+        timer.record(value)
+    registry.gauge("serve.requests").set(requests)
+    registry.gauge("serve.retries_sent").set(retries)
+    return registry
+
+
+class TestAlertRules:
+    def test_parse_units(self):
+        assert AlertRule.parse("latency_p99 < 250ms").threshold == 250.0
+        assert AlertRule.parse("latency_p99 < 0.25s").threshold == 250.0
+        assert AlertRule.parse("retry_rate < 20%").threshold == pytest.approx(0.2)
+        assert AlertRule.parse("divergence == 0").op == "=="
+
+    @pytest.mark.parametrize("text", [
+        "latency_p99", "latency_p99 <", "p99 ~ 3", "a < b", "x < 1day",
+    ])
+    def test_bad_rules_raise(self, text):
+        with pytest.raises(ValueError):
+            AlertRule.parse(text)
+
+    def test_unknown_indicator_reads_snapshot_scalar(self):
+        registry = MetricsRegistry()
+        registry.gauge("serve.inflight").set(7)
+        rule = AlertRule.parse("serve.inflight <= 4")
+        value = rule.measure(registry.snapshot(), {})
+        assert value == 7
+        assert not rule.holds(value)
+
+    def test_unknown_value_counts_as_met(self):
+        rule = AlertRule.parse("latency_p99 < 1ms")
+        assert rule.holds(None)
+
+    def test_retry_rate_indicator(self):
+        rule = AlertRule.parse("retry_rate < 50%")
+        snapshot = MetricsRegistry().snapshot()
+        deltas = {"serve.requests": 10, "serve.retries_sent": 8}
+        assert rule.measure(snapshot, deltas) == pytest.approx(0.8)
+        assert rule.measure(snapshot, {"serve.requests": 0}) is None
+
+
+class TestSLOMonitor:
+    def test_firing_and_resolved_transitions(self):
+        registry = _latency_registry([0.5] * 50)
+        flight = FlightRecorder()
+        monitor = SLOMonitor(["latency_p99 < 50ms"], flight=flight)
+        events = monitor.evaluate(registry.snapshot(), {})
+        assert [e["name"] for e in events] == ["slo.alert.firing"]
+        assert monitor.firing == ["latency_p99 < 50ms"]
+        assert monitor.health == 0.0
+        # Still firing: no new transition event.
+        assert monitor.evaluate(registry.snapshot(), {}) == []
+        # Recover: fast requests only.
+        recovered = _latency_registry([0.001] * 50)
+        events = monitor.evaluate(recovered.snapshot(), {})
+        assert [e["name"] for e in events] == ["slo.alert.resolved"]
+        assert monitor.firing == []
+        assert monitor.health == 1.0
+        names = [record["name"] for record in flight.snapshot()]
+        assert names == ["slo.alert.firing", "slo.alert.resolved"]
+
+    def test_health_scales_per_rule(self):
+        registry = _latency_registry([0.5] * 50)
+        monitor = SLOMonitor(["latency_p99 < 50ms", "divergence == 0"])
+        monitor.evaluate(registry.snapshot(), {})
+        assert monitor.health == pytest.approx(0.5)
+
+
+class TestLatencyInjectionAlert:
+    """The acceptance path: injected latency fires ``latency_p99``."""
+
+    def test_injected_latency_fires_and_lands_in_flight_dump(self, tmp_path):
+        registry = _latency_registry([0.300] * 100)
+        dump = tmp_path / "flight.json"
+        flight = FlightRecorder(path=str(dump))
+        monitor = SLOMonitor(["latency_p99 < 100ms"], flight=flight)
+        exporter = TelemetryExporter(registry, monitor=monitor)
+        sample = exporter.tick()
+        assert sample.firing == ["latency_p99 < 100ms"]
+        assert sample.health < 1.0
+        assert sample.alerts and sample.alerts[0]["name"] == "slo.alert.firing"
+        assert sample.alerts[0]["value"] == pytest.approx(300.0, rel=0.05)
+        flight.dump(reason="test")
+        payload = json.loads(dump.read_text())
+        recorded = [r for r in payload["records"]
+                    if r["name"] == "slo.alert.firing"]
+        assert recorded and recorded[0]["rule"] == "latency_p99 < 100ms"
+
+    def test_firing_alert_raises_admission_pressure(self):
+        from repro.serve.admission import AdmissionController, InFlightTable
+
+        controller = AdmissionController(InFlightTable(4))
+        assert controller._price(100) == 100  # neutral by default
+        controller.pressure = 2.0
+        assert controller._price(100) == 200
+        controller.pressure = 100.0
+        assert controller._price(100) == controller.max_backoff_ms
+
+
+# --------------------------------------------------------------- exporter
+
+
+class TestTelemetryExporter:
+    def test_deltas_across_ticks(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("serve.requests")
+        histogram = registry.histogram("lat", mode="bounded")
+        exporter = TelemetryExporter(registry)
+        counter.inc(5)
+        histogram.record(1.0)
+        first = exporter.tick()
+        assert first.deltas["serve.requests"] == 5
+        assert first.deltas["lat.count"] == 1
+        counter.inc(3)
+        second = exporter.tick()
+        assert second.deltas["serve.requests"] == 3
+        assert second.deltas["lat.count"] == 0
+        assert second.seq == 2
+        assert exporter.latest() is second
+
+    def test_ring_sink_retains_history(self):
+        registry = MetricsRegistry()
+        ring = RingSink(capacity=2)
+        exporter = TelemetryExporter(registry, sinks=[ring])
+        for _ in range(3):
+            exporter.tick()
+        assert len(ring) == 2
+        assert [s.seq for s in ring.history()] == [2, 3]
+        assert ring.latest().seq == 3
+
+    def test_jsonl_sink_round_trip(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        exporter = TelemetryExporter(registry, sinks=[JsonlSink(str(path))])
+        exporter.tick()
+        exporter.tick()
+        exporter.stop(flush=True)  # closes the sink, final tick
+        records = read_jsonl(str(path))
+        assert [r["seq"] for r in records] == [1, 2, 3]
+        assert records[0]["snapshot"]["metrics"][0]["name"] == "c"
+
+    def test_sink_failures_are_counted_not_raised(self):
+        class Broken:
+            def emit(self, sample):
+                raise RuntimeError("boom")
+
+        exporter = TelemetryExporter(MetricsRegistry(), sinks=[Broken()])
+        sample = exporter.tick()
+        assert sample.seq == 1
+        assert exporter.errors == 1
+        assert isinstance(exporter.last_error, RuntimeError)
+
+    def test_collect_hook_runs_before_snapshot(self):
+        registry = MetricsRegistry()
+
+        def publish():
+            registry.counter("late").inc()
+
+        exporter = TelemetryExporter(registry, collect=publish)
+        sample = exporter.tick()
+        assert sample.snapshot.get("late") == 1
+
+    def test_on_tick_callback_and_thread_lifecycle(self):
+        registry = MetricsRegistry()
+        seen = []
+        exporter = TelemetryExporter(registry, interval=0.02)
+        exporter.on_tick(lambda sample: seen.append(sample.seq))
+        with exporter:
+            deadline = time.time() + 2.0
+            while len(seen) < 2 and time.time() < deadline:
+                time.sleep(0.01)
+        assert len(seen) >= 2
+        assert seen == sorted(seen)
+
+    def test_sample_dict_round_trip(self):
+        from repro.obs import TelemetrySample
+
+        registry = MetricsRegistry()
+        registry.gauge("g").set(4)
+        sample = TelemetryExporter(registry).tick()
+        clone = TelemetrySample.from_dict(
+            json.loads(json.dumps(sample.to_dict()))
+        )
+        assert clone.seq == sample.seq
+        assert clone.snapshot.get("g") == 4
+
+
+class TestReadJsonlUnderConcurrentAppends:
+    def test_truncated_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        registry = MetricsRegistry()
+        with JsonlSink(str(path)) as sink:
+            TelemetryExporter(registry, sinks=[sink]).tick()
+        with open(path, "a") as handle:
+            handle.write('{"seq": 2, "truncat')  # mid-write tail
+        records = read_jsonl(str(path))
+        assert [r["seq"] for r in records] == [1]
+
+    def test_reader_never_sees_torn_lines(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        registry = MetricsRegistry()
+        registry.counter("c")
+        exporter = TelemetryExporter(registry, sinks=[JsonlSink(str(path))])
+        stop = threading.Event()
+        failures = []
+
+        def writer():
+            while not stop.is_set():
+                exporter.tick()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            deadline = time.time() + 1.0
+            while time.time() < deadline:
+                try:
+                    records = read_jsonl(str(path))
+                except Exception as error:  # torn line escaped
+                    failures.append(error)
+                    break
+                for record in records:
+                    assert "seq" in record
+        finally:
+            stop.set()
+            thread.join()
+            exporter.stop(flush=False)
+        assert not failures
+
+
+# ------------------------------------------------------------- exposition
+
+
+class TestExposition:
+    def test_sanitize_and_tenant_split(self):
+        assert sanitize_name("serve.request_seconds") == \
+            "repro_serve_request_seconds"
+        assert split_tenant("serve.inflight") == ("serve.inflight", None)
+        assert split_tenant("serve.tenant.acme.events") == \
+            ("serve.tenant.events", "acme")
+        # Tenant names may contain dots: split at the first family head.
+        assert split_tenant("serve.tenant.acme.prod.latency_seconds") == \
+            ("serve.tenant.latency_seconds", "acme.prod")
+        assert split_tenant(
+            "serve.tenant.acme.pipeline.queue.stalls"
+        ) == ("serve.tenant.pipeline.queue.stalls", "acme")
+
+    def _sample(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "serve.tenant.acme.events", unit="events",
+            description="Trace events accepted",
+        ).inc(42)
+        registry.counter("serve.tenant.acme.rejected.rate").inc(3)
+        latency = registry.timer(
+            "serve.tenant.acme.latency_seconds", mode="bounded"
+        )
+        for value in (0.001, 0.002, 0.004):
+            latency.record(value)
+        exact = registry.histogram("runner.job.duration_seconds")
+        exact.record_many([0.5, 1.5])
+        registry.gauge("serve.health").set(0.5)
+        monitor = SLOMonitor(["divergence == 0"])
+        registry.gauge("serve.divergences").set(2)
+        exporter = TelemetryExporter(registry, monitor=monitor)
+        return exporter.tick()
+
+    def test_render_prometheus_text(self):
+        text = render_prometheus(self._sample())
+        # Counters fold the tenant into a label and get _total.
+        assert ('repro_serve_tenant_events_total{tenant="acme"} 42'
+                in text)
+        assert ('repro_serve_tenant_rejected_rate_total{tenant="acme"} 3'
+                in text)
+        # Bounded histogram: bucket ladder AND P² quantile lines.
+        assert 'repro_serve_tenant_latency_seconds_bucket{tenant="acme",le="+Inf"} 3' in text
+        assert 'repro_serve_tenant_latency_seconds{tenant="acme",quantile="0.99"}' in text
+        # Exact histogram renders as a summary.
+        assert 'repro_runner_job_duration_seconds{quantile="0.5"}' in text
+        assert "repro_runner_job_duration_seconds_count 2" in text
+        # Metadata + the firing divergence alert.
+        assert "repro_telemetry_seq 1" in text
+        assert 'repro_alert_firing{rule="divergence == 0"} 1' in text
+        assert "# TYPE repro_serve_tenant_events_total counter" in text or \
+            "# TYPE repro_serve_tenant_events counter" in text
+
+    def test_render_accepts_serialized_dict(self):
+        sample = self._sample()
+        text_direct = render_prometheus(sample)
+        text_dict = render_prometheus(
+            json.loads(json.dumps(sample.to_dict()))
+        )
+        assert text_dict == text_direct
+
+
+# ------------------------------------------------------------- flight dir
+
+
+class TestFlightDir:
+    def test_env_override_wins(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(ENV_FLIGHT_DIR, raising=False)
+        assert flight_dir() is None
+        assert flight_path() is None
+        assert flight_dir("fallback") == "fallback"
+        monkeypatch.setenv(ENV_FLIGHT_DIR, str(tmp_path))
+        assert flight_dir("fallback") == str(tmp_path)
+        path = flight_path("fallback")
+        assert path == str(tmp_path / f"flight.{os.getpid()}.json")
+        assert flight_path(filename="f.json") == str(tmp_path / "f.json")
+
+    def test_sigterm_dumps_into_env_dir(self, tmp_path):
+        script = (
+            "import signal, sys, time\n"
+            "from repro.obs import FlightRecorder\n"
+            "from repro.obs.flight import flight_path\n"
+            "flight = FlightRecorder(path=flight_path())\n"
+            "assert flight.path is not None\n"
+            "flight.record({'name': 'job.start', 'job': 'unit'})\n"
+            "flight.install()\n"
+            "print('ready', flush=True)\n"
+            "time.sleep(30)\n"
+        )
+        env = dict(os.environ)
+        env[ENV_FLIGHT_DIR] = str(tmp_path)
+        repo_src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "src",
+        )
+        env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE, env=env, text=True,
+        )
+        try:
+            assert process.stdout.readline().strip() == "ready"
+            process.send_signal(signal.SIGTERM)
+            process.wait(timeout=10)
+        finally:
+            if process.poll() is None:
+                process.kill()
+        assert process.returncode == 128 + signal.SIGTERM
+        dump = tmp_path / f"flight.{process.pid}.json"
+        assert dump.exists(), "SIGTERM did not leave a flight dump"
+        payload = json.loads(dump.read_text())
+        assert payload["reason"] == f"signal:{signal.SIGTERM}"
+        assert payload["records"][0]["name"] == "job.start"

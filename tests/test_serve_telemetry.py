@@ -1,0 +1,209 @@
+"""Server-side telemetry plane: verb, TCP exposition, SLO wiring, top.
+
+Every test runs a real :class:`TaintServer` on an ephemeral port.
+Covers the ``telemetry`` protocol verb (text + json modes, the
+disabled-side error), the ``--telemetry-port`` plain-TCP exposition
+endpoint, bit-identity of served results with the exporter running,
+load-shedding pressure from a firing SLO alert, and the ``repro-top``
+dashboard (render, ``--once``, ``--fail-on-alert``).
+"""
+
+import json
+import socket
+
+import pytest
+
+from repro.obs import MetricsRegistry, read_jsonl
+from repro.serve import (
+    ServeClient,
+    ServeConfig,
+    ServeError,
+    fetch_telemetry,
+    local_reference,
+    record_trace,
+    running_server,
+)
+from repro.serve.protocol import canonical_json
+from repro.tools.top import render_dashboard
+from repro.workloads import programs
+
+
+@pytest.fixture(scope="module")
+def checksum_trace():
+    factory = lambda: programs.checksum().make_cpu()
+    return record_trace(factory), local_reference(factory)
+
+
+def _telemetry_config(**overrides):
+    overrides.setdefault("slo_rules", ("divergence == 0",))
+    return ServeConfig(**overrides)
+
+
+class TestTelemetryVerb:
+    def test_text_mode_exposes_prometheus_families(self, checksum_trace):
+        events, _ = checksum_trace
+        with running_server(_telemetry_config()) as (_server, (host, port)):
+            with ServeClient(host, port, tenant="acme") as client:
+                client.check_trace(events)
+            text = fetch_telemetry(host, port)
+        assert "# TYPE repro_serve_request_seconds histogram" in text
+        assert "repro_serve_request_seconds_bucket" in text
+        # Per-tenant latency percentiles and counters, tenant-labelled.
+        assert ('repro_serve_tenant_latency_seconds'
+                '{tenant="acme",quantile="0.99"}') in text
+        assert 'repro_serve_tenant_events_total{tenant="acme"}' in text
+        assert "repro_telemetry_seq" in text
+
+    def test_json_mode_returns_sample_dict(self, checksum_trace):
+        events, _ = checksum_trace
+        with running_server(_telemetry_config()) as (_server, (host, port)):
+            with ServeClient(host, port, tenant="acme") as client:
+                client.check_trace(events)
+            sample = fetch_telemetry(host, port, mode="json")
+        names = {m["name"] for m in sample["snapshot"]["metrics"]}
+        assert "serve.request_seconds" in names
+        assert "serve.tenant.acme.latency_seconds" in names
+        assert sample["firing"] == []
+        assert sample["health"] == 1.0
+
+    def test_verb_errors_when_telemetry_disabled(self):
+        with running_server() as (_server, (host, port)):
+            with pytest.raises(ServeError):
+                fetch_telemetry(host, port)
+
+    def test_verb_allowed_before_hello(self):
+        # fetch_telemetry never sends hello; reaching the assert above
+        # proves it, but pin the pre-hello contract explicitly too.
+        with running_server(_telemetry_config()) as (_server, (host, port)):
+            text = fetch_telemetry(host, port)
+        assert text.startswith("# HELP")
+
+
+class TestExpositionEndpoint:
+    def test_plain_tcp_port_serves_text(self, checksum_trace):
+        events, _ = checksum_trace
+        config = _telemetry_config(telemetry_port=0)
+        with running_server(config) as (server, (host, port)):
+            with ServeClient(host, port, tenant="curl") as client:
+                client.check_trace(events)
+            address = server.telemetry_address
+            assert address is not None
+            with socket.create_connection(address, timeout=10) as sock:
+                chunks = []
+                while True:
+                    data = sock.recv(65536)
+                    if not data:
+                        break
+                    chunks.append(data)
+        text = b"".join(chunks).decode("utf-8")
+        assert text.startswith("# HELP")
+        assert 'repro_serve_tenant_events_total{tenant="curl"}' in text
+
+
+class TestBitIdentityWithExporter:
+    def test_results_identical_with_telemetry_on(self, checksum_trace,
+                                                 tmp_path):
+        events, reference = checksum_trace
+        jsonl = tmp_path / "telemetry.jsonl"
+        config = _telemetry_config(
+            telemetry_interval=0.02,
+            telemetry_jsonl=str(jsonl),
+        )
+        with running_server(config) as (server, (host, port)):
+            with ServeClient(host, port, tenant="ident") as client:
+                result = client.check_trace(events)
+            assert server.exporter is not None
+            server.exporter.tick()
+        assert canonical_json(result.signature) == canonical_json(
+            reference["signature"]
+        )
+        assert canonical_json(result.stats) == canonical_json(
+            reference["stats"]
+        )
+        samples = read_jsonl(str(jsonl))
+        assert samples, "exporter thread never flushed a sample"
+        assert samples[-1]["snapshot"]["metrics"]
+
+    def test_request_latency_routed_through_bounded_timer(
+            self, checksum_trace):
+        events, _ = checksum_trace
+        with running_server(_telemetry_config()) as (server, (host, port)):
+            with ServeClient(host, port, tenant="timed") as client:
+                client.check_trace(events)
+            timer = server.obs.timer("serve.request_seconds")
+            assert timer.mode == "bounded"
+            assert timer.count >= 3  # open + events + close at least
+            tenant_timer = server.obs.timer(
+                "serve.tenant.timed.latency_seconds"
+            )
+            assert tenant_timer.mode == "bounded"
+            assert tenant_timer.count >= 3
+
+
+class TestSLOLoadShedding:
+    def test_firing_alert_scales_retry_pricing(self):
+        config = _telemetry_config(
+            slo_rules=("serve.inflight <= -1",),  # impossible objective
+        )
+        with running_server(config) as (server, _address):
+            sample = server.exporter.tick()
+            assert sample.firing == ["serve.inflight <= -1"]
+            assert server.obs.gauge("serve.health").value == 0.0
+            assert server.controller.pressure == 2.0
+            assert server.flight is not None
+            names = [r["name"] for r in server.flight.snapshot()]
+            assert "slo.alert.firing" in names
+
+    def test_healthy_server_keeps_neutral_pressure(self):
+        with running_server(_telemetry_config()) as (server, _address):
+            server.exporter.tick()
+            assert server.controller.pressure == 1.0
+            assert server.obs.gauge("serve.health").value == 1.0
+
+
+class TestReproTop:
+    def _sample_from_server(self, checksum_trace):
+        events, _ = checksum_trace
+        with running_server(_telemetry_config()) as (_server, (host, port)):
+            with ServeClient(host, port, tenant="dash") as client:
+                client.check_trace(events)
+            return fetch_telemetry(host, port, mode="json")
+
+    def test_render_dashboard_shows_tenant_row(self, checksum_trace):
+        sample = self._sample_from_server(checksum_trace)
+        frame = render_dashboard(sample)
+        assert "repro-top — seq" in frame
+        assert "dash" in frame
+        assert "p99ms" in frame
+        assert "alerts: none firing" in frame
+
+    def test_once_mode_renders_jsonl(self, checksum_trace, tmp_path,
+                                     capsys):
+        from repro.tools.top import cli
+
+        sample = self._sample_from_server(checksum_trace)
+        path = tmp_path / "telemetry.jsonl"
+        path.write_text(json.dumps(sample) + "\n")
+        assert cli(["--once", "--jsonl", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "dash" in out
+
+    def test_fail_on_alert_exits_two(self, checksum_trace, tmp_path,
+                                     capsys):
+        from repro.tools.top import cli
+
+        sample = self._sample_from_server(checksum_trace)
+        sample["firing"] = ["divergence == 0"]
+        path = tmp_path / "telemetry.jsonl"
+        path.write_text(json.dumps(sample) + "\n")
+        assert cli(["--once", "--jsonl", str(path),
+                    "--fail-on-alert", "divergence"]) == 2
+        assert "FAIL: alert firing" in capsys.readouterr().out
+        # A non-matching pattern leaves the exit status clean.
+        assert cli(["--once", "--jsonl", str(path),
+                    "--fail-on-alert", "latency"]) == 0
+
+    def test_missing_file_exits_one(self, tmp_path, capsys):
+        from repro.tools.top import cli
+
+        assert cli(["--once", "--jsonl", str(tmp_path / "nope.jsonl")]) == 1
