@@ -9,6 +9,9 @@ Subcommands:
   oracle (the bounded CI job and the pre-commit smoke).
 * ``selftest`` — mutation self-validation: plant a known off-by-one in
   a copy of the update logic, confirm detection, and shrink.
+* ``workloads`` — the production-zoo soundness pass: artifact
+  invariants for every service-engine profile, the replay round-trip,
+  and one differential-oracle program per engine family.
 
 Exit status is non-zero whenever a violation (or a failed self-test)
 occurs, so every mode is CI-gateable.
@@ -69,6 +72,24 @@ def _add_selftest(subparsers) -> None:
                         help="seeds to try before declaring failure")
     parser.add_argument("--max-instructions", type=int, default=25,
                         help="shrunk reproducer size budget")
+
+
+def _add_workloads(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "workloads", help="soundness pass over the workload-engine zoo"
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for engines and family programs")
+    parser.add_argument("--names", default=None, metavar="NAME[,NAME...]",
+                        help="restrict to these workload names "
+                             "(default: the full service suite)")
+    parser.add_argument("--epoch-scale", type=int, default=200_000,
+                        help="epoch-stream budget per workload")
+    parser.add_argument("--trace-window", type=int, default=20_000,
+                        help="access-trace window per workload")
+    parser.add_argument("--paths", default=None, metavar="PATH[,PATH...]",
+                        help="restrict family programs to these oracle "
+                             f"paths (default all: {','.join(ALL_PATHS)})")
 
 
 def _stream_registry(args):
@@ -196,6 +217,24 @@ def _cmd_selftest(args) -> int:
     return 0
 
 
+def _cmd_workloads(args) -> int:
+    from repro.check.workloads import run_workloads
+
+    names = None
+    if args.names:
+        names = [name.strip() for name in args.names.split(",")
+                 if name.strip()]
+    failures = run_workloads(
+        seed=args.seed,
+        names=names,
+        paths=_resolve_paths(args),
+        epoch_scale=args.epoch_scale,
+        trace_window=args.trace_window,
+    )
+    print(f"workload zoo soundness pass: {failures} violations")
+    return 1 if failures else 0
+
+
 def cli(argv=None) -> int:
     """Console entry point (``repro-check``)."""
     parser = argparse.ArgumentParser(
@@ -206,11 +245,14 @@ def cli(argv=None) -> int:
     _add_fuzz(subparsers)
     _add_replay(subparsers)
     _add_selftest(subparsers)
+    _add_workloads(subparsers)
     args = parser.parse_args(argv)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
     if args.command == "replay":
         return _cmd_replay(args)
+    if args.command == "workloads":
+        return _cmd_workloads(args)
     return _cmd_selftest(args)
 
 

@@ -1,0 +1,286 @@
+"""Soundness pass over the production workload zoo.
+
+Two layers of checking, both deterministic by seed:
+
+**Artifact invariants** — every registered engine profile must emit an
+``EpochStream`` that sums exactly to the requested budget, an
+``AccessTrace`` whose taint column matches the layout ground truth
+(``layout.bytes_tainted``), and coarse flags that are a superset of the
+precise ones at every domain size — the same no-false-negatives
+contract the differential oracle enforces on executed programs.
+
+**Family programs** — one handwritten toy-ISA program per engine
+family (key-value, request-parse, image-serve), each exercising the
+family's characteristic access pattern (hot-slab GET/SET mixes,
+byte-sequential header scans with mid-parse reads, far-page bodies
+with page-straddling tainted metadata), run through the full
+differential oracle (:func:`repro.check.oracle.check_program`) across
+every gated path with zero violations expected.
+
+A replay round-trip check rides along: a recorded engine trace must
+survive ``columnar bytes -> TraceReplayWorkload -> access_trace`` bit
+for bit at the recorded scale.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.check.generator import READ_CHUNK, CheckProgram
+from repro.check.oracle import ALL_PATHS, OracleReport, check_program
+
+#: Domain sizes the coarse-superset invariant is checked at.
+_DOMAIN_SIZES = (64, 4096)
+
+
+# ------------------------------------------------------ family programs
+
+
+def kv_program(seed: int = 0) -> CheckProgram:
+    """Key-value family: GET/SET/DELETE over a slab, one hot key."""
+    rng = random.Random(seed)
+    slab = 128  # value slab lives past the tainted read buffer
+    hot = slab  # the Zipf head: most requests touch this slot
+    body: List[str] = []
+    for request in range(10):
+        key = rng.randrange(0, READ_CHUNK - 4)
+        slot = hot if rng.random() < 0.6 else slab + 4 * rng.randrange(1, 32)
+        verb = rng.random()
+        if verb < 0.35:  # SET: tainted value lands in the slab
+            body.append(
+                f"    lw   r1, {key}(r12)\n"
+                f"    sw   r1, {slot}(r12)"
+            )
+        elif verb < 0.85:  # GET: read the slab, hash the value
+            body.append(
+                f"    lw   r2, {slot}(r12)\n"
+                f"    andi r7, r2, 255"
+            )
+        else:  # DELETE: clear the slot
+            body.append(f"    sw   r0, {slot}(r12)")
+    payload = bytes(rng.randrange(1, 256) for _ in range(READ_CHUNK))
+    return CheckProgram(
+        name=f"kv-family-{seed}", seed=seed, body=tuple(body),
+        payload=payload,
+    )
+
+
+def parse_program(seed: int = 0) -> CheckProgram:
+    """Request-parse family: sequential header scan, mid-parse read."""
+    rng = random.Random(seed)
+    body: List[str] = []
+    # First header: byte-sequential scan of the tainted buffer.
+    for offset in range(0, 16):
+        body.append(
+            f"    lbu  r1, {offset}(r12)\n"
+            f"    add  r7, r7, r1"
+        )
+    # The next request arrives mid-parse (pipelined connection).
+    body.append(
+        "    li   r3, 1              # READ(fd, buf, 64)\n"
+        "    mv   r4, r10\n"
+        "    li   r5, buf\n"
+        f"    li   r6, {READ_CHUNK}\n"
+        "    syscall"
+    )
+    # Second header: scan the re-tainted bytes, copy a token out.
+    for offset in range(16, 28):
+        body.append(
+            f"    lbu  r2, {offset}(r12)\n"
+            f"    add  r8, r8, r2"
+        )
+    body.append(
+        "    lhu  r9, 30(r12)\n"
+        "    sh   r9, 200(r12)\n"
+        "    sw   r0, 200(r12)"
+    )
+    reads = 1 + sum(op.count("syscall") for op in body)
+    payload = bytes(
+        rng.randrange(1, 256) for _ in range(READ_CHUNK * reads)
+    )
+    return CheckProgram(
+        name=f"parse-family-{seed}", seed=seed, body=tuple(body),
+        payload=payload,
+    )
+
+
+def image_program(seed: int = 0) -> CheckProgram:
+    """Image family: tainted metadata, far clean body, straddle copy."""
+    rng = random.Random(seed)
+    page = 4096
+    body: List[str] = [
+        # Parse the tainted metadata block (dimensions, palette).
+        "    lw   r1, 0(r12)\n"
+        "    lhu  r2, 4(r12)\n"
+        "    lbu  r7, 6(r12)",
+    ]
+    # Stream the large clean body: touches far pages the taint map has
+    # never seen (the near-taint false-positive fuel at page domains).
+    for _ in range(6):
+        address = 0x0030_0000 + rng.randrange(1, 24) * page
+        body.append(
+            f"    li   r13, {address}\n"
+            f"    sw   r0, 0(r13)\n"
+            f"    lw   r8, 0(r13)"
+        )
+    # Tainted metadata copied across a page boundary, then cleared —
+    # the chained coarse update the paper's Figure 12 worries about.
+    straddle = 0x0030_0000 + page - 2
+    body.append(
+        f"    li   r14, {straddle}\n"
+        "    lw   r9, 8(r12)\n"
+        "    sw   r9, 0(r14)\n"
+        "    sw   r0, 0(r14)"
+    )
+    payload = bytes(rng.randrange(1, 256) for _ in range(READ_CHUNK))
+    return CheckProgram(
+        name=f"image-family-{seed}", seed=seed, body=tuple(body),
+        payload=payload,
+    )
+
+
+#: One differential-oracle program per engine family.
+ENGINE_FAMILY_PROGRAMS: Dict[str, Callable[[int], CheckProgram]] = {
+    "kv": kv_program,
+    "parse": parse_program,
+    "image": image_program,
+}
+
+
+# --------------------------------------------------- artifact invariants
+
+
+def check_engine_artifacts(
+    name: str,
+    seed: int = 0,
+    epoch_scale: int = 200_000,
+    trace_window: int = 20_000,
+) -> List[str]:
+    """Invariant sweep over one workload's emitted artifacts.
+
+    Returns human-readable violation strings (empty means sound).
+    """
+    from repro.workloads import make_generator
+
+    failures: List[str] = []
+
+    def bad(detail: str) -> None:
+        failures.append(f"{name}: {detail}")
+
+    generator = make_generator(name, seed=seed)
+    stream = generator.epoch_stream(epoch_scale)
+    total = int(stream.lengths.sum())
+    if total != epoch_scale:
+        bad(f"epoch stream sums to {total}, requested {epoch_scale}")
+    if len(stream.lengths) and int(stream.lengths.min()) < 1:
+        bad("epoch stream contains a non-positive epoch length")
+    if (stream.tainted_counts < 0).any():
+        bad("negative tainted count in epoch stream")
+    if (stream.tainted_counts > stream.lengths).any():
+        bad("epoch has more tainted marks than instructions")
+
+    layout = generator.layout()
+    trace = generator.access_trace(trace_window)
+    expected = layout.bytes_tainted(trace.addresses)
+    if not np.array_equal(trace.tainted, expected):
+        drift = int((trace.tainted != expected).sum())
+        bad(f"trace taint column disagrees with layout on {drift} accesses")
+    if bool((trace.tainted & ~trace.active_epoch).any()):
+        bad("tainted access outside a taint-active epoch")
+    if len(trace.gap_before) and int(trace.gap_before.min()) < 0:
+        bad("negative instruction gap in access trace")
+    sizes = set(np.unique(trace.sizes).tolist())
+    if not sizes <= {1, 2, 4}:
+        bad(f"unsupported access sizes {sorted(sizes - {1, 2, 4})}")
+    for domain in _DOMAIN_SIZES:
+        coarse = trace.coarse_flags(domain)
+        if bool((trace.tainted & ~coarse).any()):
+            bad(f"coarse flags at domain {domain} miss a tainted access"
+                " (false negative)")
+
+    # Determinism: the same (name, seed) must replay bit-identically.
+    twin = make_generator(name, seed=seed)
+    twin_stream = twin.epoch_stream(epoch_scale)
+    if not (np.array_equal(stream.lengths, twin_stream.lengths)
+            and np.array_equal(stream.tainted_counts,
+                               twin_stream.tainted_counts)):
+        bad("epoch stream is not deterministic by seed")
+    twin_trace = twin.access_trace(trace_window)
+    if not np.array_equal(trace.addresses, twin_trace.addresses):
+        bad("access trace is not deterministic by seed")
+    return failures
+
+
+def check_replay_roundtrip(seed: int = 0, window: int = 20_000) -> List[str]:
+    """Engine trace -> columnar bytes -> replay must be bit-identical."""
+    from repro.trace import columnar_trace_bytes
+    from repro.workloads import TraceReplayWorkload, make_generator
+
+    failures: List[str] = []
+    recorded = make_generator("kv-cache", seed=seed).access_trace(window)
+    replay = TraceReplayWorkload(columnar_trace_bytes(recorded))
+    replayed = replay.access_trace(recorded.total_instructions)
+    for column in ("addresses", "sizes", "is_write", "tainted",
+                   "gap_before", "active_epoch"):
+        if not np.array_equal(getattr(recorded, column),
+                              getattr(replayed, column)):
+            failures.append(
+                f"replay round-trip diverged on column {column!r}"
+            )
+    doubled = replay.epoch_stream(2 * recorded.total_instructions + 7)
+    if int(doubled.lengths.sum()) != 2 * recorded.total_instructions + 7:
+        failures.append("tiled replay stream missed the requested total")
+    return failures
+
+
+# ----------------------------------------------------------- entry point
+
+
+def run_workloads(
+    seed: int = 0,
+    names: Optional[Sequence[str]] = None,
+    paths: Sequence[str] = ALL_PATHS,
+    epoch_scale: int = 200_000,
+    trace_window: int = 20_000,
+    stream_obs=print,
+) -> int:
+    """The full zoo soundness pass; returns the count of failures."""
+    from repro.workloads import SERVICE_SUITE
+
+    names = list(names) if names is not None else list(SERVICE_SUITE)
+    failures = 0
+
+    for name in names:
+        problems = check_engine_artifacts(
+            name, seed=seed,
+            epoch_scale=epoch_scale, trace_window=trace_window,
+        )
+        failures += len(problems)
+        verdict = "ok" if not problems else f"{len(problems)} violation(s)"
+        stream_obs(f"artifacts  {name:<14} {verdict}")
+        for problem in problems:
+            stream_obs(f"  ! {problem}")
+
+    problems = check_replay_roundtrip(seed=seed, window=trace_window)
+    failures += len(problems)
+    stream_obs("replay     round-trip     "
+               + ("ok" if not problems else "DIVERGED"))
+    for problem in problems:
+        stream_obs(f"  ! {problem}")
+
+    report = OracleReport()
+    for family, builder in ENGINE_FAMILY_PROGRAMS.items():
+        program = builder(seed)
+        result = check_program(program, paths=paths)
+        report.programs_checked += result.programs_checked
+        report.runs += result.runs
+        report.violations.extend(result.violations)
+        verdict = "ok" if result.ok else f"{len(result.violations)} violation(s)"
+        stream_obs(f"oracle     {family:<14} {verdict} ({result.runs} runs)")
+        for violation in result.violations:
+            stream_obs(f"  ! {violation}")
+    failures += len(report.violations)
+    return failures

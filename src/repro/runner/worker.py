@@ -39,7 +39,7 @@ from repro.obs.spans import SpanTracer, TraceContext, activate, maybe_span
 from repro.obs.tracer import Tracer
 from repro.runner.specs import JobSpec
 from repro.slatch.simulator import measure_hw_rates, simulate_slatch
-from repro.workloads import WorkloadGenerator, get_profile
+from repro.workloads import WorkloadGenerator, make_generator
 
 #: Default scales for specs that omit them (same laptop-friendly values
 #: as ``repro-stats`` profile mode).
@@ -48,7 +48,9 @@ DEFAULT_TRACE_WINDOW = 50_000
 
 
 def _generator(spec: JobSpec) -> WorkloadGenerator:
-    return WorkloadGenerator(get_profile(spec.workload), seed=spec.seed)
+    # Dispatches calibrated profiles, service engines, and ltrace:
+    # replay sources alike; unknown names still raise KeyError.
+    return make_generator(spec.workload, seed=spec.seed)
 
 
 def _epoch_stream(spec: JobSpec, generator, trace_cache):

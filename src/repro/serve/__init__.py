@@ -31,6 +31,7 @@ from repro.serve.admission import (
 )
 from repro.serve.client import (
     AsyncServeClient,
+    DecorrelatedBackoff,
     RetryExhausted,
     ServeClient,
     ServeError,
@@ -67,6 +68,7 @@ from repro.serve.tenant import (
 __all__ = [
     "AdmissionController",
     "AsyncServeClient",
+    "DecorrelatedBackoff",
     "FrameDecoder",
     "InFlightTable",
     "JobRunner",

@@ -35,8 +35,10 @@ def _add_loadgen_args(parser, clients_default: int) -> None:
                         help="distinct tenants to spread clients over "
                              "(default 4)")
     parser.add_argument("--phase", default="bursty",
-                        choices=("bursty", "diurnal", "steady"),
-                        help="arrival shaping (default bursty)")
+                        help="arrival shaping: bursty, diurnal, steady, "
+                             "or engine:NAME for a dynamic workload "
+                             "engine's phase schedule, e.g. "
+                             "engine:kv-bursty (default bursty)")
     parser.add_argument("--duration", type=float, default=1.0,
                         help="arrival window in seconds (default 1.0)")
     parser.add_argument("--seed", type=int, default=20260808,

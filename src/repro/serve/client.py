@@ -8,10 +8,14 @@ Two transports over one message vocabulary:
   multiplexes thousands of simulated clients over.
 
 Both honour the protocol's overload contract: a ``retry`` frame is not
-an error — the client sleeps the hinted backoff and resends the same
-request, up to ``max_retries`` attempts
-(:class:`RetryExhausted` after that).  Nothing is ever dropped on
-either side.
+an error — the client sleeps and resends the same request, up to
+``max_retries`` attempts (:class:`RetryExhausted` after that).  Nothing
+is ever dropped on either side.  The sleep is a
+:class:`DecorrelatedBackoff`: the server's ``backoff_ms`` hint is a
+*floor-clamped base*, never a literal delay — a hint of ``0`` cannot
+busy-spin, and decorrelated jitter keeps synchronized clients from
+retrying in lockstep herds.  The jitter stream is seedable per client,
+so loadgen runs stay reproducible.
 
 :class:`TraceRecorder` is the producer half of remote checking: attach
 it to a local CPU, run, and it captures the committed event stream in
@@ -22,6 +26,8 @@ served result is bit-identical.
 
 from __future__ import annotations
 
+import itertools
+import random
 import socket
 import time
 from dataclasses import dataclass, field
@@ -59,6 +65,50 @@ class RetryExhausted(ServeError):
         )
         self.reason = reason
         self.attempts = attempts
+
+
+#: Per-process fallback seed stream: distinct clients in one process
+#: get distinct (but reproducible) jitter even when no seed is passed.
+_BACKOFF_SEEDS = itertools.count(0x1A7C4)
+
+
+class DecorrelatedBackoff:
+    """Deterministic decorrelated-jitter retry delays (AWS style).
+
+    The server's ``backoff_ms`` hint is treated as a base, clamped to
+    ``[floor, cap]`` — a hint of ``0`` therefore never busy-spins.
+    Each delay is drawn uniformly from ``[base, 3 * previous]`` (capped),
+    so consecutive retries spread out and simultaneous clients with
+    different seeds decorrelate instead of herding.  Call
+    :meth:`reset` at the start of each logical request so delays don't
+    carry over between requests.
+    """
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        floor: float = 0.002,
+        cap: float = 5.0,
+    ) -> None:
+        if floor <= 0 or cap < floor:
+            raise ValueError("need 0 < floor <= cap")
+        self.floor = floor
+        self.cap = cap
+        self.seed = next(_BACKOFF_SEEDS) if seed is None else int(seed)
+        self._rng = random.Random(self.seed)
+        self._previous = 0.0
+
+    def reset(self) -> None:
+        """Forget the escalation state (new logical request)."""
+        self._previous = 0.0
+
+    def next_delay(self, hint_ms: float) -> float:
+        """The next sleep, in seconds, for a ``backoff_ms`` hint."""
+        base = min(self.cap, max(self.floor, float(hint_ms) / 1000.0))
+        upper = min(self.cap, 3.0 * max(self._previous, base))
+        delay = self._rng.uniform(base, upper) if upper > base else base
+        self._previous = delay
+        return delay
 
 
 @dataclass
@@ -192,6 +242,9 @@ class ServeClient:
         max_retries: RETRY answers tolerated per request before
             :class:`RetryExhausted`.
         sleep: injectable backoff sleeper (tests pass a stub).
+        backoff_seed: seed for the decorrelated retry jitter; omit for
+            a per-process fallback (distinct per client, reproducible
+            within one process).
         trace_context: optional :class:`repro.obs.TraceContext` wire
             dict propagated to the server's spans.
     """
@@ -204,11 +257,13 @@ class ServeClient:
         timeout: float = 30.0,
         max_retries: int = 200,
         sleep: Callable[[float], None] = time.sleep,
+        backoff_seed: Optional[int] = None,
         trace_context: Optional[Dict] = None,
     ) -> None:
         self.tenant = tenant
         self.max_retries = max_retries
         self._sleep = sleep
+        self._backoff = DecorrelatedBackoff(seed=backoff_seed)
         self._decoder = FrameDecoder()
         self._pending: List[Dict] = []
         self._sock = socket.create_connection((host, port), timeout=timeout)
@@ -246,6 +301,7 @@ class ServeClient:
     def _with_retries(self, message: Dict, *expected: str):
         """Roundtrip honouring RETRY backoff; returns (reply, retries)."""
         retries = 0
+        self._backoff.reset()
         while True:
             reply = self._checked(message, *(expected + ("retry",)))
             if reply.get("type") != "retry":
@@ -253,7 +309,9 @@ class ServeClient:
             retries += 1
             if retries > self.max_retries:
                 raise RetryExhausted(str(reply.get("reason")), retries)
-            self._sleep(int(reply.get("backoff_ms", 1)) / 1000.0)
+            self._sleep(
+                self._backoff.next_delay(int(reply.get("backoff_ms", 1)))
+            )
 
     # ------------------------------------------------------------ protocol
 
@@ -362,8 +420,9 @@ class AsyncServeClient:
     """Asyncio-streams client; one instance per simulated connection.
 
     Mirrors :class:`ServeClient` with ``await`` in front of every
-    roundtrip; backoff uses ``asyncio.sleep`` so thousands of clients
-    interleave on one loop.
+    roundtrip; backoff uses ``asyncio.sleep`` (injectable via
+    ``sleep``) so thousands of clients interleave on one loop, each
+    with its own decorrelated jitter stream (``backoff_seed``).
     """
 
     def __init__(
@@ -372,11 +431,15 @@ class AsyncServeClient:
         port: int,
         tenant: str = "default",
         max_retries: int = 200,
+        backoff_seed: Optional[int] = None,
+        sleep: Optional[Callable] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.tenant = tenant
         self.max_retries = max_retries
+        self._backoff = DecorrelatedBackoff(seed=backoff_seed)
+        self._sleep = sleep
         self.limits: Dict = {}
         self.retry_events = 0
         self._reader = None
@@ -422,7 +485,9 @@ class AsyncServeClient:
     async def _with_retries(self, message: Dict, *expected: str) -> Dict:
         import asyncio
 
+        sleep = self._sleep if self._sleep is not None else asyncio.sleep
         retries = 0
+        self._backoff.reset()
         while True:
             reply = await self._checked(message, *(expected + ("retry",)))
             if reply.get("type") != "retry":
@@ -431,7 +496,9 @@ class AsyncServeClient:
             self.retry_events += 1
             if retries > self.max_retries:
                 raise RetryExhausted(str(reply.get("reason")), retries)
-            await asyncio.sleep(int(reply.get("backoff_ms", 1)) / 1000.0)
+            await sleep(
+                self._backoff.next_delay(int(reply.get("backoff_ms", 1)))
+            )
 
     async def check_trace(self, events: List[Dict]) -> ServedResult:
         """Stream a recorded trace end to end and return the result."""

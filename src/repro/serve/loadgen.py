@@ -12,10 +12,15 @@ Arrival shaping models the two service-killer patterns:
   (thundering herd; exercises RETRY under in-flight pressure);
 * ``diurnal`` — a day's sinusoidal load compressed into the run
   (``time_scale`` seconds of wall clock per simulated day);
-* ``steady`` — uniform arrivals (the control).
+* ``steady`` — uniform arrivals (the control);
+* ``engine:NAME`` — the phase schedule of a dynamic workload engine
+  (:mod:`repro.workloads.engines`), e.g. ``engine:kv-bursty`` — the
+  same wave structure the engine's epoch stream has, driven as wall
+  clock.
 
 Everything is deterministic under ``seed``: arrival offsets, tenant
-assignment, and scenario choice all come from one ``random.Random``.
+assignment, scenario choice, and every client's retry-jitter stream
+all derive from one seed.
 """
 
 from __future__ import annotations
@@ -58,7 +63,7 @@ class LoadGenConfig:
 
     clients: int = 100
     tenants: int = 4
-    phase: str = "bursty"           # "bursty" | "diurnal" | "steady"
+    phase: str = "bursty"           # "bursty" | "diurnal" | "steady" | "engine:NAME"
     duration: float = 2.0           # arrival window, seconds
     burst_count: int = 8            # waves within the window (bursty)
     seed: int = 20260808
@@ -72,7 +77,17 @@ class LoadGenConfig:
             raise ValueError("clients must be >= 1")
         if self.tenants < 1:
             raise ValueError("tenants must be >= 1")
-        if self.phase not in ("bursty", "diurnal", "steady"):
+        if self.phase.startswith("engine:"):
+            from repro.workloads.engines import engine_schedule
+
+            name = self.phase[len("engine:"):]
+            try:
+                engine_schedule(name)
+            except KeyError:
+                raise ValueError(
+                    f"unknown dynamic engine in arrival phase: {name!r}"
+                ) from None
+        elif self.phase not in ("bursty", "diurnal", "steady"):
             raise ValueError(f"unknown arrival phase: {self.phase!r}")
         if self.duration < 0:
             raise ValueError("duration must be >= 0")
@@ -157,6 +172,11 @@ def arrival_offsets(config: LoadGenConfig) -> List[float]:
     offsets: List[float] = []
     if window <= 0:
         return [0.0] * config.clients
+    if config.phase.startswith("engine:"):
+        from repro.workloads.engines import engine_schedule
+
+        schedule = engine_schedule(config.phase[len("engine:"):])
+        return schedule.offsets(config.clients, window, rng)
     if config.phase == "bursty":
         waves = max(1, config.burst_count)
         gap = window / waves
@@ -219,13 +239,15 @@ async def _run_one(
     delay: float,
     gate: "asyncio.Semaphore",
     max_retries: int,
+    backoff_seed: Optional[int] = None,
 ) -> ClientOutcome:
     if delay > 0:
         await asyncio.sleep(delay)
     outcome = ClientOutcome(tenant=tenant, scenario=trace.name, ok=False)
     async with gate:
         client = AsyncServeClient(
-            host, port, tenant=tenant, max_retries=max_retries
+            host, port, tenant=tenant, max_retries=max_retries,
+            backoff_seed=backoff_seed,
         )
         try:
             await client.connect()
@@ -277,6 +299,8 @@ async def run_async(
         tasks.append(_run_one(
             host, port, tenant, trace, offsets[index], gate,
             config.max_retries,
+            # Per-client decorrelated jitter, reproducible under seed.
+            backoff_seed=config.seed * 65537 + index,
         ))
     started = time.monotonic()
     outcomes = await asyncio.gather(*tasks)

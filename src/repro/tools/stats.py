@@ -40,7 +40,12 @@ from repro.report import format_snapshot
 from repro.slatch.controller import SLatchSystem
 from repro.slatch.costs import SLatchCostModel
 from repro.slatch.simulator import measure_hw_rates, simulate_slatch
-from repro.workloads import WorkloadGenerator, all_profiles, get_profile
+from repro.workloads import (
+    SERVICE_SUITE,
+    all_profiles,
+    characterize,
+    make_generator,
+)
 
 #: Profile-mode defaults: laptop-friendly fractions of the benchmark
 #: harness scales (REPRO_BENCH_EPOCH_SCALE / REPRO_BENCH_TRACE_WINDOW).
@@ -59,8 +64,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--profile", metavar="NAME",
-        help="calibrated workload profile name (profile mode); "
-             "use --list-profiles to enumerate",
+        help="workload name (profile mode): a calibrated profile, a "
+             "service engine, or ltrace:PATH to replay a recorded "
+             "trace; use --list-profiles to enumerate",
+    )
+    parser.add_argument(
+        "--zoo", nargs="*", metavar="NAME",
+        help="zoo mode: per-profile epoch/locality characterization "
+             "table; with no names, sweeps the service-engine suite "
+             "(pass 'all' for every registered profile)",
     )
     parser.add_argument(
         "--list-profiles", action="store_true",
@@ -297,9 +309,14 @@ def run_ltrace(args) -> StatsSnapshot:
 
 
 def run_profile(args) -> StatsSnapshot:
-    """Profile mode: the benchmark-harness pipeline, published to obs."""
-    profile = get_profile(args.profile)
-    generator = WorkloadGenerator(profile)
+    """Profile mode: the benchmark-harness pipeline, published to obs.
+
+    ``--profile`` accepts calibrated names, service-engine names, and
+    ``ltrace:PATH`` replay sources — anything
+    :func:`repro.workloads.make_generator` dispatches.
+    """
+    generator = make_generator(args.profile)
+    profile = generator.profile
     trace = generator.access_trace(args.trace_window)
     stream = generator.epoch_stream(args.epoch_scale)
 
@@ -319,6 +336,11 @@ def run_profile(args) -> StatsSnapshot:
         "workload.epoch.taint_free_duration", unit="instructions",
         description="Taint-free epoch lengths (Figure 5)",
     ).record_many(stream.taint_free_lengths().tolist())
+    registry.gauge(
+        "workload.requests", unit="requests",
+        description="Taint-active handling epochs (requests for "
+                    "service engines)",
+    ).set(int((stream.tainted_counts > 0).sum()))
 
     report = simulate_slatch(profile, stream, rates)
     report.publish_metrics(registry)
@@ -333,6 +355,45 @@ def run_profile(args) -> StatsSnapshot:
     return snapshot
 
 
+_ZOO_COLUMNS = (
+    ("kind", "kind", "{}"),
+    ("taint %", "taint_percent", "{:.2f}"),
+    ("epochs", "epochs", "{}"),
+    ("requests", "requests", "{}"),
+    ("mean free", "mean_taint_free", "{:.0f}"),
+    ("pages", "pages_accessed", "{}"),
+    ("tainted pg", "pages_tainted", "{}"),
+    ("accesses", "accesses", "{}"),
+    ("tainted %", "tainted_access_percent", "{:.2f}"),
+)
+
+
+def run_zoo(args) -> str:
+    """Zoo mode: the per-profile characterization table (markdown)."""
+    import json
+
+    if not args.zoo:
+        names = list(SERVICE_SUITE)
+    elif args.zoo == ["all"]:
+        names = [profile.name for profile in all_profiles()]
+    else:
+        names = list(args.zoo)
+    rows = characterize(
+        names,
+        epoch_scale=args.epoch_scale,
+        trace_window=args.trace_window,
+    )
+    if args.format == "json":
+        return json.dumps(rows, indent=2, sort_keys=True)
+    header = "| workload | " + " | ".join(c[0] for c in _ZOO_COLUMNS) + " |"
+    rule = "|---" * (len(_ZOO_COLUMNS) + 1) + "|"
+    lines = ["# repro-stats · workload zoo", "", header, rule]
+    for name, row in rows.items():
+        cells = [fmt.format(row[key]) for _, key, fmt in _ZOO_COLUMNS]
+        lines.append(f"| {name} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
 # ----------------------------------------------------------------- main
 
 
@@ -343,13 +404,22 @@ def main(argv=None) -> int:
         for profile in all_profiles():
             print(f"{profile.name}  ({profile.kind})")
         return 0
-    modes = sum(map(bool, (args.source, args.profile, args.ltrace)))
+    zoo = args.zoo is not None
+    modes = sum(map(bool, (args.source, args.profile, args.ltrace, zoo)))
     if modes != 1:
         print("error: give exactly one of a source file, --profile, "
-              "or --ltrace", file=sys.stderr)
+              "--ltrace, or --zoo", file=sys.stderr)
         return 2
 
     try:
+        if zoo:
+            text = run_zoo(args)
+            if args.output:
+                args.output.write_text(text + "\n")
+                print(f"wrote {args.output}")
+            else:
+                print(text)
+            return 0
         if args.profile:
             snapshot = run_profile(args)
         elif args.ltrace:

@@ -26,6 +26,24 @@ from repro.workloads.profiles import (
     get_profile,
 )
 from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.engines import (
+    SERVICE_PROFILES,
+    SERVICE_SUITE,
+    DynamicWorkload,
+    ImageLoadWorkload,
+    KeyValueWorkload,
+    Phase,
+    PhaseSchedule,
+    RequestParseWorkload,
+    ServiceWorkload,
+    TraceReplayWorkload,
+    bursty_schedule,
+    characterize,
+    diurnal_schedule,
+    engine_schedule,
+    make_generator,
+    storm_schedule,
+)
 from repro.workloads.storage import (
     StorageFormatError,
     load_access_trace,
@@ -36,18 +54,34 @@ from repro.workloads.storage import (
 
 __all__ = [
     "AccessTrace",
+    "DynamicWorkload",
     "Epoch",
     "EpochStream",
+    "ImageLoadWorkload",
+    "KeyValueWorkload",
     "NETWORK_PROFILES",
+    "Phase",
+    "PhaseSchedule",
+    "RequestParseWorkload",
+    "SERVICE_PROFILES",
+    "SERVICE_SUITE",
     "SPEC_PROFILES",
+    "ServiceWorkload",
     "StorageFormatError",
     "TaintLayout",
+    "TraceReplayWorkload",
     "WorkloadGenerator",
     "WorkloadProfile",
     "all_profiles",
+    "bursty_schedule",
+    "characterize",
+    "diurnal_schedule",
+    "engine_schedule",
     "get_profile",
     "load_access_trace",
     "load_epoch_stream",
+    "make_generator",
     "save_access_trace",
     "save_epoch_stream",
+    "storm_schedule",
 ]

@@ -58,7 +58,19 @@ def _seed_for(profile_name: str, seed: int) -> int:
 
 
 class WorkloadGenerator:
-    """Deterministic synthesiser for one workload profile."""
+    """Deterministic synthesiser for one workload profile.
+
+    Subclasses (the service engines of
+    :mod:`repro.workloads.engines`) customise the temporal structure by
+    overriding :meth:`epoch_stream` and the spatial structure through
+    the :meth:`_epoch_focus` / :meth:`_tainted_addresses` hooks and the
+    :attr:`size_splits` mix, while inheriting the layout construction
+    and the trace assembly invariants.
+    """
+
+    #: Access-size mix: cut points for P(size == 1) and P(size <= 2);
+    #: the remainder are 4-byte word accesses.
+    size_splits: Tuple[float, float] = (0.15, 0.25)
 
     def __init__(self, profile: WorkloadProfile, seed: int = 0) -> None:
         self.profile = profile
@@ -166,6 +178,7 @@ class WorkloadGenerator:
         n_tainted = int(min(n_free - 1, tainted_total, episodes))
 
         tainted_lengths = self._split_total(tainted_total, n_tainted, rng)
+        n_tainted = len(tainted_lengths)
         tainted_marks = np.minimum(
             np.maximum(
                 1,
@@ -315,18 +328,30 @@ class WorkloadGenerator:
     def _split_total(
         total: int, parts: int, rng: np.random.Generator
     ) -> np.ndarray:
-        """Split ``total`` into ``parts`` positive integers (≥ 1 each)."""
-        if parts <= 0:
+        """Split ``total`` into at most ``parts`` positive integers.
+
+        The result always sums to exactly ``total``: when
+        ``total < parts`` the part count is clamped down to ``total``
+        (``total`` ones) instead of padding with extra ones, which would
+        silently inflate the instruction budget.  Callers that require a
+        fixed part count must ensure ``total >= parts``.
+        """
+        if parts <= 0 or total <= 0:
             return np.empty(0, dtype=np.int64)
         if total <= parts:
-            return np.ones(parts, dtype=np.int64)
+            return np.ones(total, dtype=np.int64)
         weights = rng.exponential(1.0, parts)
         lengths = 1 + (weights / weights.sum() * (total - parts)).astype(np.int64)
         deficit = total - int(lengths.sum())
         if deficit > 0:
             lengths[:deficit] += 1
-        elif deficit < 0:
-            lengths[: -deficit] -= 1
+        while deficit < 0:
+            # Defensive: the floor rounding above cannot overshoot, but
+            # if it ever did, shave the largest entries so no correction
+            # can drive an entry below 1 (sum > total >= parts implies
+            # the maximum is at least 2).
+            lengths[int(np.argmax(lengths))] -= 1
+            deficit += 1
         return lengths
 
     # -------------------------------------------------------- access trace
@@ -398,11 +423,12 @@ class WorkloadGenerator:
         tainted_flags[tainted_index] = True
 
         addresses = np.empty(total_accesses, dtype=np.int64)
-        focus_per_epoch = pool.focus_walk(n_epochs)
+        focus_per_epoch = self._epoch_focus(pool, n_epochs, n_tainted_per_epoch, rng)
         n_taint_total = int(n_tainted_per_epoch.sum())
         if n_taint_total:
-            focus_of_access = np.repeat(focus_per_epoch, n_tainted_per_epoch)
-            addresses[tainted_flags] = pool.tainted(focus_of_access)
+            addresses[tainted_flags] = self._tainted_addresses(
+                pool, focus_per_epoch, n_tainted_per_epoch, rng
+            )
         active_flags = np.repeat(n_tainted_per_epoch > 0, counts)
         n_clean_total = total_accesses - n_taint_total
         if n_clean_total:
@@ -445,7 +471,7 @@ class WorkloadGenerator:
         active_flags = active_flags | tainted_flags
 
         sizes = np.array([1, 2, 4], dtype=np.uint8)[
-            np.searchsorted([0.15, 0.25], rng.random(total_accesses))
+            np.searchsorted(list(self.size_splits), rng.random(total_accesses))
         ]
         is_write = rng.random(total_accesses) < profile.write_fraction
 
@@ -466,6 +492,34 @@ class WorkloadGenerator:
             active_epoch=active_flags,
             layout=layout,
         )
+
+    # ---------------------------------------------------- engine hooks
+
+    def _epoch_focus(
+        self,
+        pool: "_AddressPool",
+        n_epochs: int,
+        n_tainted_per_epoch: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Per-epoch focus positions over the linear tainted byte space.
+
+        The default is the streaming focus walk of the calibrated
+        profiles; service engines override this with request-structured
+        assignment (hot-key skew, buffer rings, per-image picks).
+        """
+        return pool.focus_walk(n_epochs)
+
+    def _tainted_addresses(
+        self,
+        pool: "_AddressPool",
+        focus_per_epoch: np.ndarray,
+        n_tainted_per_epoch: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Addresses of every tainted access, in epoch order."""
+        focus_of_access = np.repeat(focus_per_epoch, n_tainted_per_epoch)
+        return pool.tainted(focus_of_access)
 
 
 def _ranges(counts: np.ndarray) -> np.ndarray:

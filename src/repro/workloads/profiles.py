@@ -47,7 +47,7 @@ class WorkloadProfile:
     """Locality fingerprint of one evaluated application."""
 
     name: str
-    kind: str  # "spec" | "network"
+    kind: str  # "spec" | "network" | "service" | "replay"
     taint_percent: float
     pages_accessed: int
     pages_tainted: int
@@ -273,11 +273,25 @@ _BY_NAME: Dict[str, WorkloadProfile] = {
 }
 
 
+def service_profiles() -> Tuple[WorkloadProfile, ...]:
+    """The service-engine zoo profiles (late import: engines uses us)."""
+    from repro.workloads.engines import SERVICE_PROFILES
+
+    return SERVICE_PROFILES
+
+
 def all_profiles() -> List[WorkloadProfile]:
-    """Every profile, SPEC first then network, in the paper's order."""
-    return list(SPEC_PROFILES + NETWORK_PROFILES)
+    """Every profile: SPEC, then network (the paper's order), then the
+    service-engine zoo of :mod:`repro.workloads.engines`."""
+    return list(SPEC_PROFILES + NETWORK_PROFILES) + list(service_profiles())
 
 
 def get_profile(name: str) -> WorkloadProfile:
     """Look up a profile by benchmark name (KeyError if unknown)."""
-    return _BY_NAME[name]
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        for profile in service_profiles():
+            if profile.name == name:
+                return profile
+        raise

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Sequence, Tuple
 
+from repro.workloads.engines import SERVICE_SUITE, make_generator
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.profiles import (
     NETWORK_PROFILES,
@@ -72,6 +73,13 @@ EXPERIMENT_SUITES: Dict[str, Tuple[Tuple[str, Tuple[str, ...]], ...]] = {
         ("page_taint", ("gcc", "curl")),
         ("hlatch", ("gcc", "curl")),
     ),
+    # The production workload zoo: service engines and their
+    # phase-shifted variants through every table kind.
+    "zoo": (
+        ("taint_fraction", SERVICE_SUITE),
+        ("page_taint", SERVICE_SUITE),
+        ("hlatch", SERVICE_SUITE),
+    ),
 }
 
 
@@ -83,9 +91,14 @@ def profiles_for(names: Sequence[str]) -> List[WorkloadProfile]:
 def iter_generators(
     names: Sequence[str] = FULL_SUITE, seed: int = 0
 ) -> Iterator[Tuple[str, WorkloadGenerator]]:
-    """Yield ``(name, generator)`` pairs for a suite."""
+    """Yield ``(name, generator)`` pairs for a suite.
+
+    Dispatches through :func:`repro.workloads.engines.make_generator`,
+    so suite entries may be calibrated profiles, service engines, or
+    ``ltrace:`` replay sources.
+    """
     for name in names:
-        yield name, WorkloadGenerator(get_profile(name), seed=seed)
+        yield name, make_generator(name, seed=seed)
 
 
 def suite_summary(

@@ -1,0 +1,59 @@
+"""The zoo soundness pass: artifact invariants + family oracle programs."""
+
+import pytest
+
+from repro.check.workloads import (
+    ENGINE_FAMILY_PROGRAMS,
+    check_engine_artifacts,
+    check_replay_roundtrip,
+    run_workloads,
+)
+from repro.check.oracle import check_program
+from repro.workloads import SERVICE_SUITE
+
+
+class TestArtifactInvariants:
+    @pytest.mark.parametrize("name", SERVICE_SUITE)
+    def test_every_engine_is_sound(self, name):
+        failures = check_engine_artifacts(
+            name, seed=0, epoch_scale=60_000, trace_window=6_000
+        )
+        assert failures == []
+
+    def test_replay_roundtrip_is_bit_identical(self):
+        assert check_replay_roundtrip(seed=0, window=6_000) == []
+
+
+class TestFamilyPrograms:
+    @pytest.mark.parametrize("family", sorted(ENGINE_FAMILY_PROGRAMS))
+    def test_family_program_passes_the_oracle(self, family):
+        program = ENGINE_FAMILY_PROGRAMS[family](seed=0)
+        report = check_program(program, paths=("core", "hlatch"))
+        assert report.ok, [str(v) for v in report.violations]
+
+    def test_programs_are_deterministic_by_seed(self):
+        for builder in ENGINE_FAMILY_PROGRAMS.values():
+            assert builder(3).source() == builder(3).source()
+            assert builder(3).payload == builder(3).payload
+
+
+class TestEntryPoint:
+    def test_run_workloads_clean_pass(self, capsys):
+        failures = run_workloads(
+            seed=0, names=["kv-cache"], paths=("core",),
+            epoch_scale=60_000, trace_window=6_000,
+        )
+        assert failures == 0
+        out = capsys.readouterr().out
+        assert "artifacts  kv-cache" in out
+        assert "round-trip" in out
+
+    def test_cli_subcommand(self, capsys):
+        from repro.check.cli import cli
+
+        code = cli([
+            "workloads", "--names", "kv-cache", "--paths", "core",
+            "--epoch-scale", "60000", "--trace-window", "6000",
+        ])
+        assert code == 0
+        assert "0 violations" in capsys.readouterr().out

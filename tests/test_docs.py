@@ -206,6 +206,7 @@ _start:
         ).publish_metrics(registry)
         registry.gauge("workload.tainted_fraction")
         registry.histogram("workload.epoch.taint_free_duration")
+        registry.gauge("workload.requests")
 
         from repro.runner import Runner
 
@@ -282,6 +283,34 @@ class TestService:
             "serve.tenant.<name>.rejected.rate",
             "serve.tenant.<name>.results",
             "serve.tenant.<name>.bucket_tokens",
+        ):
+            assert f"`{name}`" in text, f"{name} missing from catalog"
+
+
+class TestWorkloads:
+    def test_every_block_executes(self):
+        namespace = run_blocks(ROOT / "docs" / "WORKLOADS.md")
+        # The replay round-trip really was bit-identical and the storm
+        # really multiplied taint density.
+        assert namespace["replay"].profile.kind == "replay"
+        assert namespace["requests"] >= 1
+        rows = namespace["rows"]
+        assert rows["kv-storm"]["taint_percent"] > \
+            rows["kv-cache"]["taint_percent"]
+
+    def test_doc_names_every_engine(self):
+        from repro.workloads import SERVICE_SUITE
+
+        text = (ROOT / "docs" / "WORKLOADS.md").read_text()
+        for name in SERVICE_SUITE:
+            assert f"`{name}`" in text, f"WORKLOADS.md does not list {name}"
+
+    def test_workload_metric_rows_documented(self):
+        text = (ROOT / "docs" / "OBSERVABILITY.md").read_text()
+        for name in (
+            "workload.tainted_fraction",
+            "workload.epoch.taint_free_duration",
+            "workload.requests",
         ):
             assert f"`{name}`" in text, f"{name} missing from catalog"
 

@@ -1,0 +1,167 @@
+"""Client RETRY backoff: floor, cap, jitter, and wiring in both clients."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.client import (
+    AsyncServeClient,
+    DecorrelatedBackoff,
+    RetryExhausted,
+    ServeClient,
+)
+
+
+class TestDecorrelatedBackoff:
+    def test_zero_hint_never_busy_spins(self):
+        backoff = DecorrelatedBackoff(seed=1)
+        for _ in range(50):
+            assert backoff.next_delay(0) >= backoff.floor
+
+    def test_delays_respect_the_cap(self):
+        backoff = DecorrelatedBackoff(seed=2, cap=0.5)
+        for _ in range(200):
+            assert backoff.next_delay(10_000) <= 0.5
+
+    def test_hint_is_the_base_not_the_delay(self):
+        backoff = DecorrelatedBackoff(seed=3)
+        delay = backoff.next_delay(100)
+        assert delay >= 0.1
+        # The next retry escalates: drawn from [base, 3 * previous].
+        assert backoff.next_delay(100) <= 3 * delay + 1e-9
+
+    def test_deterministic_by_seed(self):
+        a = DecorrelatedBackoff(seed=42)
+        b = DecorrelatedBackoff(seed=42)
+        hints = [0, 5, 5, 20, 1]
+        assert [a.next_delay(h) for h in hints] == \
+            [b.next_delay(h) for h in hints]
+
+    def test_different_seeds_decorrelate(self):
+        a = DecorrelatedBackoff(seed=1)
+        b = DecorrelatedBackoff(seed=2)
+        delays_a = [a.next_delay(50) for _ in range(10)]
+        delays_b = [b.next_delay(50) for _ in range(10)]
+        assert delays_a != delays_b
+
+    def test_default_seeds_differ_per_instance(self):
+        a, b = DecorrelatedBackoff(), DecorrelatedBackoff()
+        assert a.seed != b.seed
+
+    def test_reset_forgets_escalation(self):
+        backoff = DecorrelatedBackoff(seed=9)
+        for _ in range(20):
+            backoff.next_delay(1000)
+        backoff.reset()
+        # After a reset the first delay is drawn from [base, 3 * base]
+        # again instead of continuing the escalated range.
+        assert 0.01 <= backoff.next_delay(10) <= 0.03
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecorrelatedBackoff(floor=0.0)
+        with pytest.raises(ValueError):
+            DecorrelatedBackoff(floor=1.0, cap=0.5)
+
+
+def _stub_sync_client(replies, sleeps, seed=7, max_retries=200):
+    """A ServeClient wired to canned replies, no socket involved."""
+    client = ServeClient.__new__(ServeClient)
+    client.max_retries = max_retries
+    client._sleep = sleeps.append
+    client._backoff = DecorrelatedBackoff(seed=seed)
+    replies = iter(replies)
+    client._checked = lambda message, *expected: next(replies)
+    return client
+
+
+class TestSyncClientWiring:
+    def test_retry_sleeps_use_jittered_delays(self):
+        sleeps = []
+        client = _stub_sync_client(
+            [{"type": "retry", "backoff_ms": 0},
+             {"type": "retry", "backoff_ms": 4},
+             {"type": "ok"}],
+            sleeps,
+        )
+        reply, retries = client._with_retries({"type": "events"}, "ok")
+        assert reply == {"type": "ok"}
+        assert retries == 2
+        assert len(sleeps) == 2
+        # The 0 ms hint still slept at least the floor.
+        assert all(delay >= client._backoff.floor for delay in sleeps)
+
+    def test_backoff_resets_between_requests(self):
+        sleeps = []
+        script = [{"type": "retry", "backoff_ms": 8}, {"type": "ok"}]
+        client = _stub_sync_client(script + script, sleeps, seed=5)
+        client._with_retries({"type": "events"}, "ok")
+        client._with_retries({"type": "events"}, "ok")
+        twin_sleeps = []
+        twin = _stub_sync_client(script + script, twin_sleeps, seed=5)
+        twin._with_retries({"type": "events"}, "ok")
+        twin._with_retries({"type": "events"}, "ok")
+        assert sleeps == twin_sleeps
+
+    def test_retry_exhausted_still_raises(self):
+        sleeps = []
+        client = _stub_sync_client(
+            [{"type": "retry", "backoff_ms": 1, "reason": "rate"}] * 4,
+            sleeps, max_retries=2,
+        )
+        with pytest.raises(RetryExhausted):
+            client._with_retries({"type": "events"}, "ok")
+        assert len(sleeps) == 2
+
+
+class TestAsyncClientWiring:
+    def test_async_retry_uses_injected_sleeper(self):
+        sleeps = []
+
+        async def fake_sleep(delay):
+            sleeps.append(delay)
+
+        async def scenario():
+            client = AsyncServeClient(
+                "localhost", 0, backoff_seed=11, sleep=fake_sleep
+            )
+            replies = iter([
+                {"type": "retry", "backoff_ms": 0},
+                {"type": "retry", "backoff_ms": 3},
+                {"type": "ok"},
+            ])
+
+            async def checked(message, *expected):
+                return next(replies)
+
+            client._checked = checked
+            return await client._with_retries({"type": "events"}, "ok")
+
+        reply = asyncio.run(scenario())
+        assert reply == {"type": "ok"}
+        assert len(sleeps) == 2
+        assert all(delay >= 0.002 for delay in sleeps)
+
+    def test_async_jitter_is_seeded(self):
+        async def collect(seed):
+            sleeps = []
+
+            async def fake_sleep(delay):
+                sleeps.append(delay)
+
+            client = AsyncServeClient(
+                "localhost", 0, backoff_seed=seed, sleep=fake_sleep
+            )
+            replies = iter(
+                [{"type": "retry", "backoff_ms": 5}] * 3 + [{"type": "ok"}]
+            )
+
+            async def checked(message, *expected):
+                return next(replies)
+
+            client._checked = checked
+            await client._with_retries({"type": "events"}, "ok")
+            return sleeps
+
+        assert asyncio.run(collect(3)) == asyncio.run(collect(3))
+        assert asyncio.run(collect(3)) != asyncio.run(collect(4))

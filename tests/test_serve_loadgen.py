@@ -63,6 +63,36 @@ class TestArrivalShaping:
             LoadGenConfig(phase="nightly")
         with pytest.raises(ValueError):
             LoadGenConfig(max_open=0)
+        with pytest.raises(ValueError):
+            LoadGenConfig(phase="engine:no-such-engine")
+
+    def test_engine_phase_follows_the_schedule(self):
+        # engine:kv-bursty drives arrivals with the same phase schedule
+        # the kv-bursty epoch stream uses: surge windows (duty 0.3 of
+        # each wave) soak up most of the clients.
+        from repro.workloads import engine_schedule
+
+        config = LoadGenConfig(
+            clients=400, phase="engine:kv-bursty", duration=8.0
+        )
+        offsets = arrival_offsets(config)
+        assert len(offsets) == 400
+        assert all(0.0 <= offset <= 8.0 for offset in offsets)
+        schedule = engine_schedule("kv-bursty")
+        surge_span = sum(
+            p.span for p in schedule.phases if p.name.startswith("surge")
+        )
+        in_surge = 0
+        for offset in offsets:
+            start = 0.0
+            for phase in schedule.phases:
+                width = phase.span * 8.0
+                if start <= offset < start + width:
+                    in_surge += phase.name.startswith("surge")
+                    break
+                start += width
+        assert in_surge > 400 * surge_span * 2
+        assert arrival_offsets(config) == offsets
 
 
 class TestLoadRuns:
@@ -163,3 +193,24 @@ class TestLoadRuns:
         # The in-flight table never exceeded its bound.
         assert snapshot.get("serve.inflight_peak") <= 64
         assert snapshot.get("serve.inflight") == 0
+
+    def test_engine_phase_run_is_bit_identical(self, shared_traces):
+        # A dynamic-engine arrival schedule driven end to end: every
+        # served result must match the local PLatchSystem reference
+        # (report.clean == zero divergence from the recorded oracle).
+        config = ServeConfig(
+            max_inflight=32,
+            default_limits=TenantLimits(rate=200_000.0, burst=4096.0),
+        )
+        with running_server(config) as (server, (host, port)):
+            report = run(
+                host, port,
+                config=LoadGenConfig(
+                    clients=40, tenants=4, duration=0.2,
+                    phase="engine:kv-bursty",
+                ),
+                traces=shared_traces,
+            )
+        assert report.clean, report.errors
+        assert report.completed == 40
+        assert report.divergences == 0

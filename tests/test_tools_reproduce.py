@@ -56,4 +56,5 @@ class TestExperimentFunctions:
     def test_names_filter(self, ctx):
         assert len(ctx.names("spec")) == 20
         assert len(ctx.names("network")) == 7
-        assert len(ctx.names()) == 27
+        assert len(ctx.names("service")) == 6
+        assert len(ctx.names()) == 33

@@ -1,0 +1,303 @@
+"""The production workload zoo: engines, schedules, replay, registry."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.trace import columnar_trace_bytes, save_columnar_trace
+from repro.workloads import (
+    SERVICE_PROFILES,
+    SERVICE_SUITE,
+    DynamicWorkload,
+    KeyValueWorkload,
+    Phase,
+    PhaseSchedule,
+    TraceReplayWorkload,
+    WorkloadGenerator,
+    all_profiles,
+    bursty_schedule,
+    characterize,
+    diurnal_schedule,
+    engine_schedule,
+    get_profile,
+    make_generator,
+    storm_schedule,
+)
+from repro.workloads.suites import EXPERIMENT_SUITES, iter_generators
+
+EPOCH_SCALE = 300_000
+TRACE_WINDOW = 15_000
+
+_TRACE_COLUMNS = (
+    "addresses", "sizes", "is_write", "tainted", "gap_before",
+    "active_epoch",
+)
+
+
+@pytest.fixture(params=SERVICE_SUITE)
+def engine(request):
+    return make_generator(request.param, seed=11)
+
+
+class TestEngineProperties:
+    def test_epoch_stream_sums_exactly(self, engine):
+        stream = engine.epoch_stream(EPOCH_SCALE)
+        assert int(stream.lengths.sum()) == EPOCH_SCALE
+        assert (stream.lengths >= 1).all()
+        assert (stream.tainted_counts >= 0).all()
+        assert (stream.tainted_counts <= stream.lengths).all()
+
+    def test_trace_matches_layout_ground_truth(self, engine):
+        trace = engine.access_trace(TRACE_WINDOW)
+        layout = engine.layout()
+        assert np.array_equal(
+            trace.tainted, layout.bytes_tainted(trace.addresses)
+        )
+        # No tainted access outside a taint-active epoch, no negative
+        # gaps, only architectural access sizes.
+        assert not (trace.tainted & ~trace.active_epoch).any()
+        assert (trace.gap_before >= 0).all()
+        assert set(np.unique(trace.sizes).tolist()) <= {1, 2, 4}
+
+    def test_coarse_flags_never_miss_taint(self, engine):
+        trace = engine.access_trace(TRACE_WINDOW)
+        for domain in (64, 4096):
+            assert not (trace.tainted & ~trace.coarse_flags(domain)).any()
+
+    def test_deterministic_by_seed(self, engine):
+        twin = make_generator(engine.profile.name, seed=11)
+        stream, twin_stream = (
+            engine.epoch_stream(EPOCH_SCALE), twin.epoch_stream(EPOCH_SCALE)
+        )
+        assert np.array_equal(stream.lengths, twin_stream.lengths)
+        assert np.array_equal(
+            stream.tainted_counts, twin_stream.tainted_counts
+        )
+        trace, twin_trace = (
+            engine.access_trace(TRACE_WINDOW), twin.access_trace(TRACE_WINDOW)
+        )
+        for column in _TRACE_COLUMNS:
+            assert np.array_equal(
+                getattr(trace, column), getattr(twin_trace, column)
+            )
+
+    def test_different_seeds_diverge(self, engine):
+        other = make_generator(engine.profile.name, seed=12)
+        assert not np.array_equal(
+            engine.access_trace(TRACE_WINDOW).addresses,
+            other.access_trace(TRACE_WINDOW).addresses,
+        )
+
+    def test_taint_fraction_tracks_profile(self, engine):
+        stream = engine.epoch_stream(1_000_000)
+        target = engine.profile.taint_percent / 100.0
+        assert stream.tainted_fraction == pytest.approx(target, rel=0.15)
+
+
+class TestServiceShape:
+    def test_kv_hot_key_skew(self):
+        # Zipf assignment concentrates tainted traffic: the hottest
+        # extent must see far more than a uniform share.
+        engine = make_generator("kv-cache", seed=2)
+        trace = engine.access_trace(60_000)
+        layout = engine.layout()
+        starts = np.array([s for s, _ in layout.extents], dtype=np.int64)
+        tainted_addresses = trace.addresses[trace.tainted]
+        owner = np.searchsorted(starts, tainted_addresses, side="right") - 1
+        counts = np.bincount(owner, minlength=len(starts))
+        assert counts.max() > 3 * counts.mean()
+
+    def test_parse_buffer_ring_balances_traffic(self):
+        # Ring assignment recycles buffers evenly — the opposite of the
+        # kv engine's Zipf skew — and the sequential scan walks every
+        # byte of each recycled buffer.
+        engine = make_generator("http-parse", seed=5)
+        # A window wide enough for ~10 requests (600 marks each).
+        trace = engine.access_trace(400_000)
+        layout = engine.layout()
+        starts = np.array([s for s, _ in layout.extents], dtype=np.int64)
+        tainted_addresses = trace.addresses[trace.tainted]
+        owner = np.searchsorted(starts, tainted_addresses, side="right") - 1
+        counts = np.bincount(owner, minlength=len(starts))
+        used = counts[counts > 0]
+        assert len(used) > 5
+        assert used.max() < 4 * used.mean()
+        # Full byte coverage of at least one scanned buffer.
+        hottest = int(np.argmax(counts))
+        span = layout.extents[hottest][1]
+        touched = np.unique(tainted_addresses[owner == hottest])
+        assert len(touched) == span
+
+    def test_img_serve_is_mostly_clean(self):
+        engine = make_generator("img-serve", seed=1)
+        trace = engine.access_trace(40_000)
+        assert trace.tainted_access_count < 0.05 * trace.access_count
+
+
+class TestPhaseSchedules:
+    def test_spans_must_partition_the_run(self):
+        with pytest.raises(ValueError):
+            PhaseSchedule("bad", (Phase("a", 0.5),))
+        with pytest.raises(ValueError):
+            PhaseSchedule("bad", (Phase("a", 0.0), Phase("b", 1.0)))
+        with pytest.raises(ValueError):
+            PhaseSchedule("bad", ())
+
+    def test_split_budget_is_exact(self):
+        for schedule in (bursty_schedule(), diurnal_schedule(),
+                         storm_schedule()):
+            for total in (1, 7, 1000, 123_457):
+                budget = schedule.split_budget(total)
+                assert sum(budget) == total
+                assert all(part >= 0 for part in budget)
+
+    def test_offsets_land_inside_phase_windows(self):
+        import random
+
+        schedule = storm_schedule()
+        offsets = schedule.offsets(500, 10.0, random.Random(3))
+        assert len(offsets) == 500
+        assert all(0.0 <= offset <= 10.0 for offset in offsets)
+        # The storm phase (3x intensity over a 0.2 span) outdraws its
+        # span share of clients.
+        storm = sum(1 for o in offsets if 4.0 <= o <= 6.0)
+        assert storm > 500 * 0.2
+
+    def test_storm_multiplies_taint(self):
+        calm = make_generator("kv-cache", seed=4).epoch_stream(400_000)
+        storm = make_generator("kv-storm", seed=4).epoch_stream(400_000)
+        assert storm.tainted_fraction > 1.5 * calm.tainted_fraction
+
+
+class TestDynamicWorkload:
+    def test_phases_share_one_layout(self):
+        dynamic = make_generator("kv-bursty", seed=9)
+        trace = dynamic.access_trace(30_000)
+        assert np.array_equal(
+            trace.tainted, dynamic.layout().bytes_tainted(trace.addresses)
+        )
+
+    def test_custom_schedule_wrapping(self):
+        base = get_profile("kv-cache")
+        schedule = PhaseSchedule("halves", (
+            Phase("cold", 0.5, taint_scale=0.0),
+            Phase("hot", 0.5, taint_scale=2.0),
+        ))
+        dynamic = DynamicWorkload(KeyValueWorkload, base, schedule, seed=3)
+        stream = dynamic.epoch_stream(200_000)
+        assert int(stream.lengths.sum()) == 200_000
+        # The cold half emits no taint at all.
+        boundary = np.searchsorted(np.cumsum(stream.lengths), 100_000)
+        assert int(stream.tainted_counts[:boundary].sum()) == 0
+        assert int(stream.tainted_counts[boundary:].sum()) > 0
+
+
+class TestTraceReplay:
+    @pytest.fixture()
+    def recorded(self):
+        return make_generator("http-parse", seed=21).access_trace(12_000)
+
+    def test_one_x_replay_is_bit_identical(self, recorded, tmp_path):
+        path = tmp_path / "parse.ltrace"
+        save_columnar_trace(recorded, path)
+        replay = TraceReplayWorkload(str(path))
+        replayed = replay.access_trace(recorded.total_instructions)
+        for column in _TRACE_COLUMNS:
+            assert np.array_equal(
+                getattr(recorded, column), getattr(replayed, column)
+            )
+
+    def test_tiling_hits_exact_totals(self, recorded):
+        replay = TraceReplayWorkload(columnar_trace_bytes(recorded))
+        for total in (123, recorded.total_instructions // 3,
+                      2 * recorded.total_instructions + 17):
+            stream = replay.epoch_stream(total)
+            assert int(stream.lengths.sum()) == total
+            assert (stream.lengths >= 1).all()
+            trace = replay.access_trace(total)
+            assert trace.total_instructions == total
+            assert (trace.gap_before >= 0).all()
+
+    def test_synthesized_profile_is_valid(self, recorded):
+        replay = TraceReplayWorkload(columnar_trace_bytes(recorded))
+        profile = replay.profile
+        assert profile.kind == "replay"
+        assert sum(profile.epoch_weights) == pytest.approx(1.0)
+        assert profile.pages_tainted <= profile.pages_accessed
+        assert profile.taint_percent == pytest.approx(
+            100.0 * recorded.tainted_access_count
+            / recorded.total_instructions,
+            rel=0.05,
+        )
+
+    def test_ltrace_prefix_dispatch(self, recorded, tmp_path):
+        path = tmp_path / "parse.ltrace"
+        save_columnar_trace(recorded, path)
+        generator = make_generator(f"ltrace:{path}")
+        assert generator.profile.kind == "replay"
+
+
+class TestRegistry:
+    def test_profiles_registered_everywhere(self):
+        names = {profile.name for profile in all_profiles()}
+        assert set(SERVICE_SUITE) <= names
+        for profile in SERVICE_PROFILES:
+            assert get_profile(profile.name) is profile
+
+    def test_zoo_suite_expands(self):
+        groups = EXPERIMENT_SUITES["zoo"]
+        workloads = {name for _, suite in groups for name in suite}
+        assert workloads == set(SERVICE_SUITE)
+        assert {kind for kind, _ in groups} == {
+            "taint_fraction", "page_taint", "hlatch",
+        }
+
+    def test_iter_generators_dispatches_engines(self):
+        pairs = dict(iter_generators(("gcc", "kv-cache"), seed=1))
+        assert type(pairs["gcc"]) is WorkloadGenerator
+        assert isinstance(pairs["kv-cache"], KeyValueWorkload)
+
+    def test_make_generator_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_generator("no-such-workload")
+
+    def test_make_generator_accepts_profile_objects(self):
+        custom = dataclasses.replace(
+            get_profile("kv-cache"), name="kv-cache", taint_percent=4.8
+        )
+        generator = make_generator(custom, seed=0)
+        assert isinstance(generator, KeyValueWorkload)
+        assert generator.profile.taint_percent == 4.8
+
+    def test_engine_schedule_lookup(self):
+        assert engine_schedule("kv-bursty").name == "bursty"
+        with pytest.raises(KeyError):
+            engine_schedule("kv-cache")
+
+
+class TestCharacterize:
+    def test_zoo_rows(self):
+        rows = characterize(
+            SERVICE_SUITE, epoch_scale=100_000, trace_window=5_000
+        )
+        assert set(rows) == set(SERVICE_SUITE)
+        for row in rows.values():
+            assert row["epochs"] >= 1
+            assert row["requests"] >= 1
+            assert 0.0 < row["taint_percent"] < 100.0
+            assert row["pages_tainted"] <= row["pages_accessed"]
+
+
+class TestRunnerIntegration:
+    def test_engine_profile_through_runner_jobs(self):
+        from repro.runner import JobSpec, Runner, RunnerConfig
+
+        runner = Runner(config=RunnerConfig(max_workers=1))
+        results = runner.run([
+            JobSpec.make("taint_fraction", "kv-cache", epoch_scale=50_000),
+            JobSpec.make("page_taint", "kv-bursty"),
+            JobSpec.make("hlatch", "http-parse", trace_window=2_000),
+        ])
+        for result in results.values():
+            assert result.ok, result.error

@@ -154,16 +154,37 @@ class TestHelpers:
         ) if sum(counts) else np.empty(0, dtype=np.int64)
         assert (result == expected).all()
 
-    @settings(max_examples=50)
+    @settings(max_examples=100)
     @given(
         st.integers(min_value=0, max_value=10_000),
-        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=0, max_value=2**32 - 1),
     )
-    def test_split_total_properties(self, total, parts):
+    def test_split_total_properties(self, total, parts, seed):
         result = WorkloadGenerator._split_total(
-            total, parts, np.random.default_rng(0)
+            total, parts, np.random.default_rng(seed)
         )
-        assert len(result) == parts
+        if total <= 0 or parts <= 0:
+            assert len(result) == 0
+            return
+        # The split must account for exactly the requested budget: the
+        # pre-fix implementation returned ``parts`` ones when
+        # ``total <= parts`` (summing to ``parts``, over-counting).
+        assert int(result.sum()) == total
         assert (result >= 1).all()
-        if total > parts:
-            assert int(result.sum()) == total
+        assert len(result) == min(total, parts)
+
+    def test_split_total_edge_grid(self):
+        # Deterministic sweep of the (total, parts) boundary lattice:
+        # equality, off-by-one on either side, and degenerate inputs.
+        edges = [0, 1, 2, 3, 4, 5, 7, 8, 31, 32, 33, 200, 201]
+        for total in edges:
+            for parts in edges:
+                result = WorkloadGenerator._split_total(
+                    total, parts, np.random.default_rng(1234)
+                )
+                if total <= 0 or parts <= 0:
+                    assert len(result) == 0, (total, parts)
+                    continue
+                assert int(result.sum()) == total, (total, parts)
+                assert (result >= 1).all(), (total, parts)

@@ -33,7 +33,9 @@ class TestSuiteContents:
         names = [p.name for p in all_profiles()]
         assert names[0] == "astar"
         assert names[20] == "curl"
-        assert len(names) == len(set(names)) == 27
+        # 20 SPEC + 7 network + the 6-profile service-engine zoo.
+        assert names[27] == "kv-cache"
+        assert len(names) == len(set(names)) == 33
 
     def test_get_profile(self):
         assert get_profile("sphinx").taint_percent == 13.53
